@@ -1,0 +1,25 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// alignedFreeFraction reports the fraction of fs's free space that lies in
+// aligned, contiguous 2MiB regions.
+func alignedFreeFraction(fs FS) float64 {
+	return alloc.AlignedFreeFraction(fs.FreeExtents())
+}
+
+// scalabilityProbe runs the Figure 10 microbenchmark at 8 threads.
+func scalabilityProbe(fs FS, setup *sim.Ctx) (float64, error) {
+	for th := 0; th < 8; th++ {
+		if err := fs.Mkdir(setup, fmt.Sprintf("/w%d", th)); err != nil {
+			return 0, err
+		}
+	}
+	return workloads.Scalability(fs, workloads.ScalabilityConfig{Threads: 8, OpsPerThread: 100})
+}

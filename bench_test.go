@@ -1,0 +1,290 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5) plus the discussion-section experiments (§4). Each benchmark runs
+// the corresponding experiment and reports the headline quantities as
+// benchmark metrics, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation. The printed metric names mirror the paper's claims, e.g.
+// fig1's aged-WineFS-vs-aged-NOVA bandwidth ratio.
+//
+// Benchmarks run the experiments in Quick mode so the full suite finishes
+// in minutes; cmd/winebench runs the full-size versions and prints the
+// paper-style tables.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/crashmonkey"
+	"repro/internal/experiments"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Quick: true, CPUs: 4, Seed: 42}.Defaults()
+}
+
+// BenchmarkFig1AgedBandwidth regenerates Figure 1: mmap write bandwidth on
+// un-aged vs aged file systems across utilisation levels.
+func BenchmarkFig1AgedBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		unaged, aged, err := experiments.Fig1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range aged {
+			last := s.Points[len(s.Points)-1].Y
+			b.ReportMetric(last, "aged90-"+s.Label+"-GB/s")
+		}
+		for _, s := range unaged {
+			if s.Label == "WineFS" {
+				b.ReportMetric(s.Points[len(s.Points)-1].Y, "unaged90-WineFS-GB/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig2MmapOverhead regenerates Figure 2: time to mmap+write a
+// 2MiB file with hugepages vs base pages, with the copy/fault breakdown.
+func BenchmarkFig2MmapOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].TotalUS, "huge-total-us")
+		b.ReportMetric(rows[1].TotalUS, "base-total-us")
+		b.ReportMetric(rows[1].FaultUS, "base-fault-us")
+	}
+}
+
+// BenchmarkFig3Fragmentation regenerates Figure 3: % of free space in
+// aligned 2MiB regions as utilisation rises under aging.
+func BenchmarkFig3Fragmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			b.ReportMetric(s.Points[len(s.Points)-1].Y, s.Label+"-aligned-pct-at-90")
+		}
+	}
+}
+
+// BenchmarkFig4TLBMisses regenerates Figure 4: pre-faulted random-read
+// latency, base pages vs hugepages.
+func BenchmarkFig4TLBMisses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Huge.Median()), "huge-median-ns")
+		b.ReportMetric(float64(res.Base.Median()), "base-median-ns")
+		b.ReportMetric(res.MedianRatio(), "median-ratio")
+	}
+}
+
+// BenchmarkFig6Throughput regenerates Figure 6: read/write throughput for
+// mmap and POSIX access on aged file systems.
+func BenchmarkFig6Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Mmap["WineFS"][0], "mmap-seqwrite-WineFS-GB/s")
+		b.ReportMetric(res.Mmap["NOVA"][0], "mmap-seqwrite-NOVA-GB/s")
+		b.ReportMetric(res.Mmap["ext4-DAX"][0], "mmap-seqwrite-ext4-GB/s")
+		b.ReportMetric(res.Strong["WineFS"][1], "posix-randwrite-WineFS-GB/s")
+		b.ReportMetric(res.Strong["NOVA"][1], "posix-randwrite-NOVA-GB/s")
+	}
+}
+
+// BenchmarkFig7AgedApps regenerates Figure 7: RocksDB/YCSB, LMDB and
+// PmemKV throughput on aged file systems.
+func BenchmarkFig7AgedApps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LMDB["WineFS"]/res.LMDB["NOVA"], "lmdb-WineFS/NOVA")
+		b.ReportMetric(res.LMDB["WineFS"]/res.LMDB["ext4-DAX"], "lmdb-WineFS/ext4")
+		b.ReportMetric(res.PmemKV["WineFS"]/res.PmemKV["ext4-DAX"], "pmemkv-WineFS/ext4")
+		b.ReportMetric(res.YCSB["WineFS"]["A"]/res.YCSB["ext4-DAX"]["A"], "ycsbA-WineFS/ext4")
+	}
+}
+
+// BenchmarkTable2PageFaults regenerates Table 2: page-fault counts per
+// application per aged file system (ratios over WineFS).
+func BenchmarkTable2PageFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wf := res.Faults["WineFS"]["lmdb-fillseqbatch"]
+		if wf > 0 {
+			b.ReportMetric(float64(res.Faults["ext4-DAX"]["lmdb-fillseqbatch"])/float64(wf), "lmdb-faults-ext4/WineFS")
+			b.ReportMetric(float64(res.Faults["NOVA"]["lmdb-fillseqbatch"])/float64(wf), "lmdb-faults-NOVA/WineFS")
+		}
+		b.ReportMetric(float64(wf), "lmdb-faults-WineFS")
+	}
+}
+
+// BenchmarkFig8PARTLookup regenerates Figure 8: P-ART lookup latency
+// distribution per file system.
+func BenchmarkFig8PARTLookup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Hist["WineFS"].Median()), "WineFS-median-ns")
+		b.ReportMetric(float64(res.Hist["NOVA"].Median()), "NOVA-median-ns")
+		b.ReportMetric(float64(res.Hist["ext4-DAX"].Median()), "ext4-median-ns")
+	}
+}
+
+// BenchmarkFig9PosixApps regenerates Figure 9: Filebench, PostgreSQL and
+// WiredTiger on clean file systems.
+func BenchmarkFig9PosixApps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(benchCfg(), []string{"ext4-DAX", "NOVA", "WineFS", "WineFS-relaxed"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Filebench["WineFS-relaxed"]["varmail"], "varmail-WineFSr-ops/s")
+		b.ReportMetric(res.Filebench["ext4-DAX"]["varmail"], "varmail-ext4-ops/s")
+		b.ReportMetric(res.Pgbench["WineFS"]/res.Pgbench["NOVA"], "pgbench-WineFS/NOVA")
+		b.ReportMetric(res.WTFill["WineFS"]/res.WTFill["NOVA"], "wtfill-WineFS/NOVA")
+	}
+}
+
+// BenchmarkFig10Scalability regenerates Figure 10: create/append/fsync/
+// unlink throughput vs thread count.
+func BenchmarkFig10Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig10(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			b.ReportMetric(s.Points[len(s.Points)-1].Y, s.Label+"-kIOPS-16thr")
+		}
+	}
+}
+
+// BenchmarkRecovery regenerates §5.2's recovery measurement: virtual
+// recovery time vs file count, plus data-volume independence.
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Recovery(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		b.ReportMetric(float64(last.RecoveryNS)/1e3, "recovery-us")
+		b.ReportMetric(float64(last.Files), "files")
+	}
+}
+
+// BenchmarkDefragInterference regenerates §4's defragmentation experiment:
+// foreground mmap-read slowdown while the rewriter runs.
+func BenchmarkDefragInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Defrag(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SlowdownPct, "slowdown-pct")
+	}
+}
+
+// BenchmarkHPCProfile regenerates §4's Wang-HPC-profile fragmentation
+// comparison at 50% utilisation.
+func BenchmarkHPCProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.HPC(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ext4*100, "ext4-aligned-pct")
+		b.ReportMetric(res.WineFS*100, "WineFS-aligned-pct")
+	}
+}
+
+// BenchmarkCrashMonkey regenerates §5.2's crash-consistency result: every
+// explored crash state recovers consistently.
+func BenchmarkCrashMonkey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		states := 0
+		for _, w := range crashmonkey.GenerateSeq1() {
+			res := crashmonkey.Run(w, crashmonkey.Config{MaxSubsets: 64, Seed: 42})
+			if !res.OK() {
+				b.Fatalf("%s: %v", w.Name, res.Failures[0])
+			}
+			states += res.CrashStates
+		}
+		b.ReportMetric(float64(states), "crash-states")
+	}
+}
+
+// BenchmarkAblationAlignment quantifies the paper's central design choice:
+// WineFS with the aligned-extent pool disabled loses its aged hugepage
+// advantage (DESIGN.md's design-choice ablation).
+func BenchmarkAblationAlignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		frac := map[bool]float64{}
+		for _, ablate := range []bool{false, true} {
+			dev := NewDevice(512 << 20)
+			ctx := NewThread(1, 0)
+			fs, err := MkfsWineFS(ctx, dev, WineFSOptions{CPUs: 4, AblateAlignment: ablate})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Age(ctx, fs, AgingConfig{TargetUtil: 0.7, ChurnFactor: 1, Seed: 5}); err != nil {
+				b.Fatal(err)
+			}
+			frac[ablate] = alignedFreeFraction(fs)
+		}
+		b.ReportMetric(frac[false]*100, "aligned-pct")
+		b.ReportMetric(frac[true]*100, "ablated-aligned-pct")
+	}
+}
+
+// BenchmarkAblationPerCPUJournal quantifies the per-CPU-journal choice:
+// the same metadata workload on 8 threads with per-CPU journals vs one
+// shared journal.
+func BenchmarkAblationPerCPUJournal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tput := map[bool]float64{}
+		for _, ablate := range []bool{false, true} {
+			dev := NewDevice(512 << 20)
+			ctx := NewThread(1, 0)
+			fs, err := MkfsWineFS(ctx, dev, WineFSOptions{CPUs: 8, AblateSingleJournal: ablate})
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := scalabilityProbe(fs, ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tput[ablate] = v
+		}
+		b.ReportMetric(tput[false]/1000, "percpu-kIOPS")
+		b.ReportMetric(tput[true]/1000, "single-journal-kIOPS")
+	}
+}
+
+// BenchmarkNUMAHomeNode quantifies §3.6's NUMA policy: remote-write
+// fraction and write time with the home-node routing off vs on.
+func BenchmarkNUMAHomeNode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.NUMA(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RemoteFracOff*100, "remote-pct-off")
+		b.ReportMetric(res.RemoteFracOn*100, "remote-pct-on")
+	}
+}

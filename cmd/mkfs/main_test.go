@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"1024", 1024, false},
+		{"4k", 4 << 10, false},
+		{"16M", 16 << 20, false},
+		{"2g", 2 << 30, false},
+		{" 1G ", 1 << 30, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"1.5g", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseSize(%q) = %d, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Command winebench runs the paper's evaluation (§4–§5) and prints each
+// table and figure as text, in the same rows/series the paper reports.
+//
+// Usage:
+//
+//	winebench [-quick] [-cpus N] [-size BYTES] [-seed N] [-run fig1,fig3,...]
+//
+// -run selects experiments (comma-separated from: fig1 fig2 fig3 fig4 fig6
+// fig7 table2 fig8 fig9 fig10 recovery defrag hpc crashmonkey; default all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/crashmonkey"
+	"repro/internal/experiments"
+	"repro/internal/perf"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced workload sizes (seconds instead of minutes)")
+	cpus := flag.Int("cpus", 8, "logical CPUs per file system")
+	size := flag.Int64("size", 0, "device size in bytes (0 = default)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	run := flag.String("run", "all", "comma-separated experiment list")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Quick:      *quick,
+		CPUs:       *cpus,
+		DeviceSize: *size,
+		Seed:       *seed,
+	}.Defaults()
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	sel := func(name string) bool { return want["all"] || want[name] }
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "winebench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if sel("fig1") {
+		unaged, aged, err := experiments.Fig1(cfg)
+		if err != nil {
+			fail("fig1", err)
+		}
+		experiments.SeriesTable("Figure 1(a): un-aged mmap write bandwidth (GB/s) vs utilisation (%)",
+			"util%", unaged, experiments.FmtGBs).Print(os.Stdout)
+		experiments.SeriesTable("Figure 1(b): aged mmap write bandwidth (GB/s) vs utilisation (%)",
+			"util%", aged, experiments.FmtGBs).Print(os.Stdout)
+	}
+	if sel("fig2") {
+		rows, err := experiments.Fig2(cfg)
+		if err != nil {
+			fail("fig2", err)
+		}
+		t := &experiments.Table{
+			Title:  "Figure 2: memory-map + write a 2MiB file (microseconds)",
+			Header: []string{"config", "total", "copy", "fault+pagetable"},
+		}
+		for _, r := range rows {
+			t.Rows = append(t.Rows, []string{r.Config,
+				fmt.Sprintf("%.0f", r.TotalUS), fmt.Sprintf("%.0f", r.CopyUS),
+				fmt.Sprintf("%.0f", r.FaultUS)})
+		}
+		t.Print(os.Stdout)
+	}
+	if sel("fig3") {
+		series, err := experiments.Fig3(cfg)
+		if err != nil {
+			fail("fig3", err)
+		}
+		experiments.SeriesTable("Figure 3: free space in aligned+contiguous 2MiB regions (%) vs utilisation (%)",
+			"util%", series, func(v float64) string { return fmt.Sprintf("%.1f", v) }).Print(os.Stdout)
+	}
+	if sel("fig4") {
+		res, err := experiments.Fig4(cfg)
+		if err != nil {
+			fail("fig4", err)
+		}
+		t := &experiments.Table{
+			Title:  "Figure 4: pre-faulted random-read latency (ns)",
+			Header: []string{"pages", "median", "p90", "p99"},
+		}
+		for _, row := range []struct {
+			name string
+			h    *perf.Histogram
+		}{{"2MB-pages", &res.Huge}, {"4KB-pages", &res.Base}} {
+			t.Rows = append(t.Rows, []string{row.name,
+				fmt.Sprintf("%d", row.h.Median()),
+				fmt.Sprintf("%d", row.h.Quantile(0.9)),
+				fmt.Sprintf("%d", row.h.Quantile(0.99))})
+		}
+		t.Rows = append(t.Rows, []string{"ratio", fmt.Sprintf("%.1fx", res.MedianRatio()), "", ""})
+		t.Print(os.Stdout)
+	}
+	if sel("fig6") {
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			fail("fig6", err)
+		}
+		printFig6 := func(title string, data map[string][]float64) {
+			t := &experiments.Table{Title: title,
+				Header: append([]string{"fs"}, res.Patterns...)}
+			for fs, vals := range data {
+				row := []string{fs}
+				for _, v := range vals {
+					row = append(row, experiments.FmtGBs(v))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			t.Print(os.Stdout)
+		}
+		printFig6("Figure 6(a): aged mmap throughput (GB/s)", res.Mmap)
+		printFig6("Figure 6(b): POSIX weak (metadata consistency) throughput (GB/s)", res.Weak)
+		printFig6("Figure 6(c): POSIX strong (data consistency) throughput (GB/s)", res.Strong)
+	}
+	var fig7res *experiments.Fig7Result
+	if sel("fig7") || sel("table2") {
+		var err error
+		fig7res, err = experiments.Fig7(cfg)
+		if err != nil {
+			fail("fig7", err)
+		}
+	}
+	if sel("fig7") {
+		experiments.Fig7Table(fig7res).Print(os.Stdout)
+	}
+	if sel("table2") {
+		experiments.Table2(fig7res).Print(os.Stdout)
+	}
+	if sel("fig8") {
+		res, err := experiments.Fig8(cfg)
+		if err != nil {
+			fail("fig8", err)
+		}
+		t := &experiments.Table{
+			Title:  "Figure 8: P-ART lookup latency (ns), pre-faulted pool",
+			Header: []string{"fs", "median", "p90", "p99"},
+		}
+		for fs, h := range res.Hist {
+			t.Rows = append(t.Rows, []string{fs,
+				fmt.Sprintf("%d", h.Median()),
+				fmt.Sprintf("%d", h.Quantile(0.9)),
+				fmt.Sprintf("%d", h.Quantile(0.99))})
+		}
+		t.Print(os.Stdout)
+	}
+	if sel("fig9") {
+		relaxed := experiments.RelaxedGroup()
+		strict := experiments.StrictGroup()
+		res, err := experiments.Fig9(cfg, append(append([]string{}, relaxed...), strict...))
+		if err != nil {
+			fail("fig9", err)
+		}
+		experiments.Fig9Table(res, relaxed,
+			"Figure 9(a-c): POSIX applications, metadata consistency (clean FS)").Print(os.Stdout)
+		experiments.Fig9Table(res, strict,
+			"Figure 9(d-f): POSIX applications, data+metadata consistency (clean FS)").Print(os.Stdout)
+	}
+	if sel("fig10") {
+		series, err := experiments.Fig10(cfg)
+		if err != nil {
+			fail("fig10", err)
+		}
+		experiments.SeriesTable("Figure 10: scalability (kIOPS) vs threads",
+			"threads", series, func(v float64) string { return fmt.Sprintf("%.0f", v) }).Print(os.Stdout)
+	}
+	if sel("recovery") {
+		pts, err := experiments.Recovery(cfg)
+		if err != nil {
+			fail("recovery", err)
+		}
+		t := &experiments.Table{
+			Title:  "§5.2: crash-recovery time vs file count (virtual time)",
+			Header: []string{"files", "recovery"},
+		}
+		for _, p := range pts {
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", p.Files),
+				fmt.Sprintf("%.2fms", float64(p.RecoveryNS)/1e6)})
+		}
+		small, large, err := experiments.RecoveryDataIndependence(cfg)
+		if err != nil {
+			fail("recovery", err)
+		}
+		t.Rows = append(t.Rows, []string{"(same files, 64x data)",
+			fmt.Sprintf("%.2fms vs %.2fms", float64(small)/1e6, float64(large)/1e6)})
+		t.Print(os.Stdout)
+	}
+	if sel("defrag") {
+		res, err := experiments.Defrag(cfg)
+		if err != nil {
+			fail("defrag", err)
+		}
+		t := &experiments.Table{
+			Title:  "§4: background defragmentation interference",
+			Header: []string{"condition", "fg mmap read GB/s"},
+		}
+		t.Rows = append(t.Rows,
+			[]string{"alone", experiments.FmtGBs(res.BaselineGBs)},
+			[]string{"with rewriter", experiments.FmtGBs(res.WithDefragGBs)},
+			[]string{"slowdown", fmt.Sprintf("%.1f%% (paper: 25-40%%)", res.SlowdownPct)})
+		t.Print(os.Stdout)
+	}
+	if sel("hpc") {
+		res, err := experiments.HPC(cfg)
+		if err != nil {
+			fail("hpc", err)
+		}
+		t := &experiments.Table{
+			Title:  "§4: Wang-HPC profile, aligned free space at 50% utilisation",
+			Header: []string{"fs", "aligned free %"},
+		}
+		t.Rows = append(t.Rows,
+			[]string{"ext4-DAX", fmt.Sprintf("%.0f%%", res.Ext4*100)},
+			[]string{"WineFS", fmt.Sprintf("%.0f%%", res.WineFS*100)})
+		t.Print(os.Stdout)
+	}
+	if sel("numa") {
+		res, err := experiments.NUMA(cfg)
+		if err != nil {
+			fail("numa", err)
+		}
+		t := &experiments.Table{
+			Title:  "§3.6: NUMA home-node policy (writer on a remote-heavy CPU)",
+			Header: []string{"policy", "remote-write fraction", "write time"},
+		}
+		t.Rows = append(t.Rows,
+			[]string{"off", fmt.Sprintf("%.0f%%", res.RemoteFracOff*100), fmt.Sprintf("%.2fms", float64(res.WriteNSOff)/1e6)},
+			[]string{"on", fmt.Sprintf("%.0f%%", res.RemoteFracOn*100), fmt.Sprintf("%.2fms", float64(res.WriteNSOn)/1e6)})
+		t.Print(os.Stdout)
+	}
+	if sel("crashmonkey") {
+		total, failures := 0, 0
+		for _, w := range append(crashmonkey.GenerateSeq1(), crashmonkey.GenerateSeq2()...) {
+			res := crashmonkey.Run(w, crashmonkey.Config{Seed: *seed})
+			total += res.CrashStates
+			failures += len(res.Failures)
+			for _, f := range res.Failures {
+				fmt.Fprintf(os.Stderr, "  FAIL %s: %s\n", w.Name, f)
+			}
+		}
+		fmt.Printf("\n=== §5.2: CrashMonkey ===\n  %d crash states explored, %d failures\n", total, failures)
+		if failures > 0 {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Crashrecovery: demonstrate WineFS's per-CPU undo journals end to end
+// (§3.6, §5.2). The example records every device store during a rename,
+// constructs a crash state in which only half of the in-flight stores
+// became durable, then mounts the image: recovery rolls the uncommitted
+// transaction back across the per-CPU journals and the offline checker
+// verifies the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/pmem"
+)
+
+func main() {
+	dev := repro.NewDevice(128 << 20)
+	ctx := repro.NewThread(1, 0)
+	fs, err := repro.MkfsWineFS(ctx, dev, repro.WineFSOptions{CPUs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Some initial state.
+	if err := fs.Mkdir(ctx, "/inbox"); err != nil {
+		log.Fatal(err)
+	}
+	f, err := fs.Create(ctx, "/inbox/draft")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Append(ctx, []byte("message body")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Snapshot, then trace the stores of an atomic rename.
+	base := dev.Snapshot()
+	dev.StartTrace()
+	if err := fs.Rename(ctx, "/inbox/draft", "/inbox/sent"); err != nil {
+		log.Fatal(err)
+	}
+	trace := dev.StopTrace()
+	fmt.Printf("rename issued %d device stores across %d fence epochs\n",
+		len(trace), trace[len(trace)-1].Epoch+1)
+
+	// Crash state: all stores from completed epochs, but only every other
+	// store from the final epoch, persist.
+	lastEpoch := trace[len(trace)-1].Epoch
+	var applied []pmem.Store
+	kept := 0
+	for i, s := range trace {
+		if s.Epoch < lastEpoch || i%2 == 0 {
+			applied = append(applied, s)
+			kept++
+		}
+	}
+	img := base.Clone()
+	img.Apply(applied)
+	dev.Restore(img)
+	fmt.Printf("crash state: %d of %d stores persisted\n", kept, len(trace))
+
+	// Recover: mount rolls back the in-flight transaction.
+	rctx := repro.NewThread(2, 0)
+	rfs, err := repro.MountWineFS(rctx, dev, repro.WineFSOptions{CPUs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep := repro.CheckWineFS(dev); !rep.OK() {
+		log.Fatalf("fsck failed after recovery: %v", rep.Errors)
+	}
+	_, errOld := rfs.Stat(rctx, "/inbox/draft")
+	_, errNew := rfs.Stat(rctx, "/inbox/sent")
+	switch {
+	case errOld == nil && errNew != nil:
+		fmt.Println("recovered state: rename rolled back (draft present) — consistent")
+	case errOld != nil && errNew == nil:
+		fmt.Println("recovered state: rename completed (sent present) — consistent")
+	default:
+		log.Fatalf("inconsistent: draft=%v sent=%v", errOld, errNew)
+	}
+	fmt.Printf("recovery took %.2fms of virtual time; fsck: clean\n", float64(rctx.Now())/1e6)
+}

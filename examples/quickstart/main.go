@@ -1,0 +1,61 @@
+// Quickstart: create a simulated persistent-memory device, format it with
+// WineFS, and see the paper's core mechanism in action — a large file
+// allocated from aligned extents maps with a handful of 2MiB hugepage
+// faults, while the same file on xfs-DAX (which disregards alignment)
+// takes hundreds of 4KiB faults and runs measurably slower.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const fileSize = 16 << 20 // 16 MiB
+
+	for _, fsName := range []string{"WineFS", "xfs-DAX"} {
+		dev := repro.NewDevice(256 << 20)
+		ctx := repro.NewThread(1, 0)
+		fs, err := repro.NewFS(ctx, dev, fsName)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Create a file and preallocate it (a "large allocation request" —
+		// WineFS satisfies it from 2MiB-aligned extents, §3.4).
+		f, err := fs.Create(ctx, "/data")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Fallocate(ctx, 0, fileSize); err != nil {
+			log.Fatal(err)
+		}
+
+		// Memory-map it and write through the mapping, like a PM-native
+		// application (PMDK, PmemKV, ...).
+		m, err := f.Mmap(ctx, fileSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench := repro.NewThread(2, 0)
+		bench.AdvanceTo(ctx.Now())
+		start := bench.Now()
+		payload := make([]byte, 1<<20)
+		for off := int64(0); off < fileSize; off += int64(len(payload)) {
+			if err := m.Write(bench, payload, off); err != nil {
+				log.Fatal(err)
+			}
+		}
+		elapsed := bench.Now() - start
+		c := bench.Counters
+
+		fmt.Printf("%-8s  hugepage faults: %3d   base-page faults: %4d   write time: %5.2fms  (%.2f GB/s)\n",
+			fsName, c.HugeFaults, c.PageFaults,
+			float64(elapsed)/1e6, float64(fileSize)/float64(elapsed))
+	}
+
+	fmt.Println("\nWineFS maps the file with 2MiB hugepages (512x fewer faults);")
+	fmt.Println("xfs-DAX cannot, even on a freshly formatted partition (paper footnote 1).")
+}

@@ -1,0 +1,252 @@
+package alloc
+
+import "repro/internal/rbtree"
+
+// Pool is a free-space extent pool with merge-on-free, used by the baseline
+// file systems' allocators (the WineFS allocator keeps its own structure
+// because it segregates aligned extents into a FIFO). Two red-black
+// indexes: by start (for merging and goal extension) and by (size, start)
+// (for best-fit queries). Not safe for concurrent use; callers lock.
+type Pool struct {
+	byStart *rbtree.Tree[int64, int64]
+	bySize  *rbtree.Tree[sizeKey, struct{}]
+	blocks  int64
+}
+
+type sizeKey struct {
+	length int64
+	start  int64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{
+		byStart: rbtree.New[int64, int64](func(a, b int64) bool { return a < b }),
+		bySize: rbtree.New[sizeKey, struct{}](func(a, b sizeKey) bool {
+			if a.length != b.length {
+				return a.length < b.length
+			}
+			return a.start < b.start
+		}),
+	}
+}
+
+// FreeBlocks returns the total free block count.
+func (p *Pool) FreeBlocks() int64 { return p.blocks }
+
+// Holes returns the number of distinct free extents (fragmentation gauge).
+func (p *Pool) Holes() int { return p.byStart.Len() }
+
+func (p *Pool) insert(start, length int64) {
+	p.byStart.Set(start, length)
+	p.bySize.Set(sizeKey{length, start}, struct{}{})
+	p.blocks += length
+}
+
+func (p *Pool) remove(start, length int64) {
+	p.byStart.Delete(start)
+	p.bySize.Delete(sizeKey{length, start})
+	p.blocks -= length
+}
+
+// Add returns a free range to the pool, merging with adjacent extents.
+func (p *Pool) Add(start, length int64) {
+	if length <= 0 {
+		return
+	}
+	if ps, pl, ok := p.byStart.Floor(start); ok && ps+pl == start {
+		p.remove(ps, pl)
+		start, length = ps, pl+length
+	}
+	if ns, nl, ok := p.byStart.Ceiling(start); ok && start+length == ns {
+		p.remove(ns, nl)
+		length += nl
+	}
+	p.insert(start, length)
+}
+
+// TakeAt carves exactly [start, start+length) if it is entirely free
+// (goal extension). Reports success.
+func (p *Pool) TakeAt(start, length int64) bool {
+	hs, hl, ok := p.byStart.Floor(start)
+	if !ok || hs+hl < start+length {
+		return false
+	}
+	p.remove(hs, hl)
+	if hs < start {
+		p.insert(hs, start-hs)
+	}
+	if hs+hl > start+length {
+		p.insert(start+length, hs+hl-(start+length))
+	}
+	return true
+}
+
+// TakeBestFit carves `need` blocks from the smallest adequate extent.
+func (p *Pool) TakeBestFit(need int64) (Extent, bool) {
+	k, _, ok := p.bySize.Ceiling(sizeKey{need, 0})
+	if !ok {
+		return Extent{}, false
+	}
+	p.remove(k.start, k.length)
+	if k.length > need {
+		p.insert(k.start+need, k.length-need)
+	}
+	return Extent{Start: k.start, Len: need}, true
+}
+
+// TakeLargest removes and returns the largest extent whole.
+func (p *Pool) TakeLargest() (Extent, bool) {
+	k, _, ok := p.bySize.Max()
+	if !ok {
+		return Extent{}, false
+	}
+	p.remove(k.start, k.length)
+	return Extent{Start: k.start, Len: k.length}, true
+}
+
+// TakeAligned carves `need` blocks starting at a hugepage-aligned block,
+// searching adequate extents from smallest to largest. Used by allocators
+// that make a best-effort alignment attempt (ext4 mballoc normalisation,
+// NOVA's exact-multiple path).
+func (p *Pool) TakeAligned(need int64) (Extent, bool) {
+	var found *sizeKey
+	p.bySize.AscendFrom(sizeKey{need, 0}, func(k sizeKey, _ struct{}) bool {
+		first := (k.start + BlocksPerHuge - 1) / BlocksPerHuge * BlocksPerHuge
+		if first+need <= k.start+k.length {
+			kk := k
+			found = &kk
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		return Extent{}, false
+	}
+	k := *found
+	first := (k.start + BlocksPerHuge - 1) / BlocksPerHuge * BlocksPerHuge
+	p.remove(k.start, k.length)
+	if first > k.start {
+		p.insert(k.start, first-k.start)
+	}
+	if first+need < k.start+k.length {
+		p.insert(first+need, k.start+k.length-(first+need))
+	}
+	return Extent{Start: first, Len: need}, true
+}
+
+// TakeNextFit carves `need` blocks from the first adequate extent at or
+// after block `from`, wrapping around once — the stream-allocation
+// behaviour of aged contiguity-first allocators (successive allocations
+// march across the partition, interleaving unrelated files: the
+// fragmentation mechanism behind Figure 3's baseline curves).
+func (p *Pool) TakeNextFit(from, need int64) (Extent, bool) {
+	var hit *Extent
+	scan := func(lo int64, wrapAt int64) bool {
+		p.byStart.AscendFrom(lo, func(s, l int64) bool {
+			if wrapAt >= 0 && s >= wrapAt {
+				return false
+			}
+			if l >= need {
+				hit = &Extent{Start: s, Len: l}
+				return false
+			}
+			return true
+		})
+		return hit != nil
+	}
+	if !scan(from, -1) && !scan(0, from) {
+		return Extent{}, false
+	}
+	p.remove(hit.Start, hit.Len)
+	if hit.Len > need {
+		p.insert(hit.Start+need, hit.Len-need)
+	}
+	return Extent{Start: hit.Start, Len: need}, true
+}
+
+// TakeAlignedInRange carves `need` blocks starting at a hugepage-aligned
+// boundary within [lo, hi) — the locality-bounded alignment attempt of
+// mballoc-style allocators, which search only a few block groups around
+// the goal. This is why aged ext4-DAX "ends up using only 3k aligned
+// extents" of the 12k available (§2.5): availability outside the searched
+// window doesn't help.
+func (p *Pool) TakeAlignedInRange(lo, hi, need int64) (Extent, bool) {
+	var found *Extent
+	start := lo
+	if fs, _, ok := p.byStart.Floor(lo); ok {
+		start = fs
+	}
+	p.byStart.AscendFrom(start, func(s, l int64) bool {
+		if s >= hi {
+			return false
+		}
+		first := s
+		if first < lo {
+			first = lo
+		}
+		first = (first + BlocksPerHuge - 1) / BlocksPerHuge * BlocksPerHuge
+		if first < hi && first+need <= s+l {
+			found = &Extent{Start: s, Len: l}
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		return Extent{}, false
+	}
+	s, l := found.Start, found.Len
+	first := s
+	if first < lo {
+		first = lo
+	}
+	first = (first + BlocksPerHuge - 1) / BlocksPerHuge * BlocksPerHuge
+	p.remove(s, l)
+	if first > s {
+		p.insert(s, first-s)
+	}
+	if first+need < s+l {
+		p.insert(first+need, s+l-(first+need))
+	}
+	return Extent{Start: first, Len: need}, true
+}
+
+// Carve removes [start, start+length) from the pool wherever it overlaps
+// free extents (used-state reconstruction).
+func (p *Pool) Carve(start, length int64) {
+	end := start + length
+	from := start
+	if fs, _, ok := p.byStart.Floor(start); ok {
+		from = fs
+	}
+	type cut struct{ s, l int64 }
+	var cuts []cut
+	p.byStart.AscendFrom(from, func(hs, hl int64) bool {
+		if hs >= end {
+			return false
+		}
+		if hs+hl > start {
+			cuts = append(cuts, cut{hs, hl})
+		}
+		return true
+	})
+	for _, c := range cuts {
+		p.remove(c.s, c.l)
+		if c.s < start {
+			p.insert(c.s, start-c.s)
+		}
+		if c.s+c.l > end {
+			p.insert(end, c.s+c.l-end)
+		}
+	}
+}
+
+// Extents snapshots the pool's free extents in address order.
+func (p *Pool) Extents() []Extent {
+	out := make([]Extent, 0, p.byStart.Len())
+	p.byStart.Ascend(func(s, l int64) bool {
+		out = append(out, Extent{Start: s, Len: l})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,371 @@
+// Package crashmonkey reimplements the crash-consistency methodology the
+// paper uses to validate WineFS (§5.2): an Automatic-Crash-Explorer-style
+// workload generator produces small sequences of metadata-mutating system
+// calls; for each workload the device records every store between fences;
+// crash states are constructed from all permitted persistence outcomes of
+// the in-flight stores; each crash state is recovered by a real mount and
+// then checked two ways — structural invariants via the offline fsck, and
+// semantic atomicity against an oracle: because WineFS operations are
+// synchronous, the recovered namespace must equal the state exactly
+// before or exactly after the in-flight operation.
+package crashmonkey
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+)
+
+// OpKind enumerates the system calls ACE composes.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpCreate OpKind = iota
+	OpMkdir
+	OpUnlink
+	OpRmdir
+	OpRename
+	OpAppend
+	OpTruncate
+	OpFalloc
+	OpFsync
+)
+
+var kindNames = map[OpKind]string{
+	OpCreate: "create", OpMkdir: "mkdir", OpUnlink: "unlink",
+	OpRmdir: "rmdir", OpRename: "rename", OpAppend: "append",
+	OpTruncate: "truncate", OpFalloc: "falloc", OpFsync: "fsync",
+}
+
+// Op is one system call in a workload.
+type Op struct {
+	Kind OpKind
+	A, B string
+	Size int64
+}
+
+func (o Op) String() string {
+	if o.Kind == OpRename {
+		return fmt.Sprintf("rename(%s,%s)", o.A, o.B)
+	}
+	return fmt.Sprintf("%s(%s)", kindNames[o.Kind], o.A)
+}
+
+// Workload is a crash-test case: Setup runs before recording; every op in
+// Ops is crash-explored.
+type Workload struct {
+	Name  string
+	Setup []Op
+	Ops   []Op
+}
+
+// apply runs one op, ignoring benign errors (ACE workloads include ops
+// that may fail depending on earlier state).
+func apply(ctx *sim.Ctx, fs vfs.FS, o Op) error {
+	switch o.Kind {
+	case OpCreate:
+		f, err := fs.Create(ctx, o.A)
+		if err != nil {
+			return err
+		}
+		return f.Close(ctx)
+	case OpMkdir:
+		return fs.Mkdir(ctx, o.A)
+	case OpUnlink:
+		return fs.Unlink(ctx, o.A)
+	case OpRmdir:
+		return fs.Rmdir(ctx, o.A)
+	case OpRename:
+		return fs.Rename(ctx, o.A, o.B)
+	case OpAppend:
+		f, err := fs.Open(ctx, o.A)
+		if err != nil {
+			f, err = fs.Create(ctx, o.A)
+			if err != nil {
+				return err
+			}
+		}
+		_, err = f.Append(ctx, make([]byte, o.Size))
+		return err
+	case OpTruncate:
+		f, err := fs.Open(ctx, o.A)
+		if err != nil {
+			return err
+		}
+		return f.Truncate(ctx, o.Size)
+	case OpFalloc:
+		f, err := fs.Open(ctx, o.A)
+		if err != nil {
+			return err
+		}
+		return f.Fallocate(ctx, 0, o.Size)
+	case OpFsync:
+		f, err := fs.Open(ctx, o.A)
+		if err != nil {
+			return err
+		}
+		return f.Fsync(ctx)
+	}
+	return nil
+}
+
+// State is a canonical namespace snapshot: "path kind size" lines, sorted.
+type State string
+
+// captureState walks the mounted FS.
+func captureState(ctx *sim.Ctx, fs vfs.FS) State {
+	var lines []string
+	var walk func(dir string)
+	walk = func(dir string) {
+		ents, err := fs.ReadDir(ctx, dir)
+		if err != nil {
+			lines = append(lines, fmt.Sprintf("ERR %s %v", dir, err))
+			return
+		}
+		for _, e := range ents {
+			p := dir + "/" + e.Name
+			if dir == "/" {
+				p = "/" + e.Name
+			}
+			if e.IsDir {
+				lines = append(lines, fmt.Sprintf("%s dir", p))
+				walk(p)
+			} else {
+				fi, err := fs.Stat(ctx, p)
+				if err != nil {
+					lines = append(lines, fmt.Sprintf("ERR %s %v", p, err))
+					continue
+				}
+				lines = append(lines, fmt.Sprintf("%s file %d", p, fi.Size))
+			}
+		}
+	}
+	walk("/")
+	sort.Strings(lines)
+	return State(strings.Join(lines, "\n"))
+}
+
+// Result summarises one workload's exploration.
+type Result struct {
+	Workload    string
+	Ops         int
+	CrashStates int
+	Failures    []string
+}
+
+// OK reports whether every crash state recovered consistently.
+func (r Result) OK() bool { return len(r.Failures) == 0 }
+
+// Config tunes the explorer.
+type Config struct {
+	// DeviceSize for the scratch FS (default 64 MiB).
+	DeviceSize int64
+	// MaxSubsets bounds the in-flight-store subsets explored per epoch
+	// (default 256; epochs smaller than log2(MaxSubsets) stores are
+	// explored exhaustively).
+	MaxSubsets int
+	// CPUs for the WineFS instance (default 2, exercising the multi-journal
+	// recovery path).
+	CPUs int
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.DeviceSize == 0 {
+		c.DeviceSize = 64 << 20
+	}
+	if c.MaxSubsets == 0 {
+		c.MaxSubsets = 256
+	}
+	if c.CPUs == 0 {
+		c.CPUs = 2
+	}
+}
+
+// Run crash-explores one workload against WineFS.
+func Run(w Workload, cfg Config) Result {
+	cfg.defaults()
+	res := Result{Workload: w.Name, Ops: len(w.Ops)}
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(cfg.DeviceSize)
+	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: cfg.CPUs, InodesPerCPU: 512})
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("mkfs: %v", err))
+		return res
+	}
+	for _, o := range w.Setup {
+		if err := apply(ctx, fs, o); err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("setup %s: %v", o, err))
+			return res
+		}
+	}
+	rng := sim.NewRand(cfg.Seed + 77)
+
+	for k, o := range w.Ops {
+		before := captureState(ctx, fs)
+		base := dev.Snapshot()
+		dev.StartTrace()
+		opErr := apply(ctx, fs, o)
+		trace := dev.StopTrace()
+		after := captureState(ctx, fs)
+		if opErr != nil {
+			// The op legitimately failed (e.g. unlink of missing file):
+			// nothing in flight to explore beyond full/none.
+			continue
+		}
+		maxEpoch := 0
+		for _, s := range trace {
+			if s.Epoch > maxEpoch {
+				maxEpoch = s.Epoch
+			}
+		}
+		// For every fence boundary, explore persistence subsets of that
+		// epoch's in-flight stores.
+		for e := 0; e <= maxEpoch; e++ {
+			var durable []pmem.Store
+			var inflight []pmem.Store
+			for _, s := range trace {
+				switch {
+				case s.Epoch < e:
+					durable = append(durable, s)
+				case s.Epoch == e:
+					inflight = append(inflight, s)
+				}
+			}
+			subsets := enumerate(len(inflight), cfg.MaxSubsets, rng)
+			for _, mask := range subsets {
+				img := base.Clone()
+				img.Apply(durable)
+				var chosen []pmem.Store
+				for i, s := range inflight {
+					if mask&(1<<uint(i)) != 0 {
+						chosen = append(chosen, s)
+					}
+				}
+				img.Apply(chosen)
+				res.CrashStates++
+				if msg := checkCrashState(img, cfg, before, after, o, e, mask); msg != "" {
+					res.Failures = append(res.Failures, fmt.Sprintf("op %d (%s): %s", k, o, msg))
+					if len(res.Failures) > 20 {
+						return res
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// enumerate yields subset bitmasks of n in-flight stores: exhaustive when
+// small, sampled otherwise. Always includes none-persisted and
+// all-persisted.
+func enumerate(n, maxSubsets int, rng *sim.Rand) []uint64 {
+	if n == 0 {
+		return []uint64{0}
+	}
+	if n <= 16 && 1<<uint(n) <= maxSubsets {
+		out := make([]uint64, 1<<uint(n))
+		for i := range out {
+			out[i] = uint64(i)
+		}
+		return out
+	}
+	out := []uint64{0, (1 << uint(n)) - 1}
+	for len(out) < maxSubsets {
+		out = append(out, rng.Uint64()&((1<<uint(n))-1))
+	}
+	return out
+}
+
+// checkCrashState recovers one crash image and validates it.
+func checkCrashState(img *pmem.Image, cfg Config, before, after State, o Op, epoch int, mask uint64) string {
+	scratch := pmem.New(cfg.DeviceSize)
+	scratch.Restore(img)
+	rctx := sim.NewCtx(2, 0)
+	rfs, err := winefs.Mount(rctx, scratch, winefs.Options{CPUs: cfg.CPUs, InodesPerCPU: 512})
+	if err != nil {
+		return fmt.Sprintf("epoch %d mask %x: mount failed: %v", epoch, mask, err)
+	}
+	if rep := winefs.Check(scratch); !rep.OK() {
+		return fmt.Sprintf("epoch %d mask %x: fsck: %s", epoch, mask, rep.Errors[0])
+	}
+	got := captureState(rctx, rfs)
+	if got != before && got != after {
+		return fmt.Sprintf("epoch %d mask %x: atomicity violated:\n got: %q\n pre: %q\npost: %q",
+			epoch, mask, got, before, after)
+	}
+	return ""
+}
+
+// GenerateSeq1 produces ACE's one-op workloads over a small file universe.
+func GenerateSeq1() []Workload {
+	setup := []Op{
+		{Kind: OpMkdir, A: "/A"},
+		{Kind: OpMkdir, A: "/B"},
+		{Kind: OpCreate, A: "/A/foo"},
+		{Kind: OpAppend, A: "/A/foo", Size: 5000},
+		{Kind: OpCreate, A: "/bar"},
+	}
+	ops := []Op{
+		{Kind: OpCreate, A: "/A/new"},
+		{Kind: OpCreate, A: "/new"},
+		{Kind: OpMkdir, A: "/A/sub"},
+		{Kind: OpUnlink, A: "/A/foo"},
+		{Kind: OpUnlink, A: "/bar"},
+		{Kind: OpRmdir, A: "/B"},
+		{Kind: OpRename, A: "/A/foo", B: "/A/foo2"},
+		{Kind: OpRename, A: "/A/foo", B: "/B/foo"},
+		{Kind: OpRename, A: "/A/foo", B: "/bar"}, // replaces target
+		{Kind: OpAppend, A: "/A/foo", Size: 3000},
+		{Kind: OpTruncate, A: "/A/foo", Size: 1000},
+		{Kind: OpTruncate, A: "/A/foo", Size: 100000},
+		{Kind: OpFalloc, A: "/bar", Size: 1 << 20},
+		{Kind: OpFsync, A: "/A/foo"},
+	}
+	var out []Workload
+	for i, o := range ops {
+		out = append(out, Workload{
+			Name:  fmt.Sprintf("seq1-%02d-%s", i, o),
+			Setup: setup,
+			Ops:   []Op{o},
+		})
+	}
+	return out
+}
+
+// GenerateSeq2 produces two-op workloads (ACE seq-2): dependent pairs that
+// historically expose reordering bugs.
+func GenerateSeq2() []Workload {
+	setup := []Op{
+		{Kind: OpMkdir, A: "/A"},
+		{Kind: OpCreate, A: "/A/foo"},
+		{Kind: OpAppend, A: "/A/foo", Size: 4096},
+	}
+	pairs := [][2]Op{
+		{{Kind: OpCreate, A: "/A/x"}, {Kind: OpRename, A: "/A/x", B: "/A/y"}},
+		{{Kind: OpCreate, A: "/A/x"}, {Kind: OpUnlink, A: "/A/x"}},
+		{{Kind: OpMkdir, A: "/D"}, {Kind: OpCreate, A: "/D/f"}},
+		{{Kind: OpMkdir, A: "/D"}, {Kind: OpRmdir, A: "/D"}},
+		{{Kind: OpUnlink, A: "/A/foo"}, {Kind: OpCreate, A: "/A/foo"}},
+		{{Kind: OpRename, A: "/A/foo", B: "/A/bar"}, {Kind: OpCreate, A: "/A/foo"}},
+		{{Kind: OpAppend, A: "/A/foo", Size: 8192}, {Kind: OpTruncate, A: "/A/foo", Size: 0}},
+		{{Kind: OpTruncate, A: "/A/foo", Size: 0}, {Kind: OpAppend, A: "/A/foo", Size: 4096}},
+		{{Kind: OpCreate, A: "/A/x"}, {Kind: OpMkdir, A: "/A/d"}},
+		{{Kind: OpRename, A: "/A/foo", B: "/g"}, {Kind: OpRename, A: "/g", B: "/A/foo"}},
+	}
+	var out []Workload
+	for i, p := range pairs {
+		out = append(out, Workload{
+			Name:  fmt.Sprintf("seq2-%02d-%s+%s", i, p[0], p[1]),
+			Setup: setup,
+			Ops:   []Op{p[0], p[1]},
+		})
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation (§5), plus the discussion-section experiments (§4).
+// Each runner builds the file systems fresh on simulated devices, ages
+// them where the paper does, drives the paper's workload, and returns the
+// series/rows the paper plots. EXPERIMENTS.md records paper-vs-measured
+// for every one of them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/fstest"
+	"repro/internal/geriatrix"
+	"repro/internal/perf"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Config sizes the experiment fleet. Quick mode shrinks everything so the
+// whole suite runs in seconds (used by tests); full mode is the default
+// for cmd/winebench and the benchmarks.
+type Config struct {
+	// DeviceSize per file-system instance.
+	DeviceSize int64
+	// CPUs per file system (per-CPU journals/pools).
+	CPUs int
+	// Quick selects reduced workload sizes.
+	Quick bool
+	// Seed fixes all random streams.
+	Seed uint64
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.DeviceSize == 0 {
+		if c.Quick {
+			c.DeviceSize = 512 << 20
+		} else {
+			c.DeviceSize = 2 << 30
+		}
+	}
+	if c.CPUs == 0 {
+		c.CPUs = 8
+	}
+	return c
+}
+
+// scale returns q in quick mode, f otherwise.
+func (c Config) scale(q, f int64) int64 {
+	if c.Quick {
+		return q
+	}
+	return f
+}
+
+// newFS builds a named file system on a fresh device.
+func (c Config) newFS(name string) (vfs.FS, *pmem.Device, *sim.Ctx, error) {
+	m, ok := fstest.ByName(name, c.CPUs)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("experiments: unknown fs %q", name)
+	}
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(c.DeviceSize)
+	fs, err := m.Make(ctx, dev)
+	return fs, dev, ctx, err
+}
+
+// age runs the Geriatrix protocol to the target utilisation (§5.1: the
+// Agrawal profile, churn measured in multiples of capacity).
+func (c Config) age(ctx *sim.Ctx, fs vfs.FS, util float64) (*geriatrix.Ager, error) {
+	churn := 2.0
+	if c.Quick {
+		churn = 0.5
+	}
+	ager := geriatrix.New(fs, geriatrix.Config{
+		TargetUtil:  util,
+		ChurnFactor: churn,
+		Seed:        c.Seed + 101,
+	})
+	_, err := ager.Run(ctx)
+	return ager, err
+}
+
+// RelaxedGroup is the metadata-consistency comparison set (§5.1).
+func RelaxedGroup() []string {
+	return []string{"ext4-DAX", "xfs-DAX", "PMFS", "NOVA-relaxed", "SplitFS", "WineFS-relaxed"}
+}
+
+// StrictGroup is the data+metadata-consistency comparison set.
+func StrictGroup() []string {
+	return []string{"NOVA", "Strata", "WineFS"}
+}
+
+// MmapGroup is the Figure 1/6(a)/7(a-c) set.
+func MmapGroup() []string {
+	return []string{"ext4-DAX", "xfs-DAX", "NOVA", "SplitFS", "PMFS", "WineFS"}
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n=== %s ===\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			w := 8
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, cell)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// SeriesTable renders a set of series (one column per series, rows by X).
+func SeriesTable(title, xLabel string, series []perf.Series, fmtY func(float64) string) *Table {
+	t := &Table{Title: title, Header: []string{xLabel}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Label)
+	}
+	// Collect the union of X values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmtY(p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// FmtGBs formats a bandwidth in GB/s.
+func FmtGBs(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// FmtOps formats an ops/s rate compactly.
+func FmtOps(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// FmtCount formats large counts compactly.
+func FmtCount(v float64) string { return FmtOps(v) }

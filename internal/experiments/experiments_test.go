@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Quick: true, CPUs: 4, Seed: 42}.Defaults()
+}
+
+func TestFig1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	unaged, aged, err := Fig1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := func(label string, agedSet bool) []float64 {
+		set := unaged
+		if agedSet {
+			set = aged
+		}
+		for _, s := range set {
+			if s.Label == label {
+				out := make([]float64, len(s.Points))
+				for i, p := range s.Points {
+					out[i] = p.Y
+				}
+				return out
+			}
+		}
+		t.Fatalf("series %s missing", label)
+		return nil
+	}
+	// Un-aged: file systems keep most of their bandwidth even at 90%.
+	// (NOVA's per-inode log blocks fragment even a cleanly filled pool, so
+	// it is allowed a deeper dip — see EXPERIMENTS.md.)
+	for _, name := range []string{"ext4-DAX", "WineFS"} {
+		u := byLabel(name, false)
+		if u[len(u)-1] < 0.7*u[0] {
+			t.Errorf("unaged %s lost bandwidth: %v", name, u)
+		}
+	}
+	if u := byLabel("NOVA", false); u[len(u)-1] < 0.5*u[0] {
+		t.Errorf("unaged NOVA collapsed: %v", u)
+	}
+	// Aged: ext4/NOVA lose ≥25% by 90%; WineFS keeps ≥80%.
+	for _, name := range []string{"ext4-DAX", "NOVA"} {
+		a := byLabel(name, true)
+		if a[len(a)-1] > 0.75*a[0] {
+			t.Errorf("aged %s did not degrade: %v", name, a)
+		}
+	}
+	w := byLabel("WineFS", true)
+	if w[len(w)-1] < 0.8*w[0] {
+		t.Errorf("aged WineFS degraded: %v", w)
+	}
+}
+
+func TestFig2Breakdown(t *testing.T) {
+	rows, err := Fig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	huge, base := rows[0], rows[1]
+	// Paper: base pages ~2× slower, two-thirds of time in fault handling.
+	slow := base.TotalUS / huge.TotalUS
+	if slow < 1.5 || slow > 4 {
+		t.Errorf("base/huge total = %.2f, want ≈2", slow)
+	}
+	if base.FaultUS < base.CopyUS {
+		t.Errorf("base: fault time (%f) should dominate copy (%f)", base.FaultUS, base.CopyUS)
+	}
+	if huge.CopyUS < huge.FaultUS {
+		t.Errorf("huge: copy time (%f) should dominate fault (%f)", huge.CopyUS, huge.FaultUS)
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	series, err := Fig3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]float64{}
+	for _, s := range series {
+		last[s.Label] = s.Points[len(s.Points)-1].Y
+	}
+	if last["WineFS"] < 60 {
+		t.Errorf("WineFS aligned free at 90%% = %.1f%%, want high", last["WineFS"])
+	}
+	if last["NOVA"] > last["WineFS"]/2 {
+		t.Errorf("NOVA should be far more fragmented: NOVA=%.1f WineFS=%.1f",
+			last["NOVA"], last["WineFS"])
+	}
+	if last["ext4-DAX"] > last["WineFS"]/2 {
+		t.Errorf("ext4 should be far more fragmented: ext4=%.1f WineFS=%.1f",
+			last["ext4-DAX"], last["WineFS"])
+	}
+}
+
+func TestFig4MedianRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	res, err := Fig4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.MedianRatio()
+	// Paper: ~10× median gap. Accept a broad band around it.
+	if ratio < 3 {
+		t.Errorf("base/huge median latency ratio = %.1f, want >> 1 (paper ~10x)", ratio)
+	}
+	if res.Huge.Count() == 0 || res.Base.Count() == 0 {
+		t.Fatal("empty histograms")
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	res, err := Fig6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aged mmap: WineFS beats NOVA and ext4-DAX on sequential writes
+	// (paper: 2.6× over NOVA).
+	wf := res.Mmap["WineFS"][0]
+	if wf <= res.Mmap["NOVA"][0] || wf <= res.Mmap["ext4-DAX"][0] {
+		t.Errorf("aged mmap seq-write: WineFS=%.2f NOVA=%.2f ext4=%.2f",
+			wf, res.Mmap["NOVA"][0], res.Mmap["ext4-DAX"][0])
+	}
+	// POSIX weak appends: WineFS-relaxed should be at least competitive
+	// with ext4-DAX (which pays for costly fsync).
+	if res.Weak["WineFS-relaxed"][0] < res.Weak["ext4-DAX"][0] {
+		t.Errorf("posix seq-write: WineFS-relaxed=%.3f < ext4=%.3f",
+			res.Weak["WineFS-relaxed"][0], res.Weak["ext4-DAX"][0])
+	}
+	// POSIX strong overwrites: WineFS > NOVA (log maintenance).
+	if res.Strong["WineFS"][1] < res.Strong["NOVA"][1] {
+		t.Errorf("posix rand-write strong: WineFS=%.3f < NOVA=%.3f",
+			res.Strong["WineFS"][1], res.Strong["NOVA"][1])
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	res, err := Fig7(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LMDB: WineFS ahead of both NOVA and ext4-DAX (paper: 2× / 54%).
+	if res.LMDB["WineFS"] <= res.LMDB["NOVA"] {
+		t.Errorf("lmdb: WineFS=%.0f <= NOVA=%.0f", res.LMDB["WineFS"], res.LMDB["NOVA"])
+	}
+	if res.LMDB["WineFS"] <= res.LMDB["ext4-DAX"] {
+		t.Errorf("lmdb: WineFS=%.0f <= ext4=%.0f", res.LMDB["WineFS"], res.LMDB["ext4-DAX"])
+	}
+	// PmemKV: WineFS ahead of ext4-DAX (paper: 70%).
+	if res.PmemKV["WineFS"] <= res.PmemKV["ext4-DAX"] {
+		t.Errorf("pmemkv: WineFS=%.0f <= ext4=%.0f", res.PmemKV["WineFS"], res.PmemKV["ext4-DAX"])
+	}
+	// Table 2: WineFS takes the fewest faults on LMDB by a wide margin.
+	wf := res.Faults["WineFS"]["lmdb-fillseqbatch"]
+	for _, other := range []string{"ext4-DAX", "xfs-DAX", "NOVA"} {
+		if of := res.Faults[other]["lmdb-fillseqbatch"]; of < wf*10 {
+			t.Errorf("faults lmdb: %s=%d vs WineFS=%d — want ≥10x", other, of, wf)
+		}
+	}
+}
+
+func TestFig8MedianOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	res, err := Fig8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := res.Hist["WineFS"].Median()
+	for _, other := range []string{"NOVA", "xfs-DAX", "ext4-DAX"} {
+		if m := res.Hist[other].Median(); m <= wf {
+			t.Errorf("P-ART median: %s=%dns <= WineFS=%dns", other, m, wf)
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	res, err := Fig9(quickCfg(), []string{"ext4-DAX", "NOVA", "WineFS", "WineFS-relaxed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// varmail: WineFS-relaxed ≥ ext4-DAX within noise (§5.5: "WineFS and
+	// NOVA-relaxed outperform ext4-DAX by up-to 5%").
+	if res.Filebench["WineFS-relaxed"]["varmail"] < 0.9*res.Filebench["ext4-DAX"]["varmail"] {
+		t.Errorf("varmail: WineFS-relaxed=%.0f < ext4=%.0f",
+			res.Filebench["WineFS-relaxed"]["varmail"], res.Filebench["ext4-DAX"]["varmail"])
+	}
+	// pgbench: WineFS ≥ NOVA (paper: +15% on overwrites).
+	if res.Pgbench["WineFS"] < res.Pgbench["NOVA"] {
+		t.Errorf("pgbench: WineFS=%.0f < NOVA=%.0f", res.Pgbench["WineFS"], res.Pgbench["NOVA"])
+	}
+	// WiredTiger fill: WineFS ≥ NOVA (paper: +60% — unaligned appends).
+	if res.WTFill["WineFS"] < res.WTFill["NOVA"] {
+		t.Errorf("wt fill: WineFS=%.0f < NOVA=%.0f", res.WTFill["WineFS"], res.WTFill["NOVA"])
+	}
+	// WiredTiger read: roughly equal across FSs (within 30%).
+	hi, lo := res.WTRead["WineFS"], res.WTRead["NOVA"]
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if lo < 0.5*hi {
+		t.Errorf("wt read should be FS-insensitive: WineFS=%.0f NOVA=%.0f",
+			res.WTRead["WineFS"], res.WTRead["NOVA"])
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	series, err := Fig10(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) []float64 {
+		for _, s := range series {
+			if s.Label == label {
+				out := make([]float64, len(s.Points))
+				for i, p := range s.Points {
+					out[i] = p.Y
+				}
+				return out
+			}
+		}
+		t.Fatalf("missing %s", label)
+		return nil
+	}
+	wf := get("WineFS")
+	ext4 := get("ext4-DAX")
+	nova := get("NOVA")
+	// WineFS scales: 16 threads ≥ 4× single thread.
+	if wf[len(wf)-1] < 4*wf[0] {
+		t.Errorf("WineFS scalability: %v", wf)
+	}
+	// ext4 scales worse than WineFS at 16 threads (relative speedup).
+	if ext4[len(ext4)-1]/ext4[0] > wf[len(wf)-1]/wf[0] {
+		t.Errorf("ext4 speedup %v should trail WineFS %v", ext4, wf)
+	}
+	// NOVA and WineFS have the best absolute throughput at 16 threads.
+	if ext4[len(ext4)-1] > wf[len(wf)-1] || ext4[len(ext4)-1] > nova[len(nova)-1] {
+		t.Errorf("ext4 should not lead at 16 threads: ext4=%v wf=%v nova=%v", ext4, wf, nova)
+	}
+}
+
+func TestRecoveryScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	pts, err := Recovery(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 || pts[2].RecoveryNS <= pts[0].RecoveryNS {
+		t.Errorf("recovery time should grow with files: %+v", pts)
+	}
+	small, large, err := RecoveryDataIndependence(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.2: depends on file count, not data volume — within 2×.
+	if large > 2*small {
+		t.Errorf("recovery depends on data volume: small=%d large=%d", small, large)
+	}
+}
+
+func TestDefragInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	res, err := Defrag(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilesRewritten != 1 {
+		t.Fatalf("rewriter processed %d files", res.FilesRewritten)
+	}
+	// Paper: 25–40% slowdown. Accept 10–70% in the scaled setting.
+	if res.SlowdownPct < 10 || res.SlowdownPct > 70 {
+		t.Errorf("defrag slowdown = %.1f%%, want 25-40%% regime (base=%.2f with=%.2f)",
+			res.SlowdownPct, res.BaselineGBs, res.WithDefragGBs)
+	}
+}
+
+func TestHPCProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	res, err := HPC(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ext4 28% vs WineFS >90% at 50% utilisation. Our scaled churn
+	// separates them less dramatically; assert the ordering and a clear gap.
+	if res.WineFS < 0.85 {
+		t.Errorf("WineFS aligned fraction = %.2f, want >0.85", res.WineFS)
+	}
+	if res.Ext4 > 0.8 || res.WineFS-res.Ext4 < 0.1 {
+		t.Errorf("ext4 should fragment clearly worse: ext4=%.2f winefs=%.2f", res.Ext4, res.WineFS)
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{
+		Title:  "test",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	var sb strings.Builder
+	tab.Print(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "333") {
+		t.Fatalf("table output: %s", out)
+	}
+}
+
+func TestNUMAHomeNodePolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	res, err := NUMA(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the policy, the thread is migrated to its home node and its
+	// writes mostly stay local (pool boundaries don't align perfectly with
+	// node boundaries, so a small remote residue remains).
+	if res.RemoteFracOn > 0.25 {
+		t.Errorf("NUMA-aware remote-write fraction = %.2f, want small", res.RemoteFracOn)
+	}
+	if res.RemoteFracOff < 0.5 {
+		t.Errorf("policy-off remote fraction = %.2f, want mostly remote (imbalanced fill)", res.RemoteFracOff)
+	}
+	if res.RemoteFracOn > res.RemoteFracOff/2 {
+		t.Errorf("policy did not reduce remote writes: on=%.2f off=%.2f",
+			res.RemoteFracOn, res.RemoteFracOff)
+	}
+	if res.WriteNSOn > res.WriteNSOff {
+		t.Errorf("NUMA awareness slowed writes: on=%d off=%d", res.WriteNSOn, res.WriteNSOff)
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+	"repro/internal/workloads"
+)
+
+// Fig10 reproduces Figure 10: throughput of the create/append-4KiB/fsync/
+// unlink microbenchmark as the thread count grows, per file system.
+// Expected shapes: WineFS and NOVA scale best (per-CPU journals / per-inode
+// logs); PMFS scales reasonably (fine-grained single journal); ext4-DAX,
+// xfs-DAX and SplitFS plateau early (stop-the-world JBD2 commit on fsync).
+func Fig10(cfg Config) ([]perf.Series, error) {
+	cfg = cfg.Defaults()
+	threads := []int{1, 2, 4, 8, 16}
+	names := []string{"ext4-DAX", "xfs-DAX", "PMFS", "NOVA", "SplitFS", "WineFS"}
+	// The machine has (at least) as many logical CPUs as the largest thread
+	// count; per-CPU designs get one journal/pool per logical CPU (§5.1).
+	machineCfg := cfg
+	if machineCfg.CPUs < 16 {
+		machineCfg.CPUs = 16
+	}
+	var out []perf.Series
+	for _, name := range names {
+		s := perf.Series{Label: name}
+		for _, th := range threads {
+			fs, _, _, err := machineCfg.newFS(name)
+			if err != nil {
+				return nil, err
+			}
+			tput, err := workloads.Scalability(fs, workloads.ScalabilityConfig{
+				Threads:      th,
+				OpsPerThread: int(cfg.scale(50, 300)),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s %d threads: %w", name, th, err)
+			}
+			s.Points = append(s.Points, perf.Point{X: float64(th), Y: tput / 1000}) // kIOPS
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package fsbase
+
+import (
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/sim"
+)
+
+// AllocSearchNS is the virtual-time cost of one allocator invocation.
+const AllocSearchNS = 300
+
+// LockedPool wraps alloc.Pool with a mutex and the allocation strategies
+// the baseline file systems combine: goal extension (contiguity first),
+// best-effort alignment, and best-fit with multi-extent fallback.
+type LockedPool struct {
+	mu     sync.Mutex
+	pool   *alloc.Pool
+	start  int64
+	total  int64
+	cursor int64 // stream-allocation hint (next-fit / aligned window base)
+}
+
+// NewLockedPool builds a pool over the free range [start, start+blocks).
+func NewLockedPool(start, blocks int64) *LockedPool {
+	p := &LockedPool{pool: alloc.NewPool(), start: start, total: blocks, cursor: start}
+	p.pool.Add(start, blocks)
+	return p
+}
+
+// Total returns the pool's capacity in blocks.
+func (p *LockedPool) Total() int64 { return p.total }
+
+// Owns reports whether blk lies in this pool's address range (multi-pool
+// file systems return frees to the owning pool).
+func (p *LockedPool) Owns(blk int64) bool {
+	return blk >= p.start && blk < p.start+p.total
+}
+
+// Free returns the current free block count.
+func (p *LockedPool) Free() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pool.FreeBlocks()
+}
+
+// Extents snapshots the free extents.
+func (p *LockedPool) Extents() []alloc.Extent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pool.Extents()
+}
+
+// Release returns extents to the pool.
+func (p *LockedPool) Release(ctx *sim.Ctx, ex []alloc.Extent) {
+	p.mu.Lock()
+	for _, e := range ex {
+		if e.Len > 0 {
+			p.pool.Add(e.Start, e.Len)
+		}
+	}
+	p.mu.Unlock()
+	if ctx != nil {
+		ctx.Advance(AllocSearchNS / 2)
+	}
+}
+
+// Strategy flags for Take.
+type Strategy struct {
+	// Goal attempts contiguity-first extension at this block (ignored when
+	// negative). Checked before anything else — the locality preference
+	// that makes ext4 "use only 3k of 12k available aligned extents".
+	Goal int64
+	// TryAligned attempts a hugepage-aligned placement after the goal but
+	// before the general search (ext4 mballoc normalisation for large
+	// requests; NOVA's exact-2MiB-multiple path).
+	TryAligned bool
+	// AlignWindow bounds the aligned search to this many blocks after the
+	// stream cursor (0 = search the whole pool). Models mballoc searching
+	// only a few block groups around the goal.
+	AlignWindow int64
+	// NextFit selects stream allocation for the general search: carve from
+	// the first adequate hole after the rotating cursor, rather than
+	// best-fit. This is how contiguity-first allocators behave under real
+	// multi-file load and is the main fragmentation driver.
+	NextFit bool
+}
+
+// Take allocates `need` blocks, possibly as multiple extents. Returns
+// nil + false when space is exhausted.
+func (p *LockedPool) Take(ctx *sim.Ctx, need int64, s Strategy) ([]alloc.Extent, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ctx.Advance(AllocSearchNS)
+	if s.Goal >= 0 && p.pool.TakeAt(s.Goal, need) {
+		p.cursor = s.Goal + need
+		return []alloc.Extent{{Start: s.Goal, Len: need}}, true
+	}
+	if s.TryAligned {
+		var e alloc.Extent
+		var ok bool
+		if s.AlignWindow > 0 {
+			lo := p.cursor
+			if lo < p.start || lo >= p.start+p.total {
+				lo = p.start
+			}
+			e, ok = p.pool.TakeAlignedInRange(lo, lo+s.AlignWindow, need)
+			if !ok && lo+s.AlignWindow > p.start+p.total {
+				// Window wrapped past the end: also search the beginning.
+				e, ok = p.pool.TakeAlignedInRange(p.start, p.start+s.AlignWindow, need)
+			}
+		} else {
+			e, ok = p.pool.TakeAligned(need)
+		}
+		if ok {
+			p.cursor = e.End()
+			return []alloc.Extent{e}, true
+		}
+	}
+	var out []alloc.Extent
+	remaining := need
+	for remaining > 0 {
+		var e alloc.Extent
+		var ok bool
+		if s.NextFit {
+			e, ok = p.pool.TakeNextFit(p.cursor, remaining)
+		} else {
+			e, ok = p.pool.TakeBestFit(remaining)
+		}
+		if ok {
+			p.cursor = e.End()
+			out = append(out, e)
+			remaining -= e.Len
+			continue
+		}
+		e, ok = p.pool.TakeLargest()
+		if !ok {
+			// Out of space: roll back.
+			for _, o := range out {
+				p.pool.Add(o.Start, o.Len)
+			}
+			return nil, false
+		}
+		p.cursor = e.End()
+		out = append(out, e)
+		remaining -= e.Len
+	}
+	return out, true
+}

@@ -1,0 +1,363 @@
+package fstest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// forAll runs fn against every file system implementation.
+func forAll(t *testing.T, fn func(t *testing.T, fs vfs.FS, ctx *sim.Ctx)) {
+	for _, m := range All(4) {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			ctx := sim.NewCtx(1, 0)
+			dev := pmem.New(256 << 20)
+			fs, err := m.Make(ctx, dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn(t, fs, ctx)
+		})
+	}
+}
+
+func TestConformanceBasicIO(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		f, err := fs.Create(ctx, "/file")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 100000)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		if n, err := f.WriteAt(ctx, data, 0); err != nil || n != len(data) {
+			t.Fatalf("write: %d %v", n, err)
+		}
+		got := make([]byte, len(data))
+		if n, err := f.ReadAt(ctx, got, 0); err != nil || n != len(data) {
+			t.Fatalf("read: %d %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+		if err := f.Fsync(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != int64(len(data)) {
+			t.Fatalf("size %d", f.Size())
+		}
+	})
+}
+
+func TestConformanceOverwriteMiddle(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		f, _ := fs.Create(ctx, "/f")
+		base := bytes.Repeat([]byte{0xAA}, 32<<10)
+		f.WriteAt(ctx, base, 0)
+		patch := bytes.Repeat([]byte{0xBB}, 3000)
+		f.WriteAt(ctx, patch, 5123)
+		want := append([]byte{}, base...)
+		copy(want[5123:], patch)
+		got := make([]byte, len(base))
+		f.ReadAt(ctx, got, 0)
+		if !bytes.Equal(got, want) {
+			t.Fatal("overwrite corrupted content")
+		}
+	})
+}
+
+func TestConformanceAppendStream(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		f, _ := fs.Create(ctx, "/log")
+		var want []byte
+		for i := 0; i < 100; i++ {
+			rec := bytes.Repeat([]byte{byte(i)}, 777)
+			if _, err := f.Append(ctx, rec); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, rec...)
+		}
+		got := make([]byte, len(want))
+		if n, _ := f.ReadAt(ctx, got, 0); n != len(want) {
+			t.Fatalf("short read %d", n)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("append stream mismatch")
+		}
+	})
+}
+
+func TestConformanceNamespace(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		if err := fs.Mkdir(ctx, "/a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Mkdir(ctx, "/a/b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Create(ctx, "/a/b/c"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rename(ctx, "/a/b/c", "/a/c2"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Stat(ctx, "/a/b/c"); err != vfs.ErrNotExist {
+			t.Fatalf("stat moved: %v", err)
+		}
+		if err := fs.Rmdir(ctx, "/a/b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Unlink(ctx, "/a/c2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rmdir(ctx, "/a"); err != nil {
+			t.Fatal(err)
+		}
+		ents, _ := fs.ReadDir(ctx, "/")
+		if len(ents) != 0 {
+			t.Fatalf("root not empty: %v", ents)
+		}
+	})
+}
+
+func TestConformanceErrors(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		if _, err := fs.Open(ctx, "/nope"); err != vfs.ErrNotExist {
+			t.Fatalf("open missing: %v", err)
+		}
+		if err := fs.Unlink(ctx, "/nope"); err != vfs.ErrNotExist {
+			t.Fatalf("unlink missing: %v", err)
+		}
+		fs.Mkdir(ctx, "/d")
+		if _, err := fs.Open(ctx, "/d"); err != vfs.ErrIsDir {
+			t.Fatalf("open dir: %v", err)
+		}
+		if err := fs.Unlink(ctx, "/d"); err != vfs.ErrIsDir {
+			t.Fatalf("unlink dir: %v", err)
+		}
+		fs.Create(ctx, "/f")
+		if err := fs.Rmdir(ctx, "/f"); err != vfs.ErrNotDir {
+			t.Fatalf("rmdir file: %v", err)
+		}
+		if _, err := fs.Create(ctx, "/f/x"); err != vfs.ErrNotDir {
+			t.Fatalf("create under file: %v", err)
+		}
+	})
+}
+
+func TestConformanceSpaceAccounting(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		st0 := fs.StatFS(ctx)
+		if st0.FreeBlocks <= 0 || st0.TotalBlocks <= 0 {
+			t.Fatalf("bad statfs: %+v", st0)
+		}
+		f, _ := fs.Create(ctx, "/big")
+		if _, err := f.WriteAt(ctx, make([]byte, 16<<20), 0); err != nil {
+			t.Fatal(err)
+		}
+		st1 := fs.StatFS(ctx)
+		if st0.FreeBlocks-st1.FreeBlocks < (16<<20)/alloc.BlockSize {
+			t.Fatalf("allocation unaccounted: %d -> %d", st0.FreeBlocks, st1.FreeBlocks)
+		}
+		if err := fs.Unlink(ctx, "/big"); err != nil {
+			t.Fatal(err)
+		}
+		st2 := fs.StatFS(ctx)
+		if st2.FreeBlocks < st1.FreeBlocks {
+			t.Fatal("unlink did not release space")
+		}
+	})
+}
+
+func TestConformanceMmapRoundTrip(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		f, _ := fs.Create(ctx, "/m")
+		if err := f.Fallocate(ctx, 0, 4<<20); err != nil {
+			t.Fatal(err)
+		}
+		m, err := f.Mmap(ctx, 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := []byte("mapped payload")
+		if err := m.Write(ctx, data, 123456); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if err := m.Read(ctx, got, 123456); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("mmap round trip failed")
+		}
+		// Visible through the syscall path too.
+		got2 := make([]byte, len(data))
+		if _, err := f.ReadAt(ctx, got2, 123456); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got2, data) {
+			t.Fatal("mmap write invisible to read()")
+		}
+	})
+}
+
+func TestConformanceTruncate(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		f, _ := fs.Create(ctx, "/t")
+		f.WriteAt(ctx, bytes.Repeat([]byte{1}, 64<<10), 0)
+		if err := f.Truncate(ctx, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != 1000 {
+			t.Fatalf("size %d", f.Size())
+		}
+		if err := f.Truncate(ctx, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 10)
+		f.ReadAt(ctx, buf, 500000)
+		for _, b := range buf {
+			if b != 0 {
+				t.Fatal("grown region not zero")
+			}
+		}
+	})
+}
+
+func TestConformanceVirtualTimeAdvances(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		t0 := ctx.Now()
+		f, _ := fs.Create(ctx, "/x")
+		f.WriteAt(ctx, make([]byte, 4096), 0)
+		f.Fsync(ctx)
+		if ctx.Now() <= t0 {
+			t.Fatal("operations consumed no virtual time")
+		}
+		if ctx.Counters.Syscalls < 3 {
+			t.Fatalf("syscalls = %d", ctx.Counters.Syscalls)
+		}
+	})
+}
+
+// TestHugepageBehaviourDiffers verifies the paper's clean-FS hugepage
+// landscape: WineFS, ext4-DAX and NOVA can map a fresh large file with
+// hugepages; xfs-DAX and PMFS cannot even when clean (footnote 1).
+func TestHugepageBehaviourDiffers(t *testing.T) {
+	expectHuge := map[string]bool{
+		"WineFS": true, "WineFS-relaxed": true, "ext4-DAX": true,
+		"NOVA": true, "NOVA-relaxed": true, "SplitFS": true,
+		"xfs-DAX": false, "PMFS": false, "Strata": false,
+	}
+	for _, m := range All(4) {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			ctx := sim.NewCtx(1, 0)
+			dev := pmem.New(256 << 20)
+			fs, err := m.Make(ctx, dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, _ := fs.Create(ctx, "/big")
+			if err := f.Fallocate(ctx, 0, 8<<20); err != nil {
+				t.Fatal(err)
+			}
+			mp, err := f.Mmap(ctx, 8<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx.Reset()
+			if err := mp.Touch(ctx, 0, 8<<20, true); err != nil {
+				t.Fatal(err)
+			}
+			gotHuge := ctx.Counters.HugeFaults > 0 && ctx.Counters.PageFaults == 0
+			if gotHuge != expectHuge[m.Name] {
+				t.Fatalf("huge=%v (hugeFaults=%d baseFaults=%d), expected huge=%v",
+					gotHuge, ctx.Counters.HugeFaults, ctx.Counters.PageFaults, expectHuge[m.Name])
+			}
+		})
+	}
+}
+
+// TestChurnConsistency drives create/write/delete churn and verifies
+// content integrity and space accounting on every FS.
+func TestChurnConsistency(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		rng := sim.NewRand(7)
+		live := map[string][]byte{}
+		for i := 0; i < 300; i++ {
+			switch {
+			case len(live) < 5 || rng.Intn(3) > 0:
+				name := fmt.Sprintf("/c%d", i)
+				size := 1 + rng.Intn(100<<10)
+				data := make([]byte, size)
+				for j := range data {
+					data[j] = byte(rng.Intn(256))
+				}
+				f, err := fs.Create(ctx, name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteAt(ctx, data, 0); err != nil {
+					t.Fatal(err)
+				}
+				live[name] = data
+			default:
+				for name := range live {
+					if err := fs.Unlink(ctx, name); err != nil {
+						t.Fatal(err)
+					}
+					delete(live, name)
+					break
+				}
+			}
+		}
+		for name, want := range live {
+			f, err := fs.Open(ctx, name)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			got := make([]byte, len(want))
+			if n, _ := f.ReadAt(ctx, got, 0); n != len(want) {
+				t.Fatalf("%s short read", name)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s content mismatch", name)
+			}
+		}
+	})
+}
+
+// TestConformanceTruncateGrowZeroes is the regression for a bug the
+// extent-map property test found: shrink-truncate to a mid-block offset,
+// then write far past EOF — the bytes between the two must read as zero,
+// not as the stale tail of the last kept block.
+func TestConformanceTruncateGrowZeroes(t *testing.T) {
+	forAll(t, func(t *testing.T, fs vfs.FS, ctx *sim.Ctx) {
+		f, _ := fs.Create(ctx, "/t")
+		if _, err := f.WriteAt(ctx, bytes.Repeat([]byte{0xAB}, 22914), 394252); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Truncate(ctx, 409482); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(ctx, bytes.Repeat([]byte{0xCD}, 1000), 900000); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		if _, err := f.ReadAt(ctx, buf, 409482-10); err != nil {
+			t.Fatal(err)
+		}
+		for i := 10; i < len(buf); i++ {
+			if buf[i] != 0 {
+				t.Fatalf("stale byte %x at EOF+%d after truncate+grow", buf[i], i-10)
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+// Package fstest provides a conformance suite run against every file
+// system in the repository through the vfs.FS interface, plus helpers the
+// experiments reuse to construct any FS by name.
+package fstest
+
+import (
+	"repro/internal/ext4dax"
+	"repro/internal/nova"
+	"repro/internal/pmem"
+	"repro/internal/pmfs"
+	"repro/internal/sim"
+	"repro/internal/splitfs"
+	"repro/internal/strata"
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+	"repro/internal/xfsdax"
+)
+
+// Maker constructs a freshly formatted file system on dev.
+type Maker struct {
+	Name string
+	Make func(ctx *sim.Ctx, dev *pmem.Device) (vfs.FS, error)
+}
+
+// All returns makers for every file system, with `cpus` per-CPU structures
+// where the design has them.
+func All(cpus int) []Maker {
+	return []Maker{
+		{"WineFS", func(ctx *sim.Ctx, dev *pmem.Device) (vfs.FS, error) {
+			return winefs.Mkfs(ctx, dev, winefs.Options{CPUs: cpus, Mode: vfs.Strict})
+		}},
+		{"WineFS-relaxed", func(ctx *sim.Ctx, dev *pmem.Device) (vfs.FS, error) {
+			return winefs.Mkfs(ctx, dev, winefs.Options{CPUs: cpus, Mode: vfs.Relaxed})
+		}},
+		{"ext4-DAX", func(ctx *sim.Ctx, dev *pmem.Device) (vfs.FS, error) {
+			return ext4dax.New(dev), nil
+		}},
+		{"xfs-DAX", func(ctx *sim.Ctx, dev *pmem.Device) (vfs.FS, error) {
+			return xfsdax.New(dev), nil
+		}},
+		{"PMFS", func(ctx *sim.Ctx, dev *pmem.Device) (vfs.FS, error) {
+			return pmfs.New(dev), nil
+		}},
+		{"NOVA", func(ctx *sim.Ctx, dev *pmem.Device) (vfs.FS, error) {
+			return nova.New(dev, nova.Options{CPUs: cpus}), nil
+		}},
+		{"NOVA-relaxed", func(ctx *sim.Ctx, dev *pmem.Device) (vfs.FS, error) {
+			return nova.New(dev, nova.Options{CPUs: cpus, Relaxed: true}), nil
+		}},
+		{"SplitFS", func(ctx *sim.Ctx, dev *pmem.Device) (vfs.FS, error) {
+			return splitfs.New(dev), nil
+		}},
+		{"Strata", func(ctx *sim.Ctx, dev *pmem.Device) (vfs.FS, error) {
+			return strata.New(dev), nil
+		}},
+	}
+}
+
+// ByName returns the maker with the given name, or false.
+func ByName(name string, cpus int) (Maker, bool) {
+	for _, m := range All(cpus) {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Maker{}, false
+}

@@ -1,0 +1,101 @@
+package mmu
+
+import "sync"
+
+// assoc is a set-associative LRU array used for both the TLB and the
+// last-level cache simulation. Each set keeps its keys in MRU-first order.
+// It is safe for concurrent use; the lock is per-structure, which is
+// adequate for the access rates of the experiments.
+type assoc struct {
+	mu   sync.Mutex
+	ways int
+	mask uint64
+	sets [][]uint64
+}
+
+// newAssoc builds an array with the given total entry count and way count.
+// The set count is rounded down to a power of two (minimum 1).
+func newAssoc(entries, ways int) *assoc {
+	if ways <= 0 {
+		ways = 1
+	}
+	if entries < ways {
+		entries = ways
+	}
+	nsets := 1
+	for nsets*2 <= entries/ways {
+		nsets *= 2
+	}
+	a := &assoc{ways: ways, mask: uint64(nsets - 1)}
+	a.sets = make([][]uint64, nsets)
+	for i := range a.sets {
+		a.sets[i] = make([]uint64, 0, ways)
+	}
+	return a
+}
+
+// mix hashes the key to spread sequential keys across sets while staying
+// deterministic.
+func mix(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	return key
+}
+
+// touch looks key up, promoting it to MRU on hit and inserting it (evicting
+// the LRU way if needed) on miss. Returns whether the access hit.
+func (a *assoc) touch(key uint64) bool {
+	set := &a.sets[mix(key)&a.mask]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := *set
+	for i, k := range s {
+		if k == key {
+			// Move to front (MRU).
+			copy(s[1:i+1], s[:i])
+			s[0] = key
+			return true
+		}
+	}
+	if len(s) < a.ways {
+		s = append(s, 0)
+	}
+	copy(s[1:], s[:len(s)-1])
+	s[0] = key
+	*set = s
+	return false
+}
+
+// contains reports whether key is present without changing LRU state.
+func (a *assoc) contains(key uint64) bool {
+	set := a.sets[mix(key)&a.mask]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, k := range set {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// flushAll empties the array (e.g. TLB shootdown on munmap).
+func (a *assoc) flushAll() {
+	a.mu.Lock()
+	for i := range a.sets {
+		a.sets[i] = a.sets[i][:0]
+	}
+	a.mu.Unlock()
+}
+
+// size returns the number of resident entries.
+func (a *assoc) size() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, s := range a.sets {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,235 @@
+// Package perf holds the performance-event accounting used by every
+// experiment: hardware-style counters (page faults, TLB misses, LLC misses,
+// persistent-memory traffic) and latency histograms for CDF figures.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counters accumulates performance events for one simulated thread. Fields
+// are plain int64s — a Counters value belongs to a single simulated thread
+// and is never written concurrently. Aggregate across threads with Add.
+type Counters struct {
+	// Memory-mapped access events.
+	PageFaults     int64 // faults taken on 4KiB base pages
+	HugeFaults     int64 // faults taken on 2MiB hugepages
+	SoftFaults     int64 // faults that only installed a PTE (no allocation)
+	TLBMisses      int64
+	TLBHits        int64
+	LLCMisses      int64
+	LLCHits        int64
+	PageWalkNS     int64 // time spent walking page tables
+	FaultNS        int64 // time spent in the fault handler
+	CopyNS         int64 // time spent moving user data to/from PM
+	ZeroNS         int64 // time spent zero-filling newly allocated pages
+	PMReadBytes    int64
+	PMWriteBytes   int64
+	JournalBytes   int64 // bytes written to any journal/log
+	JournalCommits int64
+	LockWaitNS     int64 // virtual time lost waiting on shared resources
+	Syscalls       int64
+	KernelNS       int64 // time attributed to in-kernel (FS) work
+	AllocSplits    int64 // aligned extents broken up to serve small requests
+	AllocSteals    int64 // allocations served from a remote CPU's pool
+	CoWCopies      int64 // copy-on-write block copies
+	GCWork         int64 // log-cleaning/garbage-collection block moves
+	Rewrites       int64 // files reactively rewritten for alignment
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Add accumulates o into c. Used to merge per-thread counters after a
+// multi-threaded run.
+func (c *Counters) Add(o *Counters) {
+	c.PageFaults += o.PageFaults
+	c.HugeFaults += o.HugeFaults
+	c.SoftFaults += o.SoftFaults
+	c.TLBMisses += o.TLBMisses
+	c.TLBHits += o.TLBHits
+	c.LLCMisses += o.LLCMisses
+	c.LLCHits += o.LLCHits
+	c.PageWalkNS += o.PageWalkNS
+	c.FaultNS += o.FaultNS
+	c.CopyNS += o.CopyNS
+	c.ZeroNS += o.ZeroNS
+	c.PMReadBytes += o.PMReadBytes
+	c.PMWriteBytes += o.PMWriteBytes
+	c.JournalBytes += o.JournalBytes
+	c.JournalCommits += o.JournalCommits
+	c.LockWaitNS += o.LockWaitNS
+	c.Syscalls += o.Syscalls
+	c.KernelNS += o.KernelNS
+	c.AllocSplits += o.AllocSplits
+	c.AllocSteals += o.AllocSteals
+	c.CoWCopies += o.CoWCopies
+	c.GCWork += o.GCWork
+	c.Rewrites += o.Rewrites
+}
+
+// TotalFaults is the count of all hard page faults, base and huge.
+func (c *Counters) TotalFaults() int64 { return c.PageFaults + c.HugeFaults }
+
+// String renders the most commonly inspected counters on one line.
+func (c *Counters) String() string {
+	return fmt.Sprintf("faults=%d(huge=%d) tlbMiss=%d llcMiss=%d pmW=%dB pmR=%dB jnl=%dB",
+		c.PageFaults, c.HugeFaults, c.TLBMisses, c.LLCMisses,
+		c.PMWriteBytes, c.PMReadBytes, c.JournalBytes)
+}
+
+// Histogram is a log-bucketed latency histogram supporting the quantile
+// queries the paper's CDF figures need (Figures 4 and 8). Buckets grow
+// geometrically from 1ns so that relative error stays bounded (~4%) from
+// nanoseconds to seconds while memory stays constant.
+type Histogram struct {
+	buckets [bucketCount]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+const (
+	bucketsPerOctave = 16
+	octaves          = 40 // covers 1ns .. ~1100s
+	bucketCount      = bucketsPerOctave * octaves
+)
+
+func bucketIndex(v int64) int {
+	if v < 1 {
+		v = 1
+	}
+	f := math.Log2(float64(v))
+	i := int(f * bucketsPerOctave)
+	if i >= bucketCount {
+		i = bucketCount - 1
+	}
+	return i
+}
+
+// bucketValue returns a representative latency (geometric midpoint) for a
+// bucket index.
+func bucketValue(i int) int64 {
+	return int64(math.Exp2((float64(i) + 0.5) / bucketsPerOctave))
+}
+
+// Record adds one sample with the given latency in nanoseconds.
+func (h *Histogram) Record(ns int64) {
+	h.buckets[bucketIndex(ns)]++
+	h.count++
+	h.sum += ns
+	if h.count == 1 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the arithmetic mean of samples, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest recorded sample.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns the latency at quantile q in [0, 1].
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(q * float64(h.count))
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > target {
+			return bucketValue(i)
+		}
+	}
+	return h.max
+}
+
+// Median is Quantile(0.5).
+func (h *Histogram) Median() int64 { return h.Quantile(0.5) }
+
+// Merge accumulates o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// CDF returns (latency, cumulative fraction) points suitable for plotting,
+// one per non-empty bucket.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.count == 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var seen int64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		seen += n
+		pts = append(pts, CDFPoint{
+			LatencyNS: bucketValue(i),
+			Fraction:  float64(seen) / float64(h.count),
+		})
+	}
+	return pts
+}
+
+// CDFPoint is one point of a cumulative latency distribution.
+type CDFPoint struct {
+	LatencyNS int64
+	Fraction  float64
+}
+
+// Series is a labelled sequence of (x, y) points — the common currency the
+// experiment runners hand to the table printer.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one (x, y) sample of an experiment series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// SortByX orders the series' points by ascending X.
+func (s *Series) SortByX() {
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}

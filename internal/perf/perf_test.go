@@ -1,0 +1,128 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersAddReset(t *testing.T) {
+	a := &Counters{PageFaults: 3, TLBMisses: 7, PMWriteBytes: 100, LockWaitNS: 5}
+	b := &Counters{PageFaults: 2, HugeFaults: 1, LLCMisses: 4}
+	a.Add(b)
+	if a.PageFaults != 5 || a.HugeFaults != 1 || a.TLBMisses != 7 || a.LLCMisses != 4 {
+		t.Fatalf("add: %+v", a)
+	}
+	if a.TotalFaults() != 6 {
+		t.Fatalf("total faults = %d", a.TotalFaults())
+	}
+	if a.String() == "" {
+		t.Fatal("empty String()")
+	}
+	a.Reset()
+	if a.PageFaults != 0 || a.PMWriteBytes != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	if h.Median() != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 1000 || h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	med := h.Median()
+	if med < 400 || med > 600 {
+		t.Fatalf("median = %d, want ≈500", med)
+	}
+	if m := h.Mean(); m < 450 || m > 550 {
+		t.Fatalf("mean = %f", m)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900 || p99 > 1100 {
+		t.Fatalf("p99 = %d", p99)
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 1000 {
+		t.Fatal("extreme quantiles")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for i := 0; i < 100; i++ {
+		a.Record(10)
+		b.Record(1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if a.Min() != 10 || a.Max() != 1000 {
+		t.Fatalf("merged range [%d,%d]", a.Min(), a.Max())
+	}
+	// Median of a 50/50 mix sits at one of the two modes.
+	med := a.Median()
+	if med > 12 && (med < 950 || med > 1050) {
+		t.Fatalf("merged median = %d", med)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Record(100)
+	}
+	for i := 0; i < 90; i++ {
+		h.Record(10000)
+	}
+	cdf := h.CDF()
+	if len(cdf) < 2 {
+		t.Fatalf("cdf points = %d", len(cdf))
+	}
+	if cdf[len(cdf)-1].Fraction != 1.0 {
+		t.Fatalf("cdf does not end at 1: %f", cdf[len(cdf)-1].Fraction)
+	}
+	// The first mode holds 10% of mass.
+	if cdf[0].Fraction < 0.09 || cdf[0].Fraction > 0.11 {
+		t.Fatalf("first fraction = %f", cdf[0].Fraction)
+	}
+}
+
+// TestHistogramQuantileProperty: quantiles are monotone and bounded by the
+// recorded range (within bucket resolution).
+func TestHistogramQuantileProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := &Histogram{}
+		for _, s := range samples {
+			h.Record(int64(s%1000000) + 1)
+		}
+		prev := int64(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		// Bucketed values carry ≤ ~5% relative error.
+		return float64(h.Quantile(0.999)) <= float64(h.Max())*1.05+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesSort(t *testing.T) {
+	s := Series{Label: "x", Points: []Point{{3, 1}, {1, 2}, {2, 3}}}
+	s.SortByX()
+	if s.Points[0].X != 1 || s.Points[2].X != 3 {
+		t.Fatalf("sorted: %+v", s.Points)
+	}
+}

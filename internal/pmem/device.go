@@ -1,0 +1,520 @@
+// Package pmem simulates a byte-addressable persistent-memory device.
+//
+// The device stands in for the Intel Optane DC PMM the paper evaluates on
+// (repro note: we have no PM hardware and user space cannot control DAX
+// hugepage mappings, so the device — like the MMU above it — is simulated).
+// It provides:
+//
+//   - a sparse, lazily allocated backing store (2MiB host chunks) so
+//     multi-GiB simulated partitions don't consume multi-GiB of host RAM;
+//   - virtual-time cost accounting for loads, stores, flushes and fences,
+//     with a shared bandwidth resource per NUMA node;
+//   - an optional store trace with fence epochs, which the crash-consistency
+//     harness uses to build crash states from real in-flight reorderings.
+package pmem
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+const (
+	// ChunkSize is the granularity of lazy host allocation.
+	ChunkSize = 2 << 20
+	// CacheLine is the persistence granularity (clwb unit).
+	CacheLine = 64
+)
+
+// Device is a simulated persistent-memory module set. It is safe for
+// concurrent use.
+type Device struct {
+	size  int64
+	nodes int
+	cpus  int
+	model CostModel
+
+	mu     sync.RWMutex
+	chunks map[int64][]byte
+
+	// port is the per-NUMA-node device port: reads and writes share one
+	// calendar (mixed read/write traffic interferes on Optane, which is
+	// what makes background defragmentation steal 25-40%% of foreground
+	// bandwidth in §4's experiment).
+	port        []*sim.Resource
+	readNSPerB  float64
+	writeNSPerB float64
+
+	traceMu sync.Mutex
+	tracing bool
+	epoch   int
+	trace   []Store
+}
+
+// Config controls device construction.
+type Config struct {
+	// Size is the device capacity in bytes. Rounded up to a chunk multiple.
+	Size int64
+	// Nodes is the number of NUMA nodes (default 1).
+	Nodes int
+	// CPUs is the number of logical CPUs that address the device; used to
+	// map a Ctx's CPU to a NUMA node (default 8).
+	CPUs int
+	// Model overrides the cost model; zero value means DefaultModel.
+	Model *CostModel
+}
+
+// New creates a device of the given size with the default model and a
+// single NUMA node.
+func New(size int64) *Device {
+	return NewWithConfig(Config{Size: size})
+}
+
+// NewWithConfig creates a device from cfg.
+func NewWithConfig(cfg Config) *Device {
+	if cfg.Size <= 0 {
+		panic("pmem: non-positive device size")
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 8
+	}
+	m := DefaultModel()
+	if cfg.Model != nil {
+		m = *cfg.Model
+	}
+	size := (cfg.Size + ChunkSize - 1) / ChunkSize * ChunkSize
+	d := &Device{
+		size:   size,
+		nodes:  cfg.Nodes,
+		cpus:   cfg.CPUs,
+		model:  m,
+		chunks: make(map[int64][]byte),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		d.port = append(d.port, &sim.Resource{})
+	}
+	if m.ReadBandwidth > 0 {
+		d.readNSPerB = 1e9 / (m.ReadBandwidth / float64(cfg.Nodes))
+	}
+	if m.WriteBandwidth > 0 {
+		d.writeNSPerB = 1e9 / (m.WriteBandwidth / float64(cfg.Nodes))
+	}
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return d.size }
+
+// Nodes returns the NUMA node count.
+func (d *Device) Nodes() int { return d.nodes }
+
+// Model returns the device's cost model.
+func (d *Device) Model() *CostModel { return &d.model }
+
+// NodeOf returns the NUMA node holding byte offset off: the address space
+// is striped across nodes in equal contiguous halves, as with interleaved
+// namespaces per socket.
+func (d *Device) NodeOf(off int64) int {
+	if d.nodes == 1 {
+		return 0
+	}
+	n := int(off / (d.size / int64(d.nodes)))
+	if n >= d.nodes {
+		n = d.nodes - 1
+	}
+	return n
+}
+
+// NodeOfCPU maps a logical CPU to its NUMA node.
+func (d *Device) NodeOfCPU(cpu int) int {
+	if d.nodes == 1 {
+		return 0
+	}
+	per := d.cpus / d.nodes
+	if per == 0 {
+		per = 1
+	}
+	n := cpu / per
+	if n >= d.nodes {
+		n = d.nodes - 1
+	}
+	return n
+}
+
+func (d *Device) checkRange(off, n int64) {
+	if off < 0 || n < 0 || off+n > d.size {
+		panic(fmt.Sprintf("pmem: access [%d,%d) outside device of size %d", off, off+n, d.size))
+	}
+}
+
+// chunk returns the host slice backing the chunk containing off, allocating
+// it if needed (when alloc is true).
+func (d *Device) chunk(base int64, alloc bool) []byte {
+	d.mu.RLock()
+	c := d.chunks[base]
+	d.mu.RUnlock()
+	if c != nil || !alloc {
+		return c
+	}
+	d.mu.Lock()
+	c = d.chunks[base]
+	if c == nil {
+		c = make([]byte, ChunkSize)
+		d.chunks[base] = c
+	}
+	d.mu.Unlock()
+	return c
+}
+
+// ReadAt copies device bytes at off into buf without charging virtual time.
+// Unbacked (never-written) regions read as zero.
+func (d *Device) ReadAt(buf []byte, off int64) {
+	d.checkRange(off, int64(len(buf)))
+	for len(buf) > 0 {
+		base := off / ChunkSize * ChunkSize
+		in := off - base
+		n := int64(len(buf))
+		if in+n > ChunkSize {
+			n = ChunkSize - in
+		}
+		if c := d.chunk(base, false); c != nil {
+			copy(buf[:n], c[in:in+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// WriteAt stores data at off without charging virtual time, recording the
+// store in the crash trace when tracing is enabled.
+func (d *Device) WriteAt(data []byte, off int64) {
+	d.checkRange(off, int64(len(data)))
+	d.record(off, data)
+	rest := data
+	pos := off
+	for len(rest) > 0 {
+		base := pos / ChunkSize * ChunkSize
+		in := pos - base
+		n := int64(len(rest))
+		if in+n > ChunkSize {
+			n = ChunkSize - in
+		}
+		c := d.chunk(base, true)
+		copy(c[in:in+n], rest[:n])
+		rest = rest[n:]
+		pos += n
+	}
+}
+
+// ZeroRange zero-fills [off, off+n) without charging virtual time.
+func (d *Device) ZeroRange(off, n int64) {
+	d.checkRange(off, n)
+	if d.isTracing() {
+		d.record(off, make([]byte, n))
+	}
+	for n > 0 {
+		base := off / ChunkSize * ChunkSize
+		in := off - base
+		m := n
+		if in+m > ChunkSize {
+			m = ChunkSize - in
+		}
+		if in == 0 && m == ChunkSize {
+			// Whole chunk: drop the backing store, reads return zero.
+			d.mu.Lock()
+			delete(d.chunks, base)
+			d.mu.Unlock()
+		} else if c := d.chunk(base, false); c != nil {
+			z := c[in : in+m]
+			for i := range z {
+				z[i] = 0
+			}
+		}
+		off += m
+		n -= m
+	}
+}
+
+// DiscardRange tells the device the contents of [off, off+n) no longer
+// matter (the blocks were freed). Fully covered chunks release host memory.
+// Contents of a discarded range are undefined (currently read back zero for
+// dropped chunks, unchanged otherwise), matching freed-block semantics.
+func (d *Device) DiscardRange(off, n int64) {
+	d.checkRange(off, n)
+	first := (off + ChunkSize - 1) / ChunkSize * ChunkSize
+	last := (off + n) / ChunkSize * ChunkSize
+	if first >= last {
+		return
+	}
+	d.mu.Lock()
+	for base := first; base < last; base += ChunkSize {
+		delete(d.chunks, base)
+	}
+	d.mu.Unlock()
+}
+
+// HostBytes reports how much host memory currently backs the device.
+func (d *Device) HostBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(len(d.chunks)) * ChunkSize
+}
+
+// --- cost-charging accessors -------------------------------------------
+
+func (d *Device) remote(ctx *sim.Ctx, off int64) bool {
+	return d.nodes > 1 && d.NodeOf(off) != d.NodeOfCPU(ctx.CPU)
+}
+
+func (d *Device) scale(ctx *sim.Ctx, off int64, ns int64) int64 {
+	if d.remote(ctx, off) {
+		return int64(float64(ns) * d.model.RemoteFactor)
+	}
+	return ns
+}
+
+// Read copies device bytes into buf, charging read latency/bandwidth.
+func (d *Device) Read(ctx *sim.Ctx, buf []byte, off int64) {
+	d.ReadAt(buf, off)
+	d.chargeRead(ctx, off, int64(len(buf)))
+}
+
+// Write stores data, charging write latency/bandwidth. The store is NOT
+// yet durable; durability requires Flush + Fence (FS code models clwb/sfence
+// explicitly).
+func (d *Device) Write(ctx *sim.Ctx, data []byte, off int64) {
+	d.WriteAt(data, off)
+	d.chargeWrite(ctx, off, int64(len(data)))
+}
+
+// Zero zero-fills a range, charging streaming-store cost. Used for page
+// zeroing in fault handlers and fallocate paths; time lands in ZeroNS.
+func (d *Device) Zero(ctx *sim.Ctx, off, n int64) {
+	d.ZeroRange(off, n)
+	ns := d.scale(ctx, off, int64(float64(n)*d.model.ZeroNSPerByte))
+	ctx.Advance(ns)
+	ctx.Counters.ZeroNS += ns
+	ctx.Counters.PMWriteBytes += n
+	d.TransferWrite(ctx, off, n)
+}
+
+func (d *Device) chargeRead(ctx *sim.Ctx, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	ctx.Counters.PMReadBytes += n
+	if n <= 4*CacheLine {
+		lines := (n + CacheLine - 1) / CacheLine
+		ctx.Advance(d.scale(ctx, off, d.model.ReadLat64+(lines-1)*d.model.ReadLat64/4))
+		return
+	}
+	local := d.model.ReadLat64 + int64(float64(n)*d.model.CopyReadNSPerByte)
+	ns := d.scale(ctx, off, local)
+	ctx.Advance(ns)
+	ctx.Counters.CopyNS += ns
+	d.TransferRead(ctx, off, n)
+}
+
+func (d *Device) chargeWrite(ctx *sim.Ctx, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	ctx.Counters.PMWriteBytes += n
+	if n <= 4*CacheLine {
+		lines := (n + CacheLine - 1) / CacheLine
+		ctx.Advance(d.scale(ctx, off, d.model.WriteLat64+(lines-1)*d.model.WriteLat64/4))
+		return
+	}
+	local := d.model.WriteLat64 + int64(float64(n)*d.model.CopyWriteNSPerByte)
+	ns := d.scale(ctx, off, local)
+	ctx.Advance(ns)
+	ctx.Counters.CopyNS += ns
+	d.TransferWrite(ctx, off, n)
+}
+
+// transferQuantumNS bounds a single port occupation: the memory bus
+// interleaves concurrent transfers at cache-line granularity, so a bulk
+// transfer must not monopolise a contiguous calendar interval (that would
+// penalise large transfers with spurious queueing).
+const transferQuantumNS = 700
+
+func (d *Device) transfer(ctx *sim.Ctx, off int64, hold int64) {
+	if hold < 1 {
+		hold = 1
+	}
+	port := d.port[d.NodeOf(off)]
+	for hold > 0 {
+		q := hold
+		if q > transferQuantumNS {
+			q = transferQuantumNS
+		}
+		port.Use(ctx, q)
+		hold -= q
+	}
+}
+
+// TransferRead occupies the device port for an n-byte read at off without
+// moving data — used by the MMU's mmap paths, which do their own byte
+// movement.
+func (d *Device) TransferRead(ctx *sim.Ctx, off, n int64) {
+	if n <= 0 || d.readNSPerB == 0 {
+		return
+	}
+	d.transfer(ctx, off, int64(float64(n)*d.readNSPerB))
+}
+
+// TransferWrite occupies the device port for an n-byte write at off.
+func (d *Device) TransferWrite(ctx *sim.Ctx, off, n int64) {
+	if n <= 0 || d.writeNSPerB == 0 {
+		return
+	}
+	d.transfer(ctx, off, int64(float64(n)*d.writeNSPerB))
+}
+
+// Flush models clwb over the cache lines covering [off, off+n).
+func (d *Device) Flush(ctx *sim.Ctx, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	lines := (off+n+CacheLine-1)/CacheLine - off/CacheLine
+	// clwb issues overlap; charge full latency for the first line and a
+	// pipelined fraction for the rest.
+	ctx.Advance(d.model.FlushLat + (lines-1)*d.model.FlushLat/8)
+}
+
+// Fence models sfence and advances the crash-trace epoch: stores recorded
+// before the fence can no longer reorder with stores after it.
+func (d *Device) Fence(ctx *sim.Ctx) {
+	ctx.Advance(d.model.FenceLat)
+	d.traceMu.Lock()
+	if d.tracing {
+		d.epoch++
+	}
+	d.traceMu.Unlock()
+}
+
+// --- crash tracing -------------------------------------------------------
+
+// Store is one recorded device store, tagged with the fence epoch it was
+// issued in. Stores sharing an epoch were in flight together and may
+// persist in any subset/order at a crash.
+type Store struct {
+	Off   int64
+	Data  []byte
+	Epoch int
+}
+
+// StartTrace begins recording stores. The caller should snapshot the device
+// first if it wants to reconstruct crash states.
+func (d *Device) StartTrace() {
+	d.traceMu.Lock()
+	d.tracing = true
+	d.epoch = 0
+	d.trace = nil
+	d.traceMu.Unlock()
+}
+
+// StopTrace ends recording and returns the trace.
+func (d *Device) StopTrace() []Store {
+	d.traceMu.Lock()
+	t := d.trace
+	d.tracing = false
+	d.trace = nil
+	d.traceMu.Unlock()
+	return t
+}
+
+func (d *Device) isTracing() bool {
+	d.traceMu.Lock()
+	t := d.tracing
+	d.traceMu.Unlock()
+	return t
+}
+
+func (d *Device) record(off int64, data []byte) {
+	d.traceMu.Lock()
+	if d.tracing {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		d.trace = append(d.trace, Store{Off: off, Data: cp, Epoch: d.epoch})
+	}
+	d.traceMu.Unlock()
+}
+
+// Snapshot captures the device's current contents. Intended for the small
+// devices used in crash tests.
+func (d *Device) Snapshot() *Image {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	img := &Image{size: d.size, chunks: make(map[int64][]byte, len(d.chunks))}
+	for base, c := range d.chunks {
+		cp := make([]byte, ChunkSize)
+		copy(cp, c)
+		img.chunks[base] = cp
+	}
+	return img
+}
+
+// Restore overwrites the device's contents from a snapshot.
+func (d *Device) Restore(img *Image) {
+	if img.size != d.size {
+		panic("pmem: restoring snapshot of different size")
+	}
+	d.mu.Lock()
+	d.chunks = make(map[int64][]byte, len(img.chunks))
+	for base, c := range img.chunks {
+		cp := make([]byte, ChunkSize)
+		copy(cp, c)
+		d.chunks[base] = cp
+	}
+	d.mu.Unlock()
+}
+
+// Image is a point-in-time copy of device contents.
+type Image struct {
+	size   int64
+	chunks map[int64][]byte
+}
+
+// Apply replays the given stores onto the image in order.
+func (img *Image) Apply(stores []Store) {
+	for _, s := range stores {
+		rest := s.Data
+		pos := s.Off
+		for len(rest) > 0 {
+			base := pos / ChunkSize * ChunkSize
+			in := pos - base
+			n := int64(len(rest))
+			if in+n > ChunkSize {
+				n = ChunkSize - in
+			}
+			c := img.chunks[base]
+			if c == nil {
+				c = make([]byte, ChunkSize)
+				img.chunks[base] = c
+			}
+			copy(c[in:in+n], rest[:n])
+			rest = rest[n:]
+			pos += n
+		}
+	}
+}
+
+// Clone returns a deep copy of the image.
+func (img *Image) Clone() *Image {
+	cp := &Image{size: img.size, chunks: make(map[int64][]byte, len(img.chunks))}
+	for base, c := range img.chunks {
+		b := make([]byte, ChunkSize)
+		copy(b, c)
+		cp.chunks[base] = b
+	}
+	return cp
+}

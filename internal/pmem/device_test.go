@@ -1,0 +1,211 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := New(16 << 20)
+	data := []byte("hello persistent world")
+	d.WriteAt(data, 12345)
+	got := make([]byte, len(data))
+	d.ReadAt(got, 12345)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip: got %q", got)
+	}
+}
+
+func TestUnbackedReadsZero(t *testing.T) {
+	d := New(16 << 20)
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	d.ReadAt(buf, 4<<20)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("unbacked byte %d = %x", i, b)
+		}
+	}
+}
+
+func TestCrossChunkWrite(t *testing.T) {
+	d := New(16 << 20)
+	data := make([]byte, 3*ChunkSize/2)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	off := int64(ChunkSize - 1000) // straddles a chunk boundary
+	d.WriteAt(data, off)
+	got := make([]byte, len(data))
+	d.ReadAt(got, off)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-chunk write corrupted data")
+	}
+}
+
+func TestZeroRangeAndDiscard(t *testing.T) {
+	d := New(16 << 20)
+	data := make([]byte, ChunkSize*2)
+	for i := range data {
+		data[i] = 0xab
+	}
+	d.WriteAt(data, 0)
+	d.ZeroRange(100, 50)
+	got := make([]byte, 200)
+	d.ReadAt(got, 0)
+	for i := 0; i < 100; i++ {
+		if got[i] != 0xab {
+			t.Fatalf("byte %d clobbered", i)
+		}
+	}
+	for i := 100; i < 150; i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d not zeroed", i)
+		}
+	}
+	before := d.HostBytes()
+	d.DiscardRange(0, ChunkSize)
+	if d.HostBytes() >= before {
+		t.Fatal("discard did not release host memory")
+	}
+}
+
+func TestCostCharging(t *testing.T) {
+	d := New(16 << 20)
+	ctx := sim.NewCtx(1, 0)
+	small := make([]byte, 64)
+	d.Write(ctx, small, 0)
+	if ctx.Now() < d.Model().WriteLat64 {
+		t.Fatalf("small write cost %d < latency %d", ctx.Now(), d.Model().WriteLat64)
+	}
+	if ctx.Counters.PMWriteBytes != 64 {
+		t.Fatalf("PMWriteBytes = %d", ctx.Counters.PMWriteBytes)
+	}
+	t0 := ctx.Now()
+	big := make([]byte, 1<<20)
+	d.Write(ctx, big, 0)
+	perByte := float64(ctx.Now()-t0) / float64(1<<20)
+	if perByte < d.Model().CopyWriteNSPerByte {
+		t.Fatalf("bulk write cost %f ns/B below copy cost", perByte)
+	}
+	// Reads should be cheaper per byte than writes (higher bandwidth).
+	r0 := ctx.Now()
+	d.Read(ctx, big, 0)
+	readPerByte := float64(ctx.Now()-r0) / float64(1<<20)
+	if readPerByte >= perByte {
+		t.Fatalf("read %f ns/B not cheaper than write %f ns/B", readPerByte, perByte)
+	}
+}
+
+func TestFlushFenceCosts(t *testing.T) {
+	d := New(16 << 20)
+	ctx := sim.NewCtx(1, 0)
+	d.Flush(ctx, 0, 64)
+	if ctx.Now() != d.Model().FlushLat {
+		t.Fatalf("single-line flush = %d, want %d", ctx.Now(), d.Model().FlushLat)
+	}
+	before := ctx.Now()
+	d.Fence(ctx)
+	if ctx.Now()-before != d.Model().FenceLat {
+		t.Fatal("fence cost wrong")
+	}
+}
+
+func TestNUMAMapping(t *testing.T) {
+	d := NewWithConfig(Config{Size: 64 << 20, Nodes: 2, CPUs: 8})
+	if d.NodeOf(0) != 0 || d.NodeOf(d.Size()-1) != 1 {
+		t.Fatal("NodeOf striping wrong")
+	}
+	if d.NodeOfCPU(0) != 0 || d.NodeOfCPU(7) != 1 {
+		t.Fatal("NodeOfCPU mapping wrong")
+	}
+	// Remote access should cost more than local.
+	local := sim.NewCtx(1, 0)
+	remote := sim.NewCtx(2, 7)
+	buf := make([]byte, 64)
+	d.Read(local, buf, 0)
+	d.Read(remote, buf, 0)
+	if remote.Now() <= local.Now() {
+		t.Fatalf("remote read %d not slower than local %d", remote.Now(), local.Now())
+	}
+}
+
+func TestTraceEpochs(t *testing.T) {
+	d := New(16 << 20)
+	ctx := sim.NewCtx(1, 0)
+	d.StartTrace()
+	d.WriteAt([]byte{1}, 0)
+	d.WriteAt([]byte{2}, 1)
+	d.Fence(ctx)
+	d.WriteAt([]byte{3}, 2)
+	trace := d.StopTrace()
+	if len(trace) != 3 {
+		t.Fatalf("trace has %d stores, want 3", len(trace))
+	}
+	if trace[0].Epoch != 0 || trace[1].Epoch != 0 || trace[2].Epoch != 1 {
+		t.Fatalf("epochs = %d,%d,%d", trace[0].Epoch, trace[1].Epoch, trace[2].Epoch)
+	}
+	// Stores after StopTrace are not recorded.
+	d.WriteAt([]byte{4}, 3)
+	if tr := d.StopTrace(); tr != nil {
+		t.Fatal("trace recorded after stop")
+	}
+}
+
+func TestSnapshotRestoreApply(t *testing.T) {
+	d := New(16 << 20)
+	d.WriteAt([]byte("base"), 0)
+	img := d.Snapshot()
+
+	d.StartTrace()
+	d.WriteAt([]byte("mod1"), 0)
+	d.WriteAt([]byte("tail"), 100)
+	trace := d.StopTrace()
+
+	// Build a crash state with only the first store applied.
+	crash := img.Clone()
+	crash.Apply(trace[:1])
+	d.Restore(crash)
+
+	got := make([]byte, 4)
+	d.ReadAt(got, 0)
+	if string(got) != "mod1" {
+		t.Fatalf("applied store missing: %q", got)
+	}
+	d.ReadAt(got, 100)
+	if string(got) != "\x00\x00\x00\x00" {
+		t.Fatalf("unapplied store present: %q", got)
+	}
+	// Restoring the original snapshot gets back the base content.
+	d.Restore(img)
+	d.ReadAt(got, 0)
+	if string(got) != "base" {
+		t.Fatalf("snapshot restore: %q", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := New(64 << 20)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			buf := make([]byte, 4096)
+			for i := range buf {
+				buf[i] = byte(g)
+			}
+			base := int64(g) * (8 << 20)
+			for i := 0; i < 100; i++ {
+				d.WriteAt(buf, base+int64(i)*4096)
+				d.ReadAt(buf, base+int64(i)*4096)
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

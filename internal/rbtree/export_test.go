@@ -1,0 +1,5 @@
+package rbtree
+
+// CheckInvariants exposes the red-black invariant checker to tests. It
+// returns the tree's black-height, or -1 if any invariant is violated.
+func (t *Tree[K, V]) CheckInvariants() int { return t.checkInvariants() }

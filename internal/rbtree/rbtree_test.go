@@ -1,0 +1,209 @@
+package rbtree_test
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rbtree"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestBasicOps(t *testing.T) {
+	tr := rbtree.New[int, string](intLess)
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if !tr.Set(1, "one") {
+		t.Fatal("first Set reported existing")
+	}
+	if tr.Set(1, "uno") {
+		t.Fatal("second Set reported new")
+	}
+	v, ok := tr.Get(1)
+	if !ok || v != "uno" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if !tr.Delete(1) || tr.Delete(1) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after delete", tr.Len())
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	tr := rbtree.New[int, int](intLess)
+	vals := []int{5, 3, 9, 1, 7, 2, 8, 6, 4, 0}
+	for _, v := range vals {
+		tr.Set(v, v*10)
+	}
+	var got []int
+	tr.Ascend(func(k, v int) bool {
+		if v != k*10 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if !sort.IntsAreSorted(got) || len(got) != len(vals) {
+		t.Fatalf("ascend order wrong: %v", got)
+	}
+}
+
+func TestMinMaxFloorCeiling(t *testing.T) {
+	tr := rbtree.New[int, int](intLess)
+	for _, v := range []int{10, 20, 30, 40} {
+		tr.Set(v, v)
+	}
+	if k, _, _ := tr.Min(); k != 10 {
+		t.Fatalf("Min = %d", k)
+	}
+	if k, _, _ := tr.Max(); k != 40 {
+		t.Fatalf("Max = %d", k)
+	}
+	if k, _, ok := tr.Floor(25); !ok || k != 20 {
+		t.Fatalf("Floor(25) = %d, %v", k, ok)
+	}
+	if k, _, ok := tr.Floor(10); !ok || k != 10 {
+		t.Fatalf("Floor(10) = %d, %v", k, ok)
+	}
+	if _, _, ok := tr.Floor(5); ok {
+		t.Fatal("Floor(5) should not exist")
+	}
+	if k, _, ok := tr.Ceiling(25); !ok || k != 30 {
+		t.Fatalf("Ceiling(25) = %d, %v", k, ok)
+	}
+	if _, _, ok := tr.Ceiling(45); ok {
+		t.Fatal("Ceiling(45) should not exist")
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := rbtree.New[int, int](intLess)
+	for i := 0; i < 100; i += 10 {
+		tr.Set(i, i)
+	}
+	var got []int
+	tr.AscendFrom(35, func(k, v int) bool {
+		got = append(got, k)
+		return len(got) < 3
+	})
+	want := []int{40, 50, 60}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("AscendFrom = %v, want %v", got, want)
+	}
+}
+
+func TestInvariantsUnderChurn(t *testing.T) {
+	tr := rbtree.New[int, int](intLess)
+	present := make(map[int]bool)
+	rng := uint64(12345)
+	next := func() int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int(rng>>33) % 2000
+	}
+	for i := 0; i < 20000; i++ {
+		k := next()
+		if present[k] {
+			tr.Delete(k)
+			delete(present, k)
+		} else {
+			tr.Set(k, k)
+			present[k] = true
+		}
+		if i%500 == 0 {
+			if tr.CheckInvariants() < 0 {
+				t.Fatalf("red-black invariants violated at step %d", i)
+			}
+			if tr.Len() != len(present) {
+				t.Fatalf("size mismatch: tree=%d map=%d", tr.Len(), len(present))
+			}
+		}
+	}
+	// Final full content check.
+	count := 0
+	tr.Ascend(func(k, v int) bool {
+		if !present[k] {
+			t.Fatalf("tree has unexpected key %d", k)
+		}
+		count++
+		return true
+	})
+	if count != len(present) {
+		t.Fatalf("iteration count %d != %d", count, len(present))
+	}
+}
+
+func TestPropertySortedIteration(t *testing.T) {
+	// Property: for any input sequence, iteration visits exactly the set of
+	// distinct keys in sorted order and invariants hold.
+	f := func(keys []int16) bool {
+		tr := rbtree.New[int, bool](intLess)
+		set := make(map[int]bool)
+		for _, k16 := range keys {
+			k := int(k16)
+			tr.Set(k, true)
+			set[k] = true
+		}
+		if tr.CheckInvariants() < 0 {
+			return false
+		}
+		if tr.Len() != len(set) {
+			return false
+		}
+		prev := -1 << 30
+		ok := true
+		tr.Ascend(func(k int, v bool) bool {
+			if k <= prev || !set[k] {
+				ok = false
+				return false
+			}
+			prev = k
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDeleteHalf(t *testing.T) {
+	// Property: deleting any subset leaves exactly the complement, with
+	// invariants intact.
+	f := func(keys []uint8) bool {
+		tr := rbtree.New[int, int](intLess)
+		set := make(map[int]bool)
+		for _, k := range keys {
+			tr.Set(int(k), int(k))
+			set[int(k)] = true
+		}
+		i := 0
+		for k := range set {
+			if i%2 == 0 {
+				if !tr.Delete(k) {
+					return false
+				}
+				delete(set, k)
+			}
+			i++
+		}
+		if tr.CheckInvariants() < 0 || tr.Len() != len(set) {
+			return false
+		}
+		for k := range set {
+			if _, ok := tr.Get(k); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

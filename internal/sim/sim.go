@@ -1,0 +1,238 @@
+// Package sim provides the deterministic virtual-time substrate that every
+// component of the reproduction runs on.
+//
+// Each simulated thread owns a Ctx carrying a nanosecond-resolution virtual
+// clock and a pointer to its performance counters. Costs (persistent-memory
+// accesses, page faults, TLB walks, journal writes, lock waits) advance the
+// clock; nothing in the repository consults wall-clock time for results.
+//
+// Shared hardware and software resources — a file system's journal, a
+// device's write bandwidth, a VFS inode lock — are modelled by Resource: a
+// mutual-exclusion region with a busy-until timestamp in virtual time.
+// When a thread acquires a Resource its clock first jumps forward to the
+// moment the resource frees up, so contention delays emerge naturally and
+// deterministically (given a deterministic arrival order) rather than from
+// host scheduling.
+package sim
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/perf"
+)
+
+// Ctx is the per-simulated-thread execution context. It is not safe for
+// concurrent use; each goroutine driving simulated work must own its own Ctx.
+type Ctx struct {
+	// Thread is a unique identifier for the simulated thread.
+	Thread int
+	// CPU is the logical CPU the thread currently runs on. File systems with
+	// per-CPU structures (WineFS, NOVA) key their pools off this value.
+	CPU int
+	// Counters accumulates performance events for this thread.
+	Counters *perf.Counters
+
+	now int64
+	rng *Rand
+}
+
+// NewCtx returns a context for simulated thread id pinned to the given CPU,
+// with fresh counters and a seeded deterministic RNG.
+func NewCtx(thread, cpu int) *Ctx {
+	return &Ctx{
+		Thread:   thread,
+		CPU:      cpu,
+		Counters: &perf.Counters{},
+		rng:      NewRand(uint64(thread)*0x9e3779b97f4a7c15 + 1),
+	}
+}
+
+// Now returns the thread's current virtual time in nanoseconds.
+func (c *Ctx) Now() int64 { return c.now }
+
+// Advance moves the thread's virtual clock forward by ns nanoseconds.
+// Negative advances are ignored: virtual time never runs backwards.
+func (c *Ctx) Advance(ns int64) {
+	if ns > 0 {
+		c.now += ns
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future.
+func (c *Ctx) AdvanceTo(t int64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero and clears counters. Used between
+// measurement phases of an experiment.
+func (c *Ctx) Reset() {
+	c.now = 0
+	c.Counters.Reset()
+}
+
+// Rand returns the context's deterministic random source.
+func (c *Ctx) Rand() *Rand { return c.rng }
+
+// Resource models a shared serialisation point (a journal, a lock, a
+// bandwidth-limited device port) in virtual time.
+//
+// Occupations are booked on a calendar of busy intervals: a thread asking
+// to occupy the resource receives the earliest free interval at or after
+// its *own* virtual time. This matters because simulated threads run on
+// host goroutines whose scheduling is unrelated to virtual time — a thread
+// whose clock reads 5µs must not queue behind an occupation another thread
+// booked at 500µs, because at instant 5µs the resource really was free.
+// Calendar booking makes contention a function of virtual-time overlap
+// only, independent of host scheduling, and therefore deterministic in
+// distribution.
+//
+// Resource is safe for concurrent use by multiple goroutines.
+type Resource struct {
+	mu    sync.Mutex
+	spans []span // sorted, disjoint busy intervals
+	// acquireStart is the booked start of an in-progress Acquire/Release
+	// occupation (the real mutex stays locked in between).
+	acquireStart int64
+}
+
+type span struct{ start, end int64 }
+
+// maxSpans bounds calendar memory; the oldest intervals are dropped first
+// (live threads' clocks only move forward, so the distant past is never
+// booked again in practice).
+const maxSpans = 1024
+
+// bookLocked finds the earliest t >= from such that [t, t+hold) is free,
+// inserts the interval, and returns t. Caller holds r.mu.
+func (r *Resource) bookLocked(from, hold int64) int64 {
+	t := from
+	// Find the first span that ends after t.
+	i := sort.Search(len(r.spans), func(i int) bool { return r.spans[i].end > t })
+	for i < len(r.spans) {
+		if t+hold <= r.spans[i].start {
+			break // fits in the gap before span i
+		}
+		if r.spans[i].end > t {
+			t = r.spans[i].end
+		}
+		i++
+	}
+	// Insert [t, t+hold) before index i, merging with neighbours.
+	mergePrev := i > 0 && r.spans[i-1].end == t
+	mergeNext := i < len(r.spans) && t+hold == r.spans[i].start
+	switch {
+	case mergePrev && mergeNext:
+		r.spans[i-1].end = r.spans[i].end
+		r.spans = append(r.spans[:i], r.spans[i+1:]...)
+	case mergePrev:
+		r.spans[i-1].end = t + hold
+	case mergeNext:
+		r.spans[i].start = t
+	default:
+		r.spans = append(r.spans, span{})
+		copy(r.spans[i+1:], r.spans[i:])
+		r.spans[i] = span{t, t + hold}
+	}
+	if len(r.spans) > maxSpans {
+		r.spans = r.spans[len(r.spans)-maxSpans:]
+	}
+	return t
+}
+
+// Use occupies the resource for hold nanoseconds at the earliest free
+// interval at or after the thread's current time. It advances the thread's
+// clock to the end of the occupation and returns the occupation's start.
+func (r *Resource) Use(ctx *Ctx, hold int64) (start int64) {
+	if hold < 0 {
+		hold = 0
+	}
+	r.mu.Lock()
+	start = r.bookLocked(ctx.now, hold)
+	r.mu.Unlock()
+	if waited := start - ctx.now; waited > 0 && ctx.Counters != nil {
+		ctx.Counters.LockWaitNS += waited
+	}
+	ctx.now = start + hold
+	return start
+}
+
+// Acquire begins an occupation whose duration is not known in advance: the
+// thread's clock jumps to the first free instant at or after its current
+// time, and the underlying mutex is held until Release, serialising the
+// goroutines so the calendar stays consistent.
+func (r *Resource) Acquire(ctx *Ctx) {
+	r.mu.Lock()
+	t := ctx.now
+	i := sort.Search(len(r.spans), func(i int) bool { return r.spans[i].end > t })
+	for i < len(r.spans) && r.spans[i].start <= t {
+		t = r.spans[i].end
+		i++
+	}
+	if waited := t - ctx.now; waited > 0 && ctx.Counters != nil {
+		ctx.Counters.LockWaitNS += waited
+	}
+	ctx.now = t
+	r.acquireStart = t
+}
+
+// Release ends an occupation started with Acquire: the interval from the
+// acquire instant to the thread's current time is booked busy.
+func (r *Resource) Release(ctx *Ctx) {
+	if ctx.now > r.acquireStart {
+		r.bookLocked(r.acquireStart, ctx.now-r.acquireStart)
+	}
+	r.mu.Unlock()
+}
+
+// BusyUntil reports the end of the last booked interval (tests).
+func (r *Resource) BusyUntil() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) == 0 {
+		return 0
+	}
+	return r.spans[len(r.spans)-1].end
+}
+
+// Bandwidth models a shared channel with a fixed byte rate (e.g. the
+// aggregate write bandwidth of a persistent-memory socket). Transfers are
+// serialised in virtual time like a Resource, with the hold time computed
+// from the transfer size.
+type Bandwidth struct {
+	res Resource
+	// nsPerByte is the inverse rate. A 12 GB/s channel is 1/12 ns per byte.
+	nsPerByte float64
+}
+
+// NewBandwidth returns a channel limited to bytesPerSec bytes per virtual
+// second. A zero or negative rate yields an infinitely fast channel.
+func NewBandwidth(bytesPerSec float64) *Bandwidth {
+	b := &Bandwidth{}
+	if bytesPerSec > 0 {
+		b.nsPerByte = 1e9 / bytesPerSec
+	}
+	return b
+}
+
+// Transfer occupies the channel for n bytes and advances the thread's clock.
+func (b *Bandwidth) Transfer(ctx *Ctx, n int64) {
+	if n <= 0 || b.nsPerByte == 0 {
+		return
+	}
+	hold := int64(float64(n) * b.nsPerByte)
+	if hold < 1 {
+		hold = 1
+	}
+	b.res.Use(ctx, hold)
+}
+
+// Cost returns the uncontended transfer time for n bytes.
+func (b *Bandwidth) Cost(n int64) int64 {
+	if n <= 0 || b.nsPerByte == 0 {
+		return 0
+	}
+	return int64(float64(n) * b.nsPerByte)
+}

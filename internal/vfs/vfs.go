@@ -1,0 +1,204 @@
+// Package vfs defines the file-system interface every implementation in
+// the reproduction satisfies, plus the pieces of Linux VFS behaviour the
+// paper's design leans on: per-inode locks (WineFS coordinates its per-CPU
+// journals through them, §3.4) and path utilities.
+package vfs
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// Errors mirror the POSIX failures applications observe.
+var (
+	ErrNotExist = errors.New("vfs: no such file or directory")
+	ErrExist    = errors.New("vfs: file exists")
+	ErrNotDir   = errors.New("vfs: not a directory")
+	ErrIsDir    = errors.New("vfs: is a directory")
+	ErrNotEmpty = errors.New("vfs: directory not empty")
+	ErrNoSpace  = errors.New("vfs: no space left on device")
+	ErrClosed   = errors.New("vfs: file closed")
+	ErrReadOnly = errors.New("vfs: read-only")
+)
+
+// ConsistencyMode states the crash guarantees a mounted file system
+// provides (paper §3.3).
+type ConsistencyMode int
+
+const (
+	// Relaxed: metadata operations are atomic and synchronous; data
+	// operations may be partially complete after a crash (ext4-DAX, xfs-DAX,
+	// PMFS, WineFS-relaxed).
+	Relaxed ConsistencyMode = iota
+	// Strict: data and metadata operations are atomic and synchronous
+	// (NOVA, Strata, WineFS-strict).
+	Strict
+)
+
+func (m ConsistencyMode) String() string {
+	if m == Strict {
+		return "strict"
+	}
+	return "relaxed"
+}
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Ino   uint64
+	Size  int64
+	IsDir bool
+	Nlink int
+}
+
+// DirEntry is one directory listing entry.
+type DirEntry struct {
+	Name  string
+	Ino   uint64
+	IsDir bool
+}
+
+// StatFS summarises space accounting; FreeExtents feeds the fragmentation
+// analyses.
+type StatFS struct {
+	TotalBlocks int64
+	FreeBlocks  int64
+	// FreeAligned2M counts free, aligned, contiguous hugepage regions.
+	FreeAligned2M int64
+	Files         int64
+}
+
+// FS is the interface all seven file systems implement. Paths are
+// slash-separated and absolute ("/a/b"). All methods charge virtual time
+// to ctx, including the syscall entry cost.
+type FS interface {
+	Name() string
+	Mode() ConsistencyMode
+
+	Create(ctx *sim.Ctx, path string) (File, error)
+	Open(ctx *sim.Ctx, path string) (File, error)
+	Mkdir(ctx *sim.Ctx, path string) error
+	Unlink(ctx *sim.Ctx, path string) error
+	Rmdir(ctx *sim.Ctx, path string) error
+	Rename(ctx *sim.Ctx, oldPath, newPath string) error
+	Stat(ctx *sim.Ctx, path string) (FileInfo, error)
+	ReadDir(ctx *sim.Ctx, path string) ([]DirEntry, error)
+	StatFS(ctx *sim.Ctx) StatFS
+	// FreeExtents returns the current free-space extent list (blocks).
+	FreeExtents() []alloc.Extent
+	// Unmount cleanly shuts the file system down (serialising any DRAM
+	// structures its design persists on unmount).
+	Unmount(ctx *sim.Ctx) error
+}
+
+// File is an open file handle.
+type File interface {
+	Ino() uint64
+	Size() int64
+	ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error)
+	WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error)
+	// Append writes at the current end of file.
+	Append(ctx *sim.Ctx, p []byte) (int, error)
+	Truncate(ctx *sim.Ctx, size int64) error
+	// Fallocate preallocates [off, off+n) with real blocks.
+	Fallocate(ctx *sim.Ctx, off, n int64) error
+	Fsync(ctx *sim.Ctx) error
+	// Mmap maps length bytes of the file from offset 0. length may exceed
+	// the current size for sparse mappings (LMDB-style ftruncate growth).
+	Mmap(ctx *sim.Ctx, length int64) (*mmu.Mapping, error)
+	// Extents returns the file's current physical layout.
+	Extents() []mmu.Extent
+	SetXattr(ctx *sim.Ctx, name string, value []byte) error
+	GetXattr(ctx *sim.Ctx, name string) ([]byte, bool)
+	Close(ctx *sim.Ctx) error
+}
+
+// XattrAligned is the extended attribute WineFS uses to persist a file's
+// alignment hint across copies (§3.6).
+const XattrAligned = "user.winefs.aligned"
+
+// Split separates a cleaned path into parent directory and final element.
+func Split(path string) (dir, name string) {
+	path = Clean(path)
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/", path[i+1:]
+	}
+	return path[:i], path[i+1:]
+}
+
+// Clean normalises a path: ensures a leading slash, strips trailing
+// slashes and collapses duplicate separators. It does not interpret "." or
+// "..".
+func Clean(path string) string {
+	if path == "" {
+		return "/"
+	}
+	parts := strings.Split(path, "/")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// Components splits a cleaned path into its elements; "/" yields nil.
+func Components(path string) []string {
+	path = Clean(path)
+	if path == "/" {
+		return nil
+	}
+	return strings.Split(path[1:], "/")
+}
+
+// LockTable provides per-inode virtual-time mutexes, standing in for the
+// VFS inode locks the paper relies on: "An inode can only be locked by one
+// logical CPU at a time" (§3.4).
+type LockTable struct {
+	locks map[uint64]*sim.Resource
+	guard chan struct{} // binary semaphore protecting the map itself
+}
+
+// NewLockTable returns an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{
+		locks: make(map[uint64]*sim.Resource),
+		guard: make(chan struct{}, 1),
+	}
+}
+
+func (lt *LockTable) resource(ino uint64) *sim.Resource {
+	lt.guard <- struct{}{}
+	r := lt.locks[ino]
+	if r == nil {
+		r = &sim.Resource{}
+		lt.locks[ino] = r
+	}
+	<-lt.guard
+	return r
+}
+
+// Lock acquires the inode's lock, advancing ctx past any contention.
+func (lt *LockTable) Lock(ctx *sim.Ctx, ino uint64) {
+	lt.resource(ino).Acquire(ctx)
+}
+
+// Unlock releases the inode's lock.
+func (lt *LockTable) Unlock(ctx *sim.Ctx, ino uint64) {
+	lt.resource(ino).Release(ctx)
+}
+
+// Drop removes the lock entry for a deleted inode.
+func (lt *LockTable) Drop(ino uint64) {
+	lt.guard <- struct{}{}
+	delete(lt.locks, ino)
+	<-lt.guard
+}

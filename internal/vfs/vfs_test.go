@@ -1,0 +1,87 @@
+package vfs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestClean(t *testing.T) {
+	cases := map[string]string{
+		"":           "/",
+		"/":          "/",
+		"//":         "/",
+		"a":          "/a",
+		"/a/b":       "/a/b",
+		"/a//b/":     "/a/b",
+		"a/b/c":      "/a/b/c",
+		"///x///y//": "/x/y",
+	}
+	for in, want := range cases {
+		if got := Clean(in); got != want {
+			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct{ in, dir, name string }{
+		{"/a/b/c", "/a/b", "c"},
+		{"/a", "/", "a"},
+		{"a", "/", "a"},
+		{"/a/b/", "/a", "b"},
+	}
+	for _, c := range cases {
+		dir, name := Split(c.in)
+		if dir != c.dir || name != c.name {
+			t.Errorf("Split(%q) = %q, %q; want %q, %q", c.in, dir, name, c.dir, c.name)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	if c := Components("/"); c != nil {
+		t.Fatalf("Components(/) = %v", c)
+	}
+	c := Components("/a/b/c")
+	if len(c) != 3 || c[0] != "a" || c[2] != "c" {
+		t.Fatalf("Components = %v", c)
+	}
+}
+
+func TestLockTableSerialisesSameInode(t *testing.T) {
+	lt := NewLockTable()
+	a := sim.NewCtx(1, 0)
+	b := sim.NewCtx(2, 1)
+	lt.Lock(a, 7)
+	a.Advance(100)
+	lt.Unlock(a, 7)
+	lt.Lock(b, 7)
+	if b.Now() != 100 {
+		t.Fatalf("b entered critical section at %d, want 100", b.Now())
+	}
+	lt.Unlock(b, 7)
+}
+
+func TestLockTableIndependentInodes(t *testing.T) {
+	lt := NewLockTable()
+	a := sim.NewCtx(1, 0)
+	b := sim.NewCtx(2, 1)
+	lt.Lock(a, 1)
+	a.Advance(1000)
+	// A different inode must not wait.
+	lt.Lock(b, 2)
+	if b.Now() != 0 {
+		t.Fatalf("independent inode waited until %d", b.Now())
+	}
+	lt.Unlock(b, 2)
+	lt.Unlock(a, 1)
+	lt.Drop(1)
+	lt.Drop(2)
+}
+
+func TestModeString(t *testing.T) {
+	if Relaxed.String() != "relaxed" || Strict.String() != "strict" {
+		t.Fatal("mode strings wrong")
+	}
+}

@@ -1,0 +1,523 @@
+package winefs
+
+import (
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/rbtree"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// holeKey orders the by-size index of the hole pool: smallest adequate
+// hole first, ties broken by lowest address.
+type holeKey struct {
+	length int64
+	start  int64
+}
+
+func holeLess(a, b holeKey) bool {
+	if a.length != b.length {
+		return a.length < b.length
+	}
+	return a.start < b.start
+}
+
+// group is one per-CPU allocation group (Figure 5): a FIFO list of free
+// aligned 2MiB extents and a red-black tree of free unaligned holes, plus
+// the CPU's inode free list. DRAM-only; rebuilt at mount.
+type group struct {
+	cpu int
+	mu  sync.Mutex
+	res sim.Resource
+
+	// noPromote disables merging holes back into aligned extents
+	// (alignment ablation).
+	noPromote bool
+
+	// aligned is the FIFO of free hugepage extents: allocation removes
+	// from the head, frees append at the tail (§3.6, "Aligned extent pool").
+	aligned []int64
+	// holes indexes free unaligned extents by start block; holesBySize is
+	// the companion index used to find an adequate hole in O(log n).
+	holes       *rbtree.Tree[int64, int64]
+	holesBySize *rbtree.Tree[holeKey, struct{}]
+	holeBlocks  int64
+
+	inodeFree []int64 // free inode slots in this CPU's table
+}
+
+func newGroup(cpu int) *group {
+	return &group{
+		cpu:         cpu,
+		holes:       rbtree.New[int64, int64](func(a, b int64) bool { return a < b }),
+		holesBySize: rbtree.New[holeKey, struct{}](holeLess),
+	}
+}
+
+// freeBlocks returns the group's total free block count.
+func (g *group) freeBlocks() int64 {
+	return int64(len(g.aligned))*BlocksPerHuge + g.holeBlocks
+}
+
+// addHoleLocked inserts a free range, merging with neighbours and then
+// promoting any fully covered aligned hugepage chunks into the aligned
+// pool (§3.6, "Unaligned extent pool": "if the extents can be merged into
+// an aligned extent, it is merged and tracked in the aligned extent pool").
+// Invariant: no hole ever fully contains an aligned hugepage chunk.
+func (g *group) addHoleLocked(start, length int64) {
+	if length <= 0 {
+		return
+	}
+	// Merge with the predecessor if adjacent.
+	if ps, pl, ok := g.holes.Floor(start); ok && ps+pl == start {
+		g.removeHoleLocked(ps, pl)
+		start, length = ps, pl+length
+	}
+	// Merge with the successor if adjacent.
+	if ns, nl, ok := g.holes.Ceiling(start); ok && start+length == ns {
+		g.removeHoleLocked(ns, nl)
+		length += nl
+	}
+	// Promote aligned chunks.
+	if g.noPromote {
+		g.insertHoleLocked(start, length)
+		return
+	}
+	first := (start + BlocksPerHuge - 1) / BlocksPerHuge * BlocksPerHuge
+	last := (start + length) / BlocksPerHuge * BlocksPerHuge
+	if first < last {
+		for b := first; b < last; b += BlocksPerHuge {
+			g.aligned = append(g.aligned, b) // tail of the FIFO
+		}
+		if start < first {
+			g.insertHoleLocked(start, first-start)
+		}
+		if last < start+length {
+			g.insertHoleLocked(last, start+length-last)
+		}
+		return
+	}
+	g.insertHoleLocked(start, length)
+}
+
+func (g *group) insertHoleLocked(start, length int64) {
+	g.holes.Set(start, length)
+	g.holesBySize.Set(holeKey{length, start}, struct{}{})
+	g.holeBlocks += length
+}
+
+func (g *group) removeHoleLocked(start, length int64) {
+	g.holes.Delete(start)
+	g.holesBySize.Delete(holeKey{length, start})
+	g.holeBlocks -= length
+}
+
+// takeAlignedLocked pops the FIFO head, or returns false.
+func (g *group) takeAlignedLocked() (int64, bool) {
+	if len(g.aligned) == 0 {
+		return 0, false
+	}
+	b := g.aligned[0]
+	g.aligned = g.aligned[1:]
+	return b, true
+}
+
+// takeHoleLocked carves `need` blocks from the smallest adequate hole. If
+// no hole is large enough it returns the largest available hole whole (the
+// caller loops). Returns (start, got, ok).
+func (g *group) takeHoleLocked(need int64) (int64, int64, bool) {
+	if k, _, ok := g.holesBySize.Ceiling(holeKey{need, 0}); ok {
+		g.removeHoleLocked(k.start, k.length)
+		if k.length > need {
+			g.insertHoleLocked(k.start+need, k.length-need)
+		}
+		return k.start, need, true
+	}
+	// No single hole fits: take the largest one entirely.
+	if k, _, ok := g.holesBySize.Max(); ok {
+		g.removeHoleLocked(k.start, k.length)
+		return k.start, k.length, true
+	}
+	return 0, 0, false
+}
+
+// allocator is WineFS's alignment-aware allocator (§3.4). The partition is
+// split into per-CPU groups; requests are decomposed into hugepage-sized
+// pieces served from aligned pools and a remainder served from holes.
+type allocator struct {
+	fs     *FS
+	groups []*group
+	// noAlignment (ablation) serves everything from holes and never
+	// promotes free space back to the aligned pool.
+	noAlignment bool
+}
+
+func newAllocator(fs *FS) *allocator {
+	a := &allocator{fs: fs}
+	for c := 0; c < fs.g.cpus; c++ {
+		a.groups = append(a.groups, newGroup(c))
+	}
+	return a
+}
+
+// initEmpty fills every group with its whole (hugepage-aligned) pool, as
+// after mkfs.
+func (a *allocator) initEmpty() {
+	for c, g := range a.groups {
+		g.noPromote = a.noAlignment
+		start, end := a.fs.g.poolRange(c)
+		if a.noAlignment {
+			g.insertHoleLocked(start, end-start)
+			continue
+		}
+		for b := start; b < end; b += BlocksPerHuge {
+			g.aligned = append(g.aligned, b)
+		}
+	}
+}
+
+// allocCost is the virtual-time cost of one allocator invocation (DRAM
+// tree/list manipulation).
+const allocCost = 120
+
+// mostAligned returns the group with the most free aligned extents,
+// excluding `except` (§3.4: cross-CPU policy).
+func (a *allocator) mostAligned(except int) *group {
+	var best *group
+	bestN := 0
+	for _, g := range a.groups {
+		if g.cpu == except {
+			continue
+		}
+		g.mu.Lock()
+		n := len(g.aligned)
+		g.mu.Unlock()
+		if n > bestN {
+			best, bestN = g, n
+		}
+	}
+	return best
+}
+
+// mostHoles returns the group with the most free unaligned blocks,
+// excluding `except`.
+func (a *allocator) mostHoles(except int) *group {
+	var best *group
+	var bestN int64
+	for _, g := range a.groups {
+		if g.cpu == except {
+			continue
+		}
+		g.mu.Lock()
+		n := g.holeBlocks
+		g.mu.Unlock()
+		if n > bestN {
+			best, bestN = g, n
+		}
+	}
+	return best
+}
+
+// allocAligned obtains one aligned hugepage extent: local pool first, then
+// the remote pool with the most aligned extents, then — only if no aligned
+// extent exists anywhere — hole space.
+func (a *allocator) allocAligned(ctx *sim.Ctx, cpu int) (int64, bool) {
+	g := a.groups[cpu]
+	g.mu.Lock()
+	b, ok := g.takeAlignedLocked()
+	g.mu.Unlock()
+	ctx.Advance(allocCost)
+	if ok {
+		return b, true
+	}
+	if rg := a.mostAligned(cpu); rg != nil {
+		rg.mu.Lock()
+		b, ok = rg.takeAlignedLocked()
+		rg.mu.Unlock()
+		if ok {
+			ctx.Counters.AllocSteals++
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// allocSmall obtains `need` blocks of unaligned space, possibly as several
+// extents: local holes first, then the remote pool with the most hole
+// space, finally by breaking an aligned extent (counted as an AllocSplit).
+func (a *allocator) allocSmall(ctx *sim.Ctx, cpu int, need int64) ([]alloc.Extent, bool) {
+	var out []alloc.Extent
+	remaining := need
+	tryGroup := func(g *group, steal bool) {
+		for remaining > 0 {
+			g.mu.Lock()
+			start, got, ok := g.takeHoleLocked(remaining)
+			g.mu.Unlock()
+			ctx.Advance(allocCost)
+			if !ok {
+				return
+			}
+			out = append(out, alloc.Extent{Start: start, Len: got})
+			remaining -= got
+			if steal {
+				ctx.Counters.AllocSteals++
+			}
+		}
+	}
+	tryGroup(a.groups[cpu], false)
+	for remaining > 0 {
+		rg := a.mostHoles(cpu)
+		if rg == nil {
+			break
+		}
+		rg.mu.Lock()
+		empty := rg.holeBlocks == 0
+		rg.mu.Unlock()
+		if empty {
+			break
+		}
+		tryGroup(rg, true)
+	}
+	// Last resort: break an aligned extent; the remainder becomes a hole.
+	for remaining > 0 {
+		b, ok := a.allocAligned(ctx, cpu)
+		if !ok {
+			// Roll back partial allocations.
+			for _, e := range out {
+				a.free(ctx, e)
+			}
+			return nil, false
+		}
+		ctx.Counters.AllocSplits++
+		take := remaining
+		if take > BlocksPerHuge {
+			take = BlocksPerHuge
+		}
+		out = append(out, alloc.Extent{Start: b, Len: take})
+		if take < BlocksPerHuge {
+			og := a.groups[a.fs.g.cpuOfBlock(b)]
+			og.mu.Lock()
+			og.addHoleLocked(b+take, BlocksPerHuge-take)
+			og.mu.Unlock()
+		}
+		remaining -= take
+	}
+	return out, true
+}
+
+// alloc satisfies a request of `blocks` blocks (§3.4, "Allocation"):
+// the request is split into hugepage-sized pieces (served aligned) and a
+// remainder (served from holes). When wantAligned is set — large requests
+// or files carrying the alignment xattr — the remainder is rounded up to a
+// full aligned extent so the file stays hugepage-mappable.
+func (a *allocator) alloc(ctx *sim.Ctx, cpu int, blocks int64, wantAligned bool) ([]alloc.Extent, error) {
+	if blocks <= 0 {
+		return nil, nil
+	}
+	var out []alloc.Extent
+	fail := func() ([]alloc.Extent, error) {
+		for _, e := range out {
+			a.free(ctx, e)
+		}
+		return nil, vfs.ErrNoSpace
+	}
+	hugePieces := blocks / BlocksPerHuge
+	rem := blocks % BlocksPerHuge
+	if wantAligned && rem > 0 {
+		// Keep the file's layout hugepage-pure: allocate a full extent for
+		// the tail as well. The file keeps only `rem` blocks of it; the
+		// slack returns to the hole pool immediately.
+		hugePieces++
+		rem = 0
+	}
+	for i := int64(0); i < hugePieces; i++ {
+		b, ok := a.allocAligned(ctx, cpu)
+		if !ok {
+			// Aligned space exhausted: fall back to hole space for the rest.
+			left := blocks - totalLen(out)
+			small, ok2 := a.allocSmall(ctx, cpu, left)
+			if !ok2 {
+				return fail()
+			}
+			out = append(out, small...)
+			return coalesce(out), nil
+		}
+		need := blocks - totalLen(out)
+		take := int64(BlocksPerHuge)
+		if take > need {
+			take = need
+		}
+		out = append(out, alloc.Extent{Start: b, Len: take})
+		if take < BlocksPerHuge {
+			// Slack from the rounded-up tail extent returns as a hole.
+			og := a.groups[a.fs.g.cpuOfBlock(b)]
+			og.mu.Lock()
+			og.addHoleLocked(b+take, BlocksPerHuge-take)
+			og.mu.Unlock()
+		}
+	}
+	if rem > 0 {
+		small, ok := a.allocSmall(ctx, cpu, rem)
+		if !ok {
+			return fail()
+		}
+		out = append(out, small...)
+	}
+	return coalesce(out), nil
+}
+
+func totalLen(ex []alloc.Extent) int64 {
+	var n int64
+	for _, e := range ex {
+		n += e.Len
+	}
+	return n
+}
+
+// coalesce merges physically adjacent extents in allocation order.
+func coalesce(ex []alloc.Extent) []alloc.Extent {
+	if len(ex) < 2 {
+		return ex
+	}
+	out := ex[:1]
+	for _, e := range ex[1:] {
+		last := &out[len(out)-1]
+		if last.End() == e.Start {
+			last.Len += e.Len
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// free returns an extent to the pool of the CPU it was allocated from
+// (§3.4: "when the allocated extent is freed, it is inserted back into the
+// free-space of the original data pool"), merging and promoting to the
+// aligned pool where possible.
+func (a *allocator) free(ctx *sim.Ctx, e alloc.Extent) {
+	if e.Len <= 0 {
+		return
+	}
+	// An extent may span multiple CPU pools (cross-CPU steal then merge);
+	// split along pool boundaries.
+	for e.Len > 0 {
+		cpu := a.fs.g.cpuOfBlock(e.Start)
+		_, poolEnd := a.fs.g.poolRange(cpu)
+		take := e.Len
+		if e.Start+take > poolEnd {
+			take = poolEnd - e.Start
+		}
+		g := a.groups[cpu]
+		g.mu.Lock()
+		g.addHoleLocked(e.Start, take)
+		g.mu.Unlock()
+		ctx.Advance(allocCost)
+		a.fs.dev.DiscardRange(e.StartByte(), take*BlockSize)
+		e.Start += take
+		e.Len -= take
+	}
+}
+
+// freeAll frees a list of file extents.
+func (a *allocator) freeAll(ctx *sim.Ctx, ex []wextent) {
+	for _, e := range ex {
+		a.free(ctx, alloc.Extent{Start: e.blk, Len: e.length})
+	}
+}
+
+// freeExtents snapshots the global free-space extent list.
+func (a *allocator) freeExtents() []alloc.Extent {
+	var out []alloc.Extent
+	for _, g := range a.groups {
+		g.mu.Lock()
+		for _, b := range g.aligned {
+			out = append(out, alloc.Extent{Start: b, Len: BlocksPerHuge})
+		}
+		g.holes.Ascend(func(start, length int64) bool {
+			out = append(out, alloc.Extent{Start: start, Len: length})
+			return true
+		})
+		g.mu.Unlock()
+	}
+	return alloc.Merge(out)
+}
+
+// stats returns total and aligned free counts.
+func (a *allocator) stats() (freeBlocks, alignedExtents int64) {
+	for _, g := range a.groups {
+		g.mu.Lock()
+		freeBlocks += g.freeBlocks()
+		alignedExtents += int64(len(g.aligned))
+		g.mu.Unlock()
+	}
+	return
+}
+
+// markUsed removes a specific range from the free pools during recovery
+// rebuild. The range must currently be free. Used-block reconstruction
+// feeds file extents back in via this.
+func (a *allocator) markUsed(start, length int64) {
+	for length > 0 {
+		cpu := a.fs.g.cpuOfBlock(start)
+		_, poolEnd := a.fs.g.poolRange(cpu)
+		take := length
+		if start+take > poolEnd {
+			take = poolEnd - start
+		}
+		g := a.groups[cpu]
+		g.mu.Lock()
+		g.carveLocked(start, take)
+		g.mu.Unlock()
+		start += take
+		length -= take
+	}
+}
+
+// carveLocked removes [start, start+length) from this group's free space.
+func (g *group) carveLocked(start, length int64) {
+	end := start + length
+	// From aligned extents overlapping the range.
+	keep := g.aligned[:0]
+	for _, b := range g.aligned {
+		if b+BlocksPerHuge <= start || b >= end {
+			keep = append(keep, b)
+			continue
+		}
+		// Partially or fully covered: the uncovered parts become holes.
+		if b < start {
+			g.insertHoleLocked(b, start-b)
+		}
+		if b+BlocksPerHuge > end {
+			g.insertHoleLocked(end, b+BlocksPerHuge-end)
+		}
+	}
+	g.aligned = keep
+	// From holes overlapping the range: a hole beginning before `start`
+	// may still overlap, so begin at the floor predecessor.
+	type cut struct{ s, l int64 }
+	var cuts []cut
+	from := start
+	if fs, _, ok := g.holes.Floor(start); ok {
+		from = fs
+	}
+	g.holes.AscendFrom(from, func(hs, hl int64) bool {
+		if hs >= end {
+			return false
+		}
+		if hs+hl > start {
+			cuts = append(cuts, cut{hs, hl})
+		}
+		return true
+	})
+	for _, c := range cuts {
+		g.removeHoleLocked(c.s, c.l)
+		if c.s < start {
+			g.insertHoleLocked(c.s, start-c.s)
+		}
+		if c.s+c.l > end {
+			g.insertHoleLocked(end, c.s+c.l-end)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package winefs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+)
+
+// TestAllocatorInvariants drives the alignment-aware allocator with random
+// mixed-size allocations and frees, and checks after every step:
+//
+//  1. conservation — free + outstanding == pool capacity;
+//  2. no overlap — handed-out extents never intersect;
+//  3. the hole invariant — no unaligned hole fully contains an aligned
+//     hugepage chunk (such chunks must live in the aligned FIFO);
+//  4. full restoration — freeing everything returns every group to a pure
+//     aligned pool with zero holes.
+func TestAllocatorInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ctx := sim.NewCtx(1, 0)
+		dev := pmem.New(256 << 20)
+		fs, err := Mkfs(ctx, dev, Options{CPUs: 2})
+		if err != nil {
+			return false
+		}
+		a := fs.alloc
+		total, _ := a.stats()
+
+		type grant struct{ ex []alloc.Extent }
+		var outstanding []grant
+		var outBlocks int64
+		used := map[int64]bool{}
+
+		check := func() bool {
+			free, _ := a.stats()
+			if free+outBlocks != total {
+				t.Logf("conservation: free=%d out=%d total=%d", free, outBlocks, total)
+				return false
+			}
+			for _, g := range a.groups {
+				bad := false
+				g.holes.Ascend(func(start, length int64) bool {
+					first := (start + BlocksPerHuge - 1) / BlocksPerHuge * BlocksPerHuge
+					if first+BlocksPerHuge <= start+length {
+						bad = true
+						return false
+					}
+					return true
+				})
+				if bad {
+					t.Log("hole invariant violated")
+					return false
+				}
+			}
+			return true
+		}
+
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1: // allocate
+				blocks := int64(op%2048) + 1
+				cpu := int(op) % 2
+				ex, err := a.alloc(ctx, cpu, blocks, op%16 == 0)
+				if err != nil {
+					continue
+				}
+				for _, e := range ex {
+					for b := e.Start; b < e.End(); b++ {
+						if used[b] {
+							t.Logf("double allocation of block %d", b)
+							return false
+						}
+						used[b] = true
+					}
+				}
+				outstanding = append(outstanding, grant{ex})
+				for _, e := range ex {
+					outBlocks += e.Len
+				}
+			case 2: // free the oldest grant
+				if len(outstanding) == 0 {
+					continue
+				}
+				g := outstanding[0]
+				outstanding = outstanding[1:]
+				for _, e := range g.ex {
+					a.free(ctx, e)
+					outBlocks -= e.Len
+					for b := e.Start; b < e.End(); b++ {
+						delete(used, b)
+					}
+				}
+			}
+			if !check() {
+				return false
+			}
+		}
+		// Free everything: the aligned pools must fully regenerate.
+		for _, g := range outstanding {
+			for _, e := range g.ex {
+				a.free(ctx, e)
+			}
+		}
+		for _, g := range a.groups {
+			if g.holeBlocks != 0 {
+				t.Logf("residual holes: %d blocks", g.holeBlocks)
+				return false
+			}
+		}
+		free, aligned := a.stats()
+		return free == total && aligned*BlocksPerHuge == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocatorAlignedFIFO verifies §3.6's FIFO discipline: extents are
+// taken from the head and freed ones appended at the tail.
+func TestAllocatorAlignedFIFO(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(128 << 20)
+	fs, _ := Mkfs(ctx, dev, Options{CPUs: 1})
+	a := fs.alloc
+	first, ok := a.allocAligned(ctx, 0)
+	if !ok {
+		t.Fatal("no aligned extent")
+	}
+	second, _ := a.allocAligned(ctx, 0)
+	if second != first+BlocksPerHuge {
+		t.Fatalf("head order wrong: %d then %d", first, second)
+	}
+	// Free the first: it must come back last, not immediately.
+	a.free(ctx, alloc.Extent{Start: first, Len: BlocksPerHuge})
+	third, _ := a.allocAligned(ctx, 0)
+	if third == first {
+		t.Fatal("freed extent reused immediately (LIFO, want FIFO)")
+	}
+}

@@ -1,0 +1,216 @@
+package winefs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/winefs"
+)
+
+// TestIndirectExtentChain builds a file with far more extents than the
+// inode's 12 inline slots by interleaving writes to two files (defeating
+// extent merging), then verifies the extent records survive unmount,
+// remount and crash recovery.
+func TestIndirectExtentChain(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(512 << 20)
+	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := fs.Create(ctx, "/a")
+	b, _ := fs.Create(ctx, "/b")
+	// Alternating appends interleave the two files' allocations so
+	// neighbouring extents never merge.
+	const rounds = 100
+	payload := make([]byte, 8<<10)
+	for i := 0; i < rounds; i++ {
+		for j := range payload {
+			payload[j] = byte(i)
+		}
+		if _, err := a.Append(ctx, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Append(ctx, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(a.Extents()) <= winefs.InlineExtents {
+		t.Skipf("allocator kept the file in %d extents; interleave failed to fragment", len(a.Extents()))
+	}
+
+	verify := func(rfs *winefs.FS, rctx *sim.Ctx) {
+		t.Helper()
+		f, err := rfs.Open(rctx, "/a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != rounds*int64(len(payload)) {
+			t.Fatalf("size = %d", f.Size())
+		}
+		got := make([]byte, len(payload))
+		for _, i := range []int{0, 17, 50, rounds - 1} {
+			if _, err := f.ReadAt(rctx, got, int64(i)*int64(len(payload))); err != nil {
+				t.Fatal(err)
+			}
+			want := bytes.Repeat([]byte{byte(i)}, len(payload))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d content wrong (got %d)", i, got[0])
+			}
+		}
+	}
+
+	// Clean remount.
+	if err := fs.Unmount(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rctx := sim.NewCtx(2, 0)
+	rfs, err := winefs.Mount(rctx, dev, winefs.Options{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(rfs, rctx)
+	if rep := winefs.Check(dev); !rep.OK() {
+		t.Fatalf("fsck after clean remount: %v", rep.Errors)
+	}
+
+	// Crash-mount (no unmount): the scan must rebuild the same state.
+	cctx := sim.NewCtx(3, 0)
+	cfs, err := winefs.Mount(cctx, dev, winefs.Options{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(cfs, cctx)
+}
+
+// TestExtentMapProperty drives random writes/truncates against a WineFS
+// file and an in-memory reference; contents must always agree (the extent
+// machinery — splits, CoW swaps, record compaction — is the code under
+// test).
+func TestExtentMapProperty(t *testing.T) {
+	f := func(ops []uint32) bool {
+		ctx := sim.NewCtx(1, 0)
+		dev := pmem.New(256 << 20)
+		fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: 2})
+		if err != nil {
+			return false
+		}
+		file, err := fs.Create(ctx, "/ref")
+		if err != nil {
+			return false
+		}
+		const maxSize = 1 << 20
+		ref := make([]byte, 0, maxSize)
+		for opi, op := range ops {
+			kind := op % 4
+			off := int64(op>>2) % maxSize
+			size := int64(op>>12)%(64<<10) + 1
+			switch kind {
+			case 0, 1: // write
+				if off+size > maxSize {
+					size = maxSize - off
+				}
+				data := bytes.Repeat([]byte{byte(opi + 1)}, int(size))
+				if _, err := file.WriteAt(ctx, data, off); err != nil {
+					return false
+				}
+				if int64(len(ref)) < off+size {
+					ref = append(ref, make([]byte, off+size-int64(len(ref)))...)
+				}
+				copy(ref[off:off+size], data)
+			case 2: // truncate
+				newSize := off % maxSize
+				if err := file.Truncate(ctx, newSize); err != nil {
+					return false
+				}
+				if int64(len(ref)) > newSize {
+					ref = ref[:newSize]
+				} else {
+					ref = append(ref, make([]byte, newSize-int64(len(ref)))...)
+				}
+			case 3: // verify a random window
+				if len(ref) == 0 {
+					continue
+				}
+				ws := off % int64(len(ref))
+				wl := size
+				if ws+wl > int64(len(ref)) {
+					wl = int64(len(ref)) - ws
+				}
+				got := make([]byte, wl)
+				n, err := file.ReadAt(ctx, got, ws)
+				if err != nil || int64(n) != wl {
+					return false
+				}
+				if !bytes.Equal(got, ref[ws:ws+wl]) {
+					return false
+				}
+			}
+			if file.Size() != int64(len(ref)) {
+				return false
+			}
+		}
+		// Final full check.
+		got := make([]byte, len(ref))
+		if len(ref) > 0 {
+			if _, err := file.ReadAt(ctx, got, 0); err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpaceConservationUnderChurn: allocated+free block counts stay
+// consistent through arbitrary create/write/delete churn.
+func TestSpaceConservationUnderChurn(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(512 << 20)
+	fs, _ := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: 4})
+	total := fs.StatFS(ctx).TotalBlocks
+	rng := sim.NewRand(77)
+	live := map[string]bool{}
+	for i := 0; i < 400; i++ {
+		if len(live) < 10 || rng.Intn(2) == 0 {
+			name := fmt.Sprintf("/c%d", i)
+			f, err := fs.Create(ctx, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Fallocate(ctx, 0, int64(rng.Intn(4<<20))+1); err != nil {
+				t.Fatal(err)
+			}
+			live[name] = true
+		} else {
+			for name := range live {
+				if err := fs.Unlink(ctx, name); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, name)
+				break
+			}
+		}
+		st := fs.StatFS(ctx)
+		if st.FreeBlocks < 0 || st.FreeBlocks > total {
+			t.Fatalf("free blocks out of range: %d of %d", st.FreeBlocks, total)
+		}
+	}
+	// fsck agrees with the DRAM accounting.
+	st := fs.StatFS(ctx)
+	rep := winefs.Check(dev)
+	if !rep.OK() {
+		t.Fatalf("fsck: %v", rep.Errors)
+	}
+	// used (per fsck) + free (per statfs) should cover the data pools
+	// (dirent/indirect blocks are counted as used by fsck too).
+	if rep.UsedBlocks+st.FreeBlocks > total+1024 || rep.UsedBlocks+st.FreeBlocks < total-1024 {
+		t.Fatalf("accounting drift: used=%d free=%d total=%d", rep.UsedBlocks, st.FreeBlocks, total)
+	}
+}

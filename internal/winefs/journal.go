@@ -1,0 +1,339 @@
+package winefs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Journal entry types (§3.6: START, COMMIT or DATA).
+const (
+	entryStart  = 1
+	entryCommit = 2
+	entryData   = 3
+)
+
+const (
+	entryMagic = 0x4A4E // "JN"
+	// undoBytes is the old-data payload per DATA entry.
+	undoBytes = 32
+)
+
+// journal is one per-CPU fine-grained undo journal (§3.5): a circular
+// array of 64-byte entries on PM, preceded by a 64-byte header. Because
+// every operation is synchronous, committed transactions are reclaimed
+// immediately, so the live region is at most one transaction (≤ 10
+// entries, §3.6).
+//
+// The header records (tail, wraparound counter, last committed TxID); a
+// transaction never straddles the wraparound point, so recovery examines at
+// most one contiguous run of entries per journal.
+type journal struct {
+	fs   *FS
+	cpu  int
+	base int64 // byte address of the header entry
+	res  sim.Resource
+
+	// DRAM cursor state (rebuilt from the header at mount).
+	tail int64 // next entry slot to write, in [1, entries]
+	wrap uint32
+}
+
+// journal header layout: magic u32 | wrap u32 | tail u64 | lastCommitted u64.
+func (j *journal) writeHeader(ctx *sim.Ctx, lastCommitted uint64) {
+	b := make([]byte, EntrySize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], entryMagic)
+	le.PutUint32(b[4:], j.wrap)
+	le.PutUint64(b[8:], uint64(j.tail))
+	le.PutUint64(b[16:], lastCommitted)
+	j.fs.dev.Write(ctx, b, j.base)
+	j.fs.dev.Flush(ctx, j.base, EntrySize)
+	ctx.Counters.JournalBytes += EntrySize
+}
+
+func (j *journal) readHeader() (wrap uint32, tail int64, lastCommitted uint64) {
+	b := make([]byte, EntrySize)
+	j.fs.dev.ReadAt(b, j.base)
+	le := binary.LittleEndian
+	return le.Uint32(b[4:]), int64(le.Uint64(b[8:])), le.Uint64(b[16:])
+}
+
+func (j *journal) entryAddr(slot int64) int64 { return j.base + slot*EntrySize }
+
+// jentry is a decoded journal entry.
+type jentry struct {
+	typ  uint8
+	n    uint8
+	wrap uint32
+	txid uint64
+	addr int64
+	data [undoBytes]byte
+}
+
+// entry layout: magic u16 | typ u8 | len u8 | wrap u32 | txid u64 |
+// addr u64 | data[32] | pad[8].
+func encodeEntry(e *jentry) []byte {
+	b := make([]byte, EntrySize)
+	le := binary.LittleEndian
+	le.PutUint16(b[0:], entryMagic)
+	b[2] = e.typ
+	b[3] = e.n
+	le.PutUint32(b[4:], e.wrap)
+	le.PutUint64(b[8:], e.txid)
+	le.PutUint64(b[16:], uint64(e.addr))
+	copy(b[24:24+undoBytes], e.data[:])
+	return b
+}
+
+func decodeEntry(b []byte) (jentry, bool) {
+	le := binary.LittleEndian
+	if le.Uint16(b[0:]) != entryMagic {
+		return jentry{}, false
+	}
+	e := jentry{
+		typ:  b[2],
+		n:    b[3],
+		wrap: le.Uint32(b[4:]),
+		txid: le.Uint64(b[8:]),
+		addr: int64(le.Uint64(b[16:])),
+	}
+	copy(e.data[:], b[24:24+undoBytes])
+	return e, e.typ >= entryStart && e.typ <= entryData
+}
+
+// txn is an in-progress journal transaction. It is bound to the per-CPU
+// journal it was created in even if the simulated thread migrates (§3.6,
+// "Handling thread migrations").
+type txn struct {
+	j         *journal
+	id        uint64
+	wrote     int
+	unflushed int
+}
+
+// begin starts a transaction in cpu's journal, reserving MaxTxEntries
+// entries (§3.6: "every journal transaction reserves the maximum number of
+// log entries that it requires ... before starting").
+func (fs *FS) beginTx(ctx *sim.Ctx, cpu int) *txn {
+	j := fs.journals[cpu]
+	// Serialise transactions on this journal: holds both the host mutex
+	// and the virtual-time resource until commit.
+	j.res.Acquire(ctx)
+	entries := fs.g.journalEntries()
+	if j.tail+MaxTxEntries > entries {
+		// Not enough contiguous room: wrap to the start. Transactions never
+		// straddle the wrap point, which keeps recovery single-run. The
+		// header is persisted only here (and at format time), so the
+		// common-case commit stays header-free.
+		j.tail = 1
+		j.wrap++
+		j.writeHeader(ctx, atomic.LoadUint64(&fs.nextTxID))
+		fs.dev.Fence(ctx)
+	}
+	// §3.6: the shared transaction ID is an atomic counter incremented on
+	// every transaction create, unique across all per-CPU journals.
+	id := atomic.AddUint64(&fs.nextTxID, 1)
+	tx := &txn{j: j, id: id}
+	tx.append(ctx, &jentry{typ: entryStart, wrap: j.wrap, txid: id})
+	return tx
+}
+
+func (tx *txn) append(ctx *sim.Ctx, e *jentry) {
+	j := tx.j
+	if tx.wrote >= MaxTxEntries {
+		panic(fmt.Sprintf("winefs: transaction exceeded %d entries", MaxTxEntries))
+	}
+	b := encodeEntry(e)
+	addr := j.entryAddr(j.tail)
+	j.fs.dev.Write(ctx, b, addr)
+	ctx.Counters.JournalBytes += EntrySize
+	j.tail++
+	tx.wrote++
+	tx.unflushed++
+}
+
+// flushEntries flushes the journal entries appended since the last flush
+// (one clwb pass over the contiguous run — cheaper than per-entry flushes).
+func (tx *txn) flushEntries(ctx *sim.Ctx) {
+	if tx.unflushed == 0 {
+		return
+	}
+	start := tx.j.entryAddr(tx.j.tail - int64(tx.unflushed))
+	tx.j.fs.dev.Flush(ctx, start, int64(tx.unflushed)*EntrySize)
+	tx.unflushed = 0
+}
+
+// undo records the current contents of [addr, addr+n) so a crash before
+// commit rolls the region back. n may exceed undoBytes; the range is split
+// across entries. Call undo before modifying the region: the entries are
+// fenced before undo returns, because an in-place update must never become
+// durable ahead of its undo record.
+func (tx *txn) undo(ctx *sim.Ctx, addr int64, n int) {
+	for n > 0 {
+		k := n
+		if k > undoBytes {
+			k = undoBytes
+		}
+		e := &jentry{typ: entryData, n: uint8(k), wrap: tx.j.wrap, txid: tx.id, addr: addr}
+		buf := make([]byte, k)
+		tx.j.fs.dev.Read(ctx, buf, addr)
+		copy(e.data[:], buf)
+		tx.append(ctx, e)
+		addr += int64(k)
+		n -= k
+	}
+	tx.flushEntries(ctx)
+	tx.j.fs.dev.Fence(ctx)
+}
+
+// commit makes the transaction durable and reclaims its space. The caller
+// must have flushed+fenced all its in-place updates first (undo journaling:
+// COMMIT durable implies the updates are durable). The journal header is
+// NOT rewritten per transaction — space reclamation is logical (the DRAM
+// tail advances; recovery scans forward from the last persisted header and
+// ignores committed transactions).
+func (tx *txn) commit(ctx *sim.Ctx) {
+	j := tx.j
+	j.fs.dev.Fence(ctx) // order in-place updates before COMMIT
+	tx.append(ctx, &jentry{typ: entryCommit, wrap: j.wrap, txid: tx.id})
+	tx.flushEntries(ctx)
+	j.fs.dev.Fence(ctx)
+	ctx.Counters.JournalCommits++
+	j.res.Release(ctx)
+}
+
+// uncommittedTx describes one in-flight transaction found during recovery.
+type uncommittedTx struct {
+	txid uint64
+	undo []jentry // DATA entries in append order
+}
+
+// scanJournal walks the journal forward from the last persisted header
+// (written at format and wrap time only) and returns the trailing
+// uncommitted transaction, if any, plus the largest TxID observed.
+func (j *journal) scanJournal() (*uncommittedTx, uint64) {
+	wrap, tail, lastCommitted := j.readHeader()
+	entries := j.fs.g.journalEntries()
+	read := func(slot int64) (jentry, bool) {
+		b := make([]byte, EntrySize)
+		j.fs.dev.ReadAt(b, j.entryAddr(slot))
+		return decodeEntry(b)
+	}
+	var maxSeen uint64
+	tryRun := func(start int64, expectWrap uint32) *uncommittedTx {
+		var tx *uncommittedTx
+		for slot := start; slot < entries; slot++ {
+			e, ok := read(slot)
+			if !ok || e.wrap != expectWrap || e.txid <= lastCommitted {
+				break
+			}
+			if e.txid > maxSeen {
+				maxSeen = e.txid
+			}
+			switch e.typ {
+			case entryStart:
+				tx = &uncommittedTx{txid: e.txid}
+			case entryData:
+				if tx != nil && e.txid == tx.txid {
+					tx.undo = append(tx.undo, e)
+				}
+			case entryCommit:
+				if tx != nil && e.txid == tx.txid {
+					tx = nil // complete transaction: nothing to roll back
+				}
+			}
+		}
+		return tx
+	}
+	if tail >= 1 && tail <= entries {
+		if tx := tryRun(tail, wrap); tx != nil {
+			return tx, maxSeen
+		}
+		// The in-flight transaction may have started right after a wrap
+		// whose header write did not persist.
+		if tx := tryRun(1, wrap+1); tx != nil {
+			return tx, maxSeen
+		}
+		return nil, maxSeen
+	}
+	return nil, maxSeen
+}
+
+// recoverJournals rolls back every uncommitted transaction across all
+// per-CPU journals, in descending global TxID order (§3.6, "Journal
+// Recovery"). Returns the number of transactions rolled back.
+func (fs *FS) recoverJournals(ctx *sim.Ctx) int {
+	var pending []*uncommittedTx
+	maxID := fs.nextTxID
+	for _, j := range fs.journals {
+		tx, seen := j.scanJournal()
+		if tx != nil {
+			pending = append(pending, tx)
+		}
+		if seen > maxID {
+			maxID = seen
+		}
+		// Charge the scan: reading the header plus up to MaxTxEntries.
+		fs.dev.Read(ctx, make([]byte, EntrySize), j.base)
+	}
+	sort.Slice(pending, func(i, k int) bool { return pending[i].txid > pending[k].txid })
+	for _, tx := range pending {
+		// Apply undo records in reverse order.
+		for i := len(tx.undo) - 1; i >= 0; i-- {
+			e := tx.undo[i]
+			fs.dev.Write(ctx, e.data[:e.n], e.addr)
+			fs.dev.Flush(ctx, e.addr, int64(e.n))
+		}
+		fs.dev.Fence(ctx)
+	}
+	// Reset every journal: mark all transactions resolved.
+	for _, p := range pending {
+		if p.txid > maxID {
+			maxID = p.txid
+		}
+	}
+	fs.nextTxID = maxID
+	for _, j := range fs.journals {
+		j.tail = 1
+		j.wrap++
+		j.writeHeader(ctx, maxID)
+	}
+	fs.dev.Fence(ctx)
+	return len(pending)
+}
+
+// initJournal prepares a fresh journal at mkfs time.
+func (j *journal) format(ctx *sim.Ctx) {
+	j.fs.dev.ZeroRange(j.base, JournalBlocks*BlockSize)
+	j.tail = 1
+	j.wrap = 1
+	j.writeHeader(ctx, 0)
+}
+
+// loadJournal restores the DRAM cursor at mount: the header gives the
+// start of the current wrap segment; the cursor is the first slot after
+// the entries already written in this segment.
+func (j *journal) load() {
+	wrap, tail, _ := j.readHeader()
+	j.wrap = wrap
+	j.tail = tail
+	entries := j.fs.g.journalEntries()
+	if j.tail < 1 || j.tail > entries {
+		j.tail = 1
+		j.wrap++
+		return
+	}
+	b := make([]byte, EntrySize)
+	for j.tail < entries {
+		j.fs.dev.ReadAt(b, j.entryAddr(j.tail))
+		e, ok := decodeEntry(b)
+		if !ok || e.wrap != j.wrap {
+			break
+		}
+		j.tail++
+	}
+}

@@ -1,0 +1,310 @@
+package winefs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func mk(t *testing.T) (*FS, *sim.Ctx, *pmem.Device) {
+	t.Helper()
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(128 << 20)
+	fs, err := Mkfs(ctx, dev, Options{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, ctx, dev
+}
+
+func TestJournalEntryCodec(t *testing.T) {
+	e := jentry{typ: entryData, n: 17, wrap: 3, txid: 42, addr: 0xdeadbeef}
+	copy(e.data[:], "old-bytes")
+	b := encodeEntry(&e)
+	if len(b) != EntrySize {
+		t.Fatalf("entry size %d", len(b))
+	}
+	got, ok := decodeEntry(b)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if got.typ != e.typ || got.n != e.n || got.wrap != e.wrap || got.txid != e.txid || got.addr != e.addr {
+		t.Fatalf("decoded %+v", got)
+	}
+	if string(got.data[:9]) != "old-bytes" {
+		t.Fatal("payload lost")
+	}
+	if _, ok := decodeEntry(make([]byte, EntrySize)); ok {
+		t.Fatal("zero entry decoded as valid")
+	}
+}
+
+func TestTxnCommitReclaims(t *testing.T) {
+	fs, ctx, _ := mk(t)
+	j := fs.journals[0]
+	tailBefore := j.tail
+	tx := fs.beginTx(ctx, 0)
+	tx.undo(ctx, fs.g.inodeAddr(1), 32)
+	tx.commit(ctx)
+	// After commit, the header's durable tail equals the DRAM tail and no
+	// uncommitted transaction is found.
+	if j.tail <= tailBefore {
+		t.Fatal("tail did not advance")
+	}
+	if tx2, _ := j.scanJournal(); tx2 != nil {
+		t.Fatalf("found uncommitted tx after commit: %+v", tx2)
+	}
+}
+
+func TestUncommittedTxRollsBack(t *testing.T) {
+	fs, ctx, dev := mk(t)
+	addr := fs.g.inodeAddr(2)
+	orig := []byte("ORIGINAL-CONTENT-32-BYTES-LONG!!")
+	dev.WriteAt(orig, addr)
+
+	// Start a transaction, log undo, clobber the region... then "crash"
+	// before commit (simply don't commit).
+	tx := fs.beginTx(ctx, 0)
+	tx.undo(ctx, addr, 32)
+	dev.WriteAt([]byte("GARBAGE-GARBAGE-GARBAGE-GARBAGE!"), addr)
+	tx.j.res.Release(ctx) // release without committing (simulated crash)
+
+	found, _ := fs.journals[0].scanJournal()
+	if found == nil || found.txid != tx.id || len(found.undo) != 1 {
+		t.Fatalf("scan found %+v", found)
+	}
+	n := fs.recoverJournals(ctx)
+	if n != 1 {
+		t.Fatalf("recovered %d txs", n)
+	}
+	got := make([]byte, 32)
+	dev.ReadAt(got, addr)
+	if string(got) != string(orig) {
+		t.Fatalf("rollback failed: %q", got)
+	}
+	// After recovery the journal is empty again.
+	if tx2, _ := fs.journals[0].scanJournal(); tx2 != nil {
+		t.Fatal("journal not clean after recovery")
+	}
+}
+
+func TestJournalWraparound(t *testing.T) {
+	fs, ctx, _ := mk(t)
+	j := fs.journals[0]
+	entries := fs.g.journalEntries()
+	// Run enough transactions to wrap several times.
+	rounds := int(entries/3)*2 + 10
+	for i := 0; i < rounds; i++ {
+		tx := fs.beginTx(ctx, 0)
+		tx.undo(ctx, fs.g.inodeAddr(1), 16)
+		tx.commit(ctx)
+	}
+	if j.wrap < 2 {
+		t.Fatalf("journal never wrapped: wrap=%d", j.wrap)
+	}
+	// Still consistent: no phantom uncommitted transactions.
+	if tx, _ := j.scanJournal(); tx != nil {
+		t.Fatalf("phantom tx after wraparound: %+v", tx)
+	}
+	// And an uncommitted tx right after a wrap is still found.
+	j.tail = entries - 2 // force the next tx to wrap
+	tx := fs.beginTx(ctx, 0)
+	tx.undo(ctx, fs.g.inodeAddr(1), 8)
+	tx.j.res.Release(ctx)
+	found, _ := j.scanJournal()
+	if found == nil || found.txid != tx.id {
+		t.Fatalf("wrap-straddling tx not found: %+v", found)
+	}
+}
+
+func TestRecoveryOrdersAcrossJournals(t *testing.T) {
+	fs, ctx, dev := mk(t)
+	addr := fs.g.inodeAddr(3)
+	dev.WriteAt([]byte("VERSION0"), addr)
+
+	// Tx A on CPU 0 logs VERSION0 then writes VERSION1; tx B on CPU 1 logs
+	// VERSION1 then writes VERSION2. Neither commits. Rollback must apply
+	// B's undo first (higher TxID), then A's — ending at VERSION0.
+	txA := fs.beginTx(ctx, 0)
+	txA.undo(ctx, addr, 8)
+	dev.WriteAt([]byte("VERSION1"), addr)
+	txA.j.res.Release(ctx)
+
+	txB := fs.beginTx(ctx, 1)
+	txB.undo(ctx, addr, 8)
+	dev.WriteAt([]byte("VERSION2"), addr)
+	txB.j.res.Release(ctx)
+
+	if txB.id <= txA.id {
+		t.Fatal("global TxIDs not increasing")
+	}
+	if n := fs.recoverJournals(ctx); n != 2 {
+		t.Fatalf("recovered %d", n)
+	}
+	got := make([]byte, 8)
+	dev.ReadAt(got, addr)
+	if string(got) != "VERSION0" {
+		t.Fatalf("cross-journal rollback order wrong: %q", got)
+	}
+}
+
+func TestMaxTxEntriesRespected(t *testing.T) {
+	// Every namespace operation must fit the paper's 10-entry budget in a
+	// single journal transaction (no chaining) for representative shapes.
+	fs, ctx, _ := mk(t)
+	ops := []func() error{
+		func() error { _, err := fs.Create(ctx, "/a"); return err },
+		func() error { return fs.Mkdir(ctx, "/d") },
+		func() error { _, err := fs.Create(ctx, "/d/x"); return err },
+		func() error { return fs.Rename(ctx, "/d/x", "/d/y") },
+		func() error { return fs.Unlink(ctx, "/d/y") },
+		func() error { return fs.Rmdir(ctx, "/d") },
+	}
+	for i, op := range ops {
+		commits := ctx.Counters.JournalCommits
+		if err := op(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got := ctx.Counters.JournalCommits - commits; got != 1 {
+			t.Fatalf("op %d used %d journal transactions, want 1", i, got)
+		}
+	}
+}
+
+func TestHeaderSurvivesReload(t *testing.T) {
+	fs, ctx, _ := mk(t)
+	for i := 0; i < 7; i++ {
+		tx := fs.beginTx(ctx, 1)
+		tx.undo(ctx, fs.g.inodeAddr(1), 8)
+		tx.commit(ctx)
+	}
+	j := fs.journals[1]
+	tail, wrap := j.tail, j.wrap
+	j.tail, j.wrap = 0, 0
+	j.load()
+	if j.tail != tail || j.wrap != wrap {
+		t.Fatalf("reload: tail=%d/%d wrap=%d/%d", j.tail, tail, j.wrap, wrap)
+	}
+}
+
+func TestCrashDuringCreateIsAtomic(t *testing.T) {
+	// End-to-end: snapshot the device, run a create, then restore crash
+	// states that cut the store sequence at every fence epoch. After
+	// recovery the file either fully exists or doesn't exist at all.
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(128 << 20)
+	fs, err := Mkfs(ctx, dev, Options{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-populate so the create is a pure metadata op.
+	if _, err := fs.Create(ctx, "/pre"); err != nil {
+		t.Fatal(err)
+	}
+	base := dev.Snapshot()
+	dev.StartTrace()
+	if _, err := fs.Create(ctx, "/victim"); err != nil {
+		t.Fatal(err)
+	}
+	trace := dev.StopTrace()
+	if len(trace) == 0 {
+		t.Fatal("create produced no stores")
+	}
+	maxEpoch := trace[len(trace)-1].Epoch
+	for cut := 0; cut <= maxEpoch+1; cut++ {
+		img := base.Clone()
+		var applied []pmem.Store
+		for _, s := range trace {
+			if s.Epoch < cut {
+				applied = append(applied, s)
+			}
+		}
+		img.Apply(applied)
+		dev.Restore(img)
+		rctx := sim.NewCtx(2, 0)
+		rfs, err := Mount(rctx, dev, Options{CPUs: 2})
+		if err != nil {
+			t.Fatalf("cut %d: mount: %v", cut, err)
+		}
+		_, errPre := rfs.Stat(rctx, "/pre")
+		if errPre != nil {
+			t.Fatalf("cut %d: /pre lost: %v", cut, errPre)
+		}
+		_, errV := rfs.Stat(rctx, "/victim")
+		if errV != nil && errV != vfs.ErrNotExist {
+			t.Fatalf("cut %d: inconsistent state: %v", cut, errV)
+		}
+		// If the file exists it must be fully usable.
+		if errV == nil {
+			if _, err := rfs.Open(rctx, "/victim"); err != nil {
+				t.Fatalf("cut %d: victim exists but unusable: %v", cut, err)
+			}
+		}
+	}
+}
+
+func TestCrashStatesOfUnlink(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(128 << 20)
+	fs, _ := Mkfs(ctx, dev, Options{CPUs: 2})
+	f, _ := fs.Create(ctx, "/doomed")
+	f.WriteAt(ctx, []byte("data"), 0)
+	base := dev.Snapshot()
+	dev.StartTrace()
+	if err := fs.Unlink(ctx, "/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	trace := dev.StopTrace()
+	maxEpoch := trace[len(trace)-1].Epoch
+	for cut := 0; cut <= maxEpoch+1; cut++ {
+		img := base.Clone()
+		var applied []pmem.Store
+		for _, s := range trace {
+			if s.Epoch < cut {
+				applied = append(applied, s)
+			}
+		}
+		img.Apply(applied)
+		dev.Restore(img)
+		rctx := sim.NewCtx(2, 0)
+		rfs, err := Mount(rctx, dev, Options{CPUs: 2})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		_, errV := rfs.Stat(rctx, "/doomed")
+		if errV == nil {
+			// Still present: content must be intact.
+			g, err := rfs.Open(rctx, "/doomed")
+			if err != nil || g.Size() != 4 {
+				t.Fatalf("cut %d: partial unlink: %v size=%d", cut, err, g.Size())
+			}
+		} else if errV != vfs.ErrNotExist {
+			t.Fatalf("cut %d: %v", cut, errV)
+		}
+	}
+}
+
+func TestRecoveryTimeScalesWithFiles(t *testing.T) {
+	// §5.2: recovery time depends on the number of files, not data volume.
+	times := make(map[int]int64)
+	for _, nFiles := range []int{10, 100} {
+		ctx := sim.NewCtx(1, 0)
+		dev := pmem.New(256 << 20)
+		fs, _ := Mkfs(ctx, dev, Options{CPUs: 4})
+		for i := 0; i < nFiles; i++ {
+			f, _ := fs.Create(ctx, fmt.Sprintf("/f%d", i))
+			f.WriteAt(ctx, make([]byte, 4096), 0)
+		}
+		rctx := sim.NewCtx(2, 0)
+		if _, err := Mount(rctx, dev, Options{CPUs: 4}); err != nil {
+			t.Fatal(err)
+		}
+		times[nFiles] = rctx.Now()
+	}
+	if times[100] <= times[10] {
+		t.Fatalf("recovery time not increasing with files: %v", times)
+	}
+}

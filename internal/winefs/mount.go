@@ -1,0 +1,337 @@
+package winefs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mmu"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Mount attaches to an existing WineFS on dev. If the superblock records a
+// clean unmount the serialised allocator state is loaded; otherwise the
+// per-CPU journals are recovered (uncommitted transactions rolled back) and
+// the allocator is rebuilt by scanning the per-CPU inode tables in
+// parallel (§3.6, "Crash Recovery and unmount").
+func Mount(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
+	sbBuf := make([]byte, sbSize)
+	dev.ReadAt(sbBuf, 0)
+	sb := decodeSuperblock(sbBuf)
+	if sb.magic != Magic {
+		return nil, fmt.Errorf("winefs: bad superblock magic %#x", sb.magic)
+	}
+	dev.Read(ctx, sbBuf, 0) // charge the superblock read
+
+	fs := &FS{
+		dev:    dev,
+		as:     mmu.NewAddressSpace(dev),
+		model:  dev.Model(),
+		mode:   opts.Mode,
+		g:      makeGeometry(sb.totalBlocks, int(sb.cpus), sb.inodesPerCPU),
+		locks:  vfs.NewLockTable(),
+		inodes: make(map[uint64]*inode),
+		numaOn: opts.NUMAAware && dev.Nodes() > 1,
+		homes:  make(map[int]int),
+	}
+	fs.nextTxID = sb.nextTxID
+	fs.alloc = newAllocator(fs)
+	for c := 0; c < fs.g.cpus; c++ {
+		j := &journal{fs: fs, cpu: c, base: fs.g.journalBase(c)}
+		fs.journals = append(fs.journals, j)
+		j.load()
+	}
+
+	if !sb.clean {
+		// Crash path: roll back in-flight transactions first, then rebuild
+		// everything from the (now consistent) inode tables.
+		fs.recoverJournals(ctx)
+		fs.rebuildFromScan(ctx, true)
+	} else {
+		// Clean path: the DRAM structures are deserialised from the
+		// unmount area. (The host still walks the inode tables to build
+		// its in-memory namespace, but the virtual-time cost charged is
+		// the cheap freelist read — matching a real clean mount.)
+		if !fs.loadFreeState(ctx) {
+			fs.rebuildFromScan(ctx, true)
+		} else {
+			fs.rebuildFromScan(ctx, false)
+		}
+	}
+	// The mount is live: mark the superblock dirty so a crash triggers
+	// recovery.
+	fs.writeSuper(ctx, false)
+	return fs, nil
+}
+
+// Unmount implements vfs.FS: serialise the DRAM allocator state and mark
+// the superblock clean.
+func (fs *FS) Unmount(ctx *sim.Ctx) error {
+	fs.saveFreeState(ctx)
+	fs.writeSuper(ctx, true)
+	return nil
+}
+
+// inodeScanCost is the virtual-time cost of examining one inode slot
+// during the recovery scan.
+const inodeScanCost = 180
+
+// rebuildFromScan walks every per-CPU inode table, reconstructing the
+// DRAM inode cache, the directory indexes, and (when rebuildFree is true)
+// the allocator free lists and inode free lists. The per-CPU scans run in
+// parallel in virtual time: the charged cost is the maximum over CPUs.
+func (fs *FS) rebuildFromScan(ctx *sim.Ctx, rebuildFree bool) {
+	if rebuildFree {
+		fs.alloc.initEmpty()
+	}
+	fs.initInodeFree()
+
+	start := ctx.Now()
+	var maxCPUCost int64
+	for c := 0; c < fs.g.cpus; c++ {
+		var cpuCost int64
+		base := fs.g.inodeTableBase(c)
+		g := fs.alloc.groups[c]
+		for s := int64(0); s < fs.g.inodesPerCPU; s++ {
+			cpuCost += inodeScanCost
+			hdr := make([]byte, inoOffExtents)
+			fs.dev.ReadAt(hdr, base+s*InodeSize)
+			di := decodeInodeHeader(hdr)
+			if di.magic != inodeMagic || di.typ == typeFree {
+				continue
+			}
+			// Live inode: remove the slot from the free list.
+			for i, fslot := range g.inodeFree {
+				if fslot == s {
+					g.inodeFree = append(g.inodeFree[:i], g.inodeFree[i+1:]...)
+					break
+				}
+			}
+			inoNum := fs.g.inoFor(c, s)
+			ino := &inode{
+				fs:    fs,
+				ino:   inoNum,
+				typ:   di.typ,
+				flags: di.flags,
+				size:  di.size,
+				nlink: di.nlink,
+			}
+			if di.typ == typeDir {
+				ino.dir = newDirIndex()
+			}
+			cpuCost += fs.loadExtents(ino, di)
+			if rebuildFree {
+				for _, e := range ino.extents {
+					fs.alloc.markUsed(e.blk, e.length)
+				}
+				for _, blk := range ino.indirect {
+					fs.alloc.markUsed(blk, 1)
+				}
+			}
+			fs.inodes[inoNum] = ino
+		}
+		if cpuCost > maxCPUCost {
+			maxCPUCost = cpuCost
+		}
+	}
+	// Parallel scan: total time = slowest CPU.
+	ctx.AdvanceTo(start + maxCPUCost)
+
+	// Second pass: rebuild directory indexes from dirent blocks.
+	for _, ino := range fs.inodes {
+		if ino.typ != typeDir {
+			continue
+		}
+		fs.loadDirIndex(ctx, ino)
+	}
+	if fs.inodes[1] == nil {
+		// A formatted FS always has a root; restore a fresh one if the
+		// image predates any successful create (defensive).
+		root := &inode{fs: fs, ino: 1, typ: typeDir, nlink: 2, dir: newDirIndex()}
+		fs.inodes[1] = root
+		fs.removeFreeIno(0, 0)
+	}
+}
+
+// loadExtents reads an inode's extent records (inline + indirect chain)
+// into DRAM; returns the virtual-time cost of the reads.
+func (fs *FS) loadExtents(ino *inode, di dinode) int64 {
+	var cost int64
+	n := int(di.extCount)
+	ino.extents = make([]wextent, 0, n)
+	ino.slots = make([]int, 0, n)
+	if di.indirect != 0 {
+		ino.indirect = []int64{di.indirect}
+	}
+	buf := make([]byte, extentSize)
+	for i := 0; i < n; i++ {
+		var addr int64
+		if i < InlineExtents {
+			addr = fs.g.inodeAddr(ino.ino) + inoOffExtents + int64(i)*extentSize
+		} else {
+			idx := i - InlineExtents
+			chain := idx / extPerIndirect
+			for len(ino.indirect) <= chain {
+				// Follow the chain pointer at the start of the last block.
+				var pb [8]byte
+				fs.dev.ReadAt(pb[:], ino.indirect[len(ino.indirect)-1]*BlockSize)
+				next := int64(binary.LittleEndian.Uint64(pb[:]))
+				if next == 0 {
+					return cost
+				}
+				ino.indirect = append(ino.indirect, next)
+				cost += int64(fs.model.ReadLat64)
+			}
+			addr = ino.indirect[chain]*BlockSize + 8 + int64(idx%extPerIndirect)*extentSize
+		}
+		fs.dev.ReadAt(buf, addr)
+		cost += int64(fs.model.ReadLat64) / 4
+		e := decodeExtent(buf)
+		ino.extents = append(ino.extents, wextent{fileBlk: e.fileBlk, blk: e.blk, length: e.length})
+		ino.slots = append(ino.slots, i)
+	}
+	sortExtents(ino)
+	return cost
+}
+
+// loadDirIndex rebuilds a directory's DRAM red-black tree from its dirent
+// blocks.
+func (fs *FS) loadDirIndex(ctx *sim.Ctx, dir *inode) {
+	buf := make([]byte, BlockSize)
+	for _, e := range dir.extents {
+		for b := e.blk; b < e.blk+e.length; b++ {
+			fs.dev.ReadAt(buf, b*BlockSize)
+			ctx.Advance(int64(fs.model.ReadLat64))
+			for off := int64(0); off < BlockSize; off += DirentSize {
+				addr := b*BlockSize + off
+				ino, name, valid := decodeDirent(buf[off : off+DirentSize])
+				if !valid || ino == 0 {
+					dir.dir.freeSlots = append(dir.dir.freeSlots, addr)
+					continue
+				}
+				if fs.inodes[ino] == nil {
+					// Dangling entry (target rolled back): treat as free.
+					dir.dir.freeSlots = append(dir.dir.freeSlots, addr)
+					continue
+				}
+				dir.dir.tree.Set(name, dentry{ino: ino, addr: addr})
+			}
+		}
+	}
+}
+
+// --- free-state serialisation ----------------------------------------------
+
+const freeStateMagic = 0x46524545 // "FREE"
+
+// saveFreeState serialises the per-CPU allocator pools into the unmount
+// area. If the state doesn't fit, the area is invalidated so the next
+// mount falls back to a scan.
+func (fs *FS) saveFreeState(ctx *sim.Ctx) {
+	var buf []byte
+	u64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	u64(freeStateMagic)
+	u64(uint64(fs.g.cpus))
+	for _, g := range fs.alloc.groups {
+		g.mu.Lock()
+		u64(uint64(len(g.aligned)))
+		for _, b := range g.aligned {
+			u64(uint64(b))
+		}
+		type hole struct{ s, l int64 }
+		var holes []hole
+		g.holes.Ascend(func(s, l int64) bool {
+			holes = append(holes, hole{s, l})
+			return true
+		})
+		u64(uint64(len(holes)))
+		for _, h := range holes {
+			u64(uint64(h.s))
+			u64(uint64(h.l))
+		}
+		g.mu.Unlock()
+	}
+	area := fs.g.unmountStart * BlockSize
+	limit := fs.g.unmountBlocks * BlockSize
+	if int64(len(buf)) > limit {
+		// Doesn't fit: invalidate so mount rebuilds by scanning.
+		fs.dev.Write(ctx, make([]byte, 8), area)
+		fs.dev.Flush(ctx, area, 8)
+		fs.dev.Fence(ctx)
+		return
+	}
+	fs.dev.Write(ctx, buf, area)
+	fs.dev.Flush(ctx, area, int64(len(buf)))
+	fs.dev.Fence(ctx)
+}
+
+// loadFreeState deserialises the allocator pools; returns false if the
+// area is invalid.
+func (fs *FS) loadFreeState(ctx *sim.Ctx) bool {
+	area := fs.g.unmountStart * BlockSize
+	limit := fs.g.unmountBlocks * BlockSize
+	raw := make([]byte, limit)
+	fs.dev.ReadAt(raw, area)
+	pos := 0
+	u64 := func() (uint64, bool) {
+		if pos+8 > len(raw) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(raw[pos:])
+		pos += 8
+		return v, true
+	}
+	magic, ok := u64()
+	if !ok || magic != freeStateMagic {
+		return false
+	}
+	cpus, ok := u64()
+	if !ok || int(cpus) != fs.g.cpus {
+		return false
+	}
+	var totalRead int64 = 16
+	for _, g := range fs.alloc.groups {
+		na, ok := u64()
+		if !ok {
+			return false
+		}
+		g.aligned = g.aligned[:0]
+		for i := uint64(0); i < na; i++ {
+			b, ok := u64()
+			if !ok {
+				return false
+			}
+			g.aligned = append(g.aligned, int64(b))
+		}
+		nh, ok := u64()
+		if !ok {
+			return false
+		}
+		for i := uint64(0); i < nh; i++ {
+			s, ok1 := u64()
+			l, ok2 := u64()
+			if !ok1 || !ok2 {
+				return false
+			}
+			g.insertHoleLocked(int64(s), int64(l))
+		}
+		totalRead += int64(8 + na*8 + 8 + nh*16)
+	}
+	// Charge the freelist read (this is what makes clean mounts fast).
+	fs.dev.Read(ctx, make([]byte, min64(totalRead, 4096)), area)
+	ctx.Advance(totalRead / 64 * int64(fs.model.ReadLat64) / 8)
+	return true
+}
+
+// FilesCount reports the number of live inodes (tests / recovery
+// experiment).
+func (fs *FS) FilesCount() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.inodes)
+}

@@ -1,0 +1,95 @@
+package winefs
+
+import "repro/internal/sim"
+
+// NUMA-awareness (§3.6, "Minimizing remote NUMA accesses"): WineFS routes
+// each process' writes to a "home" NUMA node — chosen as the node with the
+// most free space when the process first writes — on the insight that
+// remote writes are more expensive than remote reads and that temporal
+// locality makes reads of freshly written data local for free. Children
+// inherit their parent's home node.
+
+// homeCPU returns the CPU whose pool the thread's allocations should use:
+// a CPU on the thread's home NUMA node. If the home node has run out of
+// free space a new home is selected and the thread migrates.
+func (fs *FS) homeCPU(ctx *sim.Ctx) int {
+	fs.homeMu.Lock()
+	node, ok := fs.homes[ctx.Thread]
+	if ok && fs.nodeFreeBlocks(node) == 0 {
+		ok = false // home exhausted: pick a new one
+	}
+	if !ok {
+		node = fs.nodeWithMostFree()
+		fs.homes[ctx.Thread] = node
+	}
+	fs.homeMu.Unlock()
+	// Map the home node to one of its CPUs, spreading threads across the
+	// node's pools deterministically.
+	perNode := fs.g.cpus / fs.dev.Nodes()
+	if perNode == 0 {
+		perNode = 1
+	}
+	cpu := node*perNode + ctx.Thread%perNode
+	if cpu >= fs.g.cpus {
+		cpu = fs.g.cpus - 1
+	}
+	// Model the (rare) migration: if the thread is currently on a CPU of a
+	// different node, charge a migration cost and move it.
+	if fs.dev.NodeOfCPU(ctx.CPU) != node {
+		ctx.Advance(migrateCost)
+		ctx.CPU = cpu
+	}
+	return cpu
+}
+
+// migrateCost is the virtual-time cost of migrating a thread to its home
+// NUMA node on a write (§3.6, "Writes": "If required, the process is
+// migrated to its home NUMA node").
+const migrateCost = 3000
+
+// nodeWithMostFree picks the NUMA node with the most free blocks (§3.6:
+// "the assigned home NUMA node is the NUMA node with most free space").
+func (fs *FS) nodeWithMostFree() int {
+	best, bestFree := 0, int64(-1)
+	for n := 0; n < fs.dev.Nodes(); n++ {
+		f := fs.nodeFreeBlocks(n)
+		if f > bestFree {
+			best, bestFree = n, f
+		}
+	}
+	return best
+}
+
+// nodeFreeBlocks sums free space across the allocation groups whose pools
+// live on the given node.
+func (fs *FS) nodeFreeBlocks(node int) int64 {
+	var free int64
+	for _, g := range fs.alloc.groups {
+		start, _ := fs.g.poolRange(g.cpu)
+		if fs.dev.NodeOf(start*BlockSize) != node {
+			continue
+		}
+		g.mu.Lock()
+		free += g.freeBlocks()
+		g.mu.Unlock()
+	}
+	return free
+}
+
+// InheritHome gives a child thread its parent's home NUMA node (§3.6,
+// "Child process").
+func (fs *FS) InheritHome(parentThread, childThread int) {
+	fs.homeMu.Lock()
+	defer fs.homeMu.Unlock()
+	if node, ok := fs.homes[parentThread]; ok {
+		fs.homes[childThread] = node
+	}
+}
+
+// HomeNode reports the thread's current home node, if assigned.
+func (fs *FS) HomeNode(thread int) (int, bool) {
+	fs.homeMu.Lock()
+	defer fs.homeMu.Unlock()
+	n, ok := fs.homes[thread]
+	return n, ok
+}

@@ -1,0 +1,188 @@
+package winefs
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// Reactive rewriting (§3.6, "Reactively rewriting a file"): when a file is
+// memory-mapped and found fragmented — allocated from unaligned holes even
+// though it is large enough to use hugepages — it is queued, and a
+// background thread later reads it and rewrites it with big (aligned)
+// allocations, switching the directory's view to the new layout in one
+// journal transaction. The paper notes this is an extremely rare path for
+// well-behaved mmap applications.
+
+// maybeQueueRewrite checks a file's layout at mmap time and queues it for
+// rewriting if any full 2MiB chunk of it cannot be hugepage-mapped.
+func (fs *FS) maybeQueueRewrite(ino *inode) {
+	ino.mu.RLock()
+	size := ino.size
+	exts := ino.mmuExtentsLocked()
+	ino.mu.RUnlock()
+	if size < mmu.HugePage {
+		return
+	}
+	fragmented := false
+	for chunk := int64(0); chunk+mmu.HugePage <= size; chunk += mmu.HugePage {
+		if _, ok := mmu.HugeEligible(exts, chunk); !ok {
+			fragmented = true
+			break
+		}
+	}
+	if !fragmented {
+		return
+	}
+	fs.rewriteMu.Lock()
+	for _, q := range fs.rewriteQ {
+		if q == ino.ino {
+			fs.rewriteMu.Unlock()
+			return
+		}
+	}
+	fs.rewriteQ = append(fs.rewriteQ, ino.ino)
+	fs.rewriteMu.Unlock()
+}
+
+// RewriteQueueLen reports how many files await reactive rewriting.
+func (fs *FS) RewriteQueueLen() int {
+	fs.rewriteMu.Lock()
+	defer fs.rewriteMu.Unlock()
+	return len(fs.rewriteQ)
+}
+
+// RunRewriter drains the rewrite queue, acting as the paper's background
+// thread. The caller provides the thread context the work is charged to
+// (experiments run it on a dedicated simulated thread so its bandwidth
+// consumption competes with foreground work, §4's defragmentation
+// interference discussion). Returns the number of files rewritten.
+func (fs *FS) RunRewriter(ctx *sim.Ctx) int {
+	done := 0
+	for {
+		fs.rewriteMu.Lock()
+		if len(fs.rewriteQ) == 0 {
+			fs.rewriteMu.Unlock()
+			return done
+		}
+		inoNum := fs.rewriteQ[0]
+		fs.rewriteQ = fs.rewriteQ[1:]
+		fs.rewriteMu.Unlock()
+		ino := fs.getInode(inoNum)
+		if ino == nil {
+			continue
+		}
+		if fs.rewriteFile(ctx, ino) {
+			done++
+			ctx.Counters.Rewrites++
+		}
+	}
+}
+
+// rewriteFile re-allocates the whole file from aligned extents, copies the
+// data across, and swaps the extent map in one transaction.
+func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
+	fs.locks.Lock(ctx, ino.ino)
+	defer fs.locks.Unlock(ctx, ino.ino)
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	if ino.typ != typeFile || ino.size < mmu.HugePage {
+		return false
+	}
+	blocks := (ino.size + BlockSize - 1) / BlockSize
+	tx := fs.begin(ctx)
+	newExts, err := fs.alloc.alloc(ctx, tx.cpu, blocks, true)
+	if err != nil {
+		tx.commit()
+		return false
+	}
+	// Copy old contents (reading through the old map) into the new blocks.
+	buf := make([]byte, alloc.HugeBytes)
+	var copied int64
+	for _, ne := range newExts {
+		remaining := ne.Len
+		dst := ne.Start
+		for remaining > 0 && copied < blocks {
+			n := remaining
+			if n > int64(len(buf))/BlockSize {
+				n = int64(len(buf)) / BlockSize
+			}
+			if copied+n > blocks {
+				n = blocks - copied
+			}
+			fs.readRangeLocked(ctx, ino, buf[:n*BlockSize], copied*BlockSize)
+			fs.dev.Write(ctx, buf[:n*BlockSize], dst*BlockSize)
+			dst += n
+			copied += n
+			remaining -= n
+		}
+	}
+	// Swap the extent map: free the old layout, install the new.
+	old := ino.extents
+	ino.extents = nil
+	ino.slots = nil
+	fileBlk := int64(0)
+	for _, ne := range newExts {
+		l := ne.Len
+		if fileBlk+l > blocks {
+			l = blocks - fileBlk
+		}
+		if l <= 0 {
+			fs.alloc.free(ctx, ne)
+			continue
+		}
+		ino.extents = append(ino.extents, wextent{fileBlk: fileBlk, blk: ne.Start, length: l})
+		ino.slots = append(ino.slots, len(ino.slots))
+		fileBlk += l
+		if l < ne.Len {
+			fs.alloc.free(ctx, alloc.Extent{Start: ne.Start + l, Len: ne.Len - l})
+		}
+	}
+	ino.gen++
+	for i := range ino.extents {
+		if err := fs.writeExtentSlot(ctx, tx, ino, i); err != nil {
+			tx.commit()
+			return false
+		}
+	}
+	fs.writeInodeHeader(ctx, tx, ino)
+	tx.commit()
+	// Shoot down any live mappings before the old blocks are freed:
+	// subsequent accesses re-fault against the new (aligned) layout.
+	for _, m := range ino.mappings {
+		m.Invalidate()
+	}
+	fs.alloc.freeAll(ctx, old)
+	return true
+}
+
+// readRangeLocked reads file bytes through the extent map (caller holds
+// ino.mu). Holes read as zero.
+func (fs *FS) readRangeLocked(ctx *sim.Ctx, ino *inode, p []byte, off int64) {
+	read := 0
+	for read < len(p) {
+		pos := off + int64(read)
+		blk := pos / BlockSize
+		in := pos % BlockSize
+		phys, run, ok := ino.findRun(blk)
+		if !ok {
+			holeEnd := ino.nextExtentStart(blk, (off+int64(len(p))+BlockSize-1)/BlockSize) * BlockSize
+			n := holeEnd - pos
+			if n > int64(len(p)-read) {
+				n = int64(len(p) - read)
+			}
+			z := p[read : read+int(n)]
+			for i := range z {
+				z[i] = 0
+			}
+			read += int(n)
+			continue
+		}
+		n := run*BlockSize - in
+		if n > int64(len(p)-read) {
+			n = int64(len(p) - read)
+		}
+		fs.dev.Read(ctx, p[read:read+int(n)], phys*BlockSize+in)
+		read += int(n)
+	}
+}

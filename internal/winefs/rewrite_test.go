@@ -1,0 +1,109 @@
+package winefs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mmu"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/winefs"
+)
+
+// TestRewriteInvalidatesLiveMappings covers the page-table shootdown: an
+// application holding an mmap across a reactive rewrite must keep reading
+// its data (re-faulted against the new layout), never the freed old
+// blocks.
+func TestRewriteInvalidatesLiveMappings(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(512 << 20)
+	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a fragmented 4MiB file with recognisable content.
+	f, _ := fs.Create(ctx, "/frag")
+	payload := make([]byte, 4<<20)
+	for i := range payload {
+		payload[i] = byte(i / 4096)
+	}
+	for off := int64(0); off < int64(len(payload)); off += 64 << 10 {
+		if _, err := f.WriteAt(ctx, payload[off:off+64<<10], off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := mmu.HugeEligible(f.Extents(), 0); ok {
+		t.Skip("file happened to be aligned already")
+	}
+
+	// Map it and fault a few pages in (old translations).
+	m, err := f.Mmap(ctx, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := m.Read(ctx, buf, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload[1<<20:1<<20+4096]) {
+		t.Fatal("pre-rewrite read wrong")
+	}
+	base0, _ := m.MappedPages()
+	if base0 == 0 {
+		t.Fatal("expected base-page mappings before rewrite")
+	}
+
+	// Rewrite in the background, then clobber the freed old blocks by
+	// allocating and writing a filler file over them.
+	bg := sim.NewCtx(2, 3)
+	bg.AdvanceTo(ctx.Now())
+	if n := fs.RunRewriter(bg); n != 1 {
+		t.Fatalf("rewriter processed %d files", n)
+	}
+	filler, _ := fs.Create(ctx, "/filler")
+	if _, err := filler.WriteAt(ctx, bytes.Repeat([]byte{0xFF}, 8<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same mapping must still read the original content, now through
+	// hugepage translations on the new aligned layout.
+	post := sim.NewCtx(3, 0)
+	post.AdvanceTo(ctx.Now())
+	for _, off := range []int64{0, 1 << 20, 3<<20 + 12345} {
+		n := int64(len(buf))
+		if err := m.Read(post, buf[:n], off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf[:n], payload[off:off+n]) {
+			t.Fatalf("post-rewrite read at %d corrupted (stale translation?)", off)
+		}
+	}
+	if post.Counters.HugeFaults == 0 {
+		t.Fatal("post-rewrite faults should be hugepage faults")
+	}
+}
+
+// TestRewriteSkipsDeletedFiles: queue a file, delete it, run the rewriter.
+func TestRewriteSkipsDeletedFiles(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(256 << 20)
+	fs, _ := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: 2})
+	f, _ := fs.Create(ctx, "/doomed")
+	for off := int64(0); off < 4<<20; off += 32 << 10 {
+		f.WriteAt(ctx, make([]byte, 32<<10), off)
+	}
+	if _, err := f.Mmap(ctx, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	queued := fs.RewriteQueueLen()
+	if err := fs.Unlink(ctx, "/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	bg := sim.NewCtx(2, 1)
+	if n := fs.RunRewriter(bg); n != 0 && queued > 0 {
+		t.Fatalf("rewriter rewrote a deleted file (%d)", n)
+	}
+	if rep := winefs.Check(dev); !rep.OK() {
+		t.Fatalf("fsck: %v", rep.Errors)
+	}
+}

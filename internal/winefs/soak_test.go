@@ -1,0 +1,146 @@
+package winefs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/geriatrix"
+	"repro/internal/mmu"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+)
+
+// TestSoakLifecycle drives one WineFS instance through the full lifecycle
+// the paper envisions: age it with churn, run an mmap application on the
+// aged FS, crash it mid-life, recover, verify everything with fsck and
+// content checks, unmount cleanly, and remount — several times over.
+func TestSoakLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	dev := pmem.New(1 << 30)
+	ctx := sim.NewCtx(1, 0)
+	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: age to 60%.
+	ager := geriatrix.New(fs, geriatrix.Config{TargetUtil: 0.6, ChurnFactor: 0.5, Seed: 9})
+	if _, err := ager.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	payloads := map[string][]byte{}
+	for cycle := 0; cycle < 3; cycle++ {
+		// Phase 2: an mmap application writes recognisable data.
+		name := fmt.Sprintf("/app%d", cycle)
+		f, err := fs.Create(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := int64(8 << 20)
+		if err := f.Fallocate(ctx, 0, size); err != nil {
+			t.Fatal(err)
+		}
+		m, err := f.Mmap(ctx, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := bytes.Repeat([]byte{byte(0x10 + cycle)}, int(size))
+		if err := m.Write(ctx, payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		payloads[name] = payload
+		// Aged WineFS still maps the app file with hugepages.
+		if _, huge := m.MappedPages(); huge == 0 {
+			t.Fatalf("cycle %d: aged WineFS gave no hugepages", cycle)
+		}
+
+		// Phase 3: more churn.
+		if err := ager.RaiseUtil(ctx, 0.6+float64(cycle)*0.05); err != nil {
+			t.Fatal(err)
+		}
+
+		// Phase 4: crash (no unmount), recover, verify.
+		rctx := sim.NewCtx(10+cycle, 0)
+		rfs, err := winefs.Mount(rctx, dev, winefs.Options{CPUs: 4})
+		if err != nil {
+			t.Fatalf("cycle %d: recovery mount: %v", cycle, err)
+		}
+		if rep := winefs.Check(dev); !rep.OK() {
+			t.Fatalf("cycle %d: fsck after crash: %v", cycle, rep.Errors[0])
+		}
+		for n, want := range payloads {
+			g, err := rfs.Open(rctx, n)
+			if err != nil {
+				t.Fatalf("cycle %d: open %s: %v", cycle, n, err)
+			}
+			got := make([]byte, 4096)
+			for _, off := range []int64{0, int64(len(want)) / 2, int64(len(want)) - 4096} {
+				if _, err := g.ReadAt(rctx, got, off); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want[off:off+4096]) {
+					t.Fatalf("cycle %d: %s corrupted at %d", cycle, n, off)
+				}
+			}
+		}
+
+		// Phase 5: clean unmount + remount; continue on the new instance.
+		if err := rfs.Unmount(rctx); err != nil {
+			t.Fatal(err)
+		}
+		cctx := sim.NewCtx(20+cycle, 0)
+		fs, err = winefs.Mount(cctx, dev, winefs.Options{CPUs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx = cctx
+		// Re-bind the ager to the fresh instance: recreate its view by
+		// re-discovering live files (the ager tracks paths only).
+		ager = geriatrix.New(fs, geriatrix.Config{TargetUtil: 0.6, ChurnFactor: 0.1, Seed: uint64(100 + cycle)})
+		if _, err := ager.Run(ctx); err != nil && err != vfs.ErrNoSpace {
+			t.Fatal(err)
+		}
+	}
+	_ = mmu.HugePage
+}
+
+// TestThreadMigrationKeepsJournal covers §3.6 "Handling thread
+// migrations": a transaction created on one CPU finishes in that CPU's
+// journal even if the scheduler moves the thread mid-operation. With our
+// API the binding is structural (the txn holds its journal), so the test
+// asserts the observable contract: operations from a migrating thread are
+// crash-consistent and fsck-clean.
+func TestThreadMigrationKeepsJournal(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(256 << 20)
+	fs, _ := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: 4})
+	for i := 0; i < 50; i++ {
+		ctx.CPU = i % 4 // the scheduler migrates the thread between ops
+		name := fmt.Sprintf("/m%d", i)
+		f, err := fs.Create(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Append(ctx, make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := fs.Unlink(ctx, name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rctx := sim.NewCtx(2, 0)
+	if _, err := winefs.Mount(rctx, dev, winefs.Options{CPUs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if rep := winefs.Check(dev); !rep.OK() {
+		t.Fatalf("fsck: %v", rep.Errors)
+	}
+}

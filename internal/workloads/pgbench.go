@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// PgbenchConfig sizes the TPC-B-style read-write workload §5.5 runs
+// against PostgreSQL (32 threads, 60GB database in the paper; scaled here).
+type PgbenchConfig struct {
+	Threads int
+	// DatabaseBytes is the table heap size.
+	DatabaseBytes int64
+	// TxPerThread is the number of TPC-B transactions per thread.
+	TxPerThread int
+	Seed        uint64
+}
+
+func (c *PgbenchConfig) defaults() {
+	if c.Threads == 0 {
+		c.Threads = 8 // scaled from 32
+	}
+	if c.DatabaseBytes == 0 {
+		c.DatabaseBytes = 256 << 20
+	}
+	if c.TxPerThread == 0 {
+		c.TxPerThread = 300
+	}
+}
+
+// PgbenchResult reports transactions per virtual second.
+type PgbenchResult struct {
+	Tx        int64
+	VirtualNS int64
+	// WaitNS is the average per-thread virtual time lost to contention.
+	WaitNS int64
+}
+
+// TPS returns transactions per virtual second.
+func (r PgbenchResult) TPS() float64 {
+	if r.VirtualNS == 0 {
+		return 0
+	}
+	return float64(r.Tx) / (float64(r.VirtualNS) / 1e9)
+}
+
+const pgPage = 8192
+
+// Pgbench runs the read-write TPC-B-like mix: each transaction reads three
+// random heap pages, overwrites one in place, appends a WAL record and
+// fsyncs the WAL. The in-place heap overwrite is the operation that
+// separates journaling (WineFS) from log-structuring (NOVA) in Figure 9:
+// "NOVA has to delete per-inode log entries, add new entries ... WineFS
+// only modifies the inode in a journal transaction."
+func Pgbench(fs vfs.FS, cfg PgbenchConfig) (PgbenchResult, error) {
+	cfg.defaults()
+	setup := sim.NewCtx(1000, 0)
+	if err := fs.Mkdir(setup, "/pg"); err != nil && err != vfs.ErrExist {
+		return PgbenchResult{}, err
+	}
+	// PostgreSQL stores each relation in 1GiB segment files; the workload's
+	// page accesses therefore spread across several inodes rather than
+	// serialising on one file's VFS lock. We scale to 8 segments.
+	const segments = 8
+	segBytes := cfg.DatabaseBytes / segments
+	heapSegs := make([]vfs.File, segments)
+	buf := make([]byte, 1<<20)
+	for s := 0; s < segments; s++ {
+		seg, err := fs.Create(setup, fmt.Sprintf("/pg/heap.%d", s))
+		if err != nil {
+			return PgbenchResult{}, err
+		}
+		if err := seg.Fallocate(setup, 0, segBytes); err != nil {
+			return PgbenchResult{}, err
+		}
+		// Initialise (sequential write pass, like pgbench -i).
+		for off := int64(0); off < segBytes; off += int64(len(buf)) {
+			if _, err := seg.WriteAt(setup, buf, off); err != nil {
+				return PgbenchResult{}, err
+			}
+		}
+		heapSegs[s] = seg
+	}
+	pagesPerSeg := segBytes / pgPage
+
+	type res struct {
+		ns   int64
+		wait int64
+		err  error
+	}
+	done := make(chan res, cfg.Threads)
+	pages := pagesPerSeg * segments
+	setupEnd := setup.Now()
+	for th := 0; th < cfg.Threads; th++ {
+		go func(th int) {
+			ctx := sim.NewCtx(3000+th, th)
+			ctx.AdvanceTo(setupEnd)
+			rng := sim.NewRand(cfg.Seed + uint64(th)*31 + 7)
+			wal, err := fs.Create(ctx, fmt.Sprintf("/pg/wal%d", th))
+			if err != nil {
+				done <- res{0, 0, err}
+				return
+			}
+			page := make([]byte, pgPage)
+			walRec := make([]byte, 180)
+			pick := func() (vfs.File, int64) {
+				p := rng.Int63n(pages)
+				return heapSegs[p/pagesPerSeg], (p % pagesPerSeg) * pgPage
+			}
+			for tx := 0; tx < cfg.TxPerThread; tx++ {
+				for r := 0; r < 3; r++ {
+					seg, off := pick()
+					if _, err := seg.ReadAt(ctx, page, off); err != nil {
+						done <- res{0, 0, err}
+						return
+					}
+				}
+				seg, off := pick()
+				if _, err := seg.WriteAt(ctx, page, off); err != nil {
+					done <- res{0, 0, err}
+					return
+				}
+				if _, err := wal.Append(ctx, walRec); err != nil {
+					done <- res{0, 0, err}
+					return
+				}
+				if err := wal.Fsync(ctx); err != nil {
+					done <- res{0, 0, err}
+					return
+				}
+			}
+			done <- res{ctx.Now(), ctx.Counters.LockWaitNS, nil}
+		}(th)
+	}
+	var maxNS, totalWait int64
+	for i := 0; i < cfg.Threads; i++ {
+		r := <-done
+		if r.err != nil {
+			return PgbenchResult{}, r.err
+		}
+		if r.ns > maxNS {
+			maxNS = r.ns
+		}
+		totalWait += r.wait
+	}
+	return PgbenchResult{Tx: int64(cfg.Threads * cfg.TxPerThread), VirtualNS: maxNS - setupEnd,
+		WaitNS: totalWait / int64(cfg.Threads)}, nil
+}
