@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test check race vet bench fault-campaign
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The experiments package replays whole paper figures and needs well over
+# the default 10m per-package limit under the race detector.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# check is the pre-merge gate: static analysis, the full suite under the
+# race detector, and the plain tier-1 build+test pass.
+check: vet race test
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The ≥100-run media-fault campaign plus every poison/torn-write test.
+fault-campaign:
+	$(GO) test -v -run 'TestFaultCampaign|TestRepair|TestDegraded|TestPoisoned|TestWraparound|TestTorn' ./internal/crashmonkey/ ./internal/winefs/ ./internal/pmem/

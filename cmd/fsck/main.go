@@ -4,13 +4,21 @@
 //
 // Usage:
 //
-//	fsck -img wine.img [-recover]
+//	fsck -img wine.img [-recover] [-repair] [-json]
 //
 // With -recover, uncommitted journal transactions are rolled back (a real
 // mount) before checking, and the recovered image is saved back.
+//
+// With -repair, the offline repairing fsck runs first: poisoned journal
+// tails are cleared, unreadable inode slots zeroed, corrupt extent lists
+// truncated, unreachable inodes quarantined into /lost+found, and link
+// counts recomputed; the repaired image is saved back.
+//
+// With -json, the report(s) are printed as a single JSON object on stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +28,22 @@ import (
 	"repro/internal/winefs"
 )
 
+// report is the -json output shape.
+type report struct {
+	Files      int                  `json:"files"`
+	Dirs       int                  `json:"dirs"`
+	UsedBlocks int64                `json:"used_blocks"`
+	Clean      bool                 `json:"clean"`
+	Degraded   string               `json:"degraded,omitempty"`
+	Errors     []string             `json:"errors,omitempty"`
+	Repair     *winefs.RepairReport `json:"repair,omitempty"`
+}
+
 func main() {
 	img := flag.String("img", "", "image path (required)")
 	doRecover := flag.Bool("recover", false, "run journal recovery before checking")
+	doRepair := flag.Bool("repair", false, "run the offline repairing fsck before checking")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	cpus := flag.Int("cpus", 8, "CPUs the image was formatted with")
 	flag.Parse()
 	if *img == "" {
@@ -34,6 +55,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsck: %v\n", err)
 		os.Exit(1)
 	}
+	var repairRep *winefs.RepairReport
+	if *doRepair {
+		repairRep, err = winefs.Repair(dev)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsck: repair failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := dev.Save(*img); err != nil {
+			fmt.Fprintf(os.Stderr, "fsck: save: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	degradedReason := ""
 	if *doRecover {
 		ctx := sim.NewCtx(1, 0)
 		fs, err := winefs.Mount(ctx, dev, winefs.Options{CPUs: *cpus})
@@ -41,7 +75,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fsck: recovery mount failed: %v\n", err)
 			os.Exit(1)
 		}
-		if err := fs.Unmount(ctx); err != nil {
+		if reason, degraded := fs.Degraded(); degraded {
+			degradedReason = reason
+			fmt.Fprintf(os.Stderr, "fsck: mount degraded to read-only: %s (try -repair)\n", reason)
+		} else if err := fs.Unmount(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "fsck: unmount: %v\n", err)
 			os.Exit(1)
 		}
@@ -51,8 +88,37 @@ func main() {
 		}
 	}
 	rep := winefs.Check(dev)
+	if *asJSON {
+		out := report{
+			Files:      rep.Files,
+			Dirs:       rep.Dirs,
+			UsedBlocks: rep.UsedBlocks,
+			Clean:      rep.OK() && degradedReason == "",
+			Degraded:   degradedReason,
+			Errors:     rep.Errors,
+			Repair:     repairRep,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "fsck: %v\n", err)
+			os.Exit(1)
+		}
+		if !out.Clean {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("fsck: %d files, %d dirs, %d used blocks\n", rep.Files, rep.Dirs, rep.UsedBlocks)
-	if rep.OK() {
+	if repairRep != nil {
+		fmt.Printf("fsck: repair: %d journals rolled back, %d cleared, %d inodes zeroed, %d extent lists truncated, %d orphans quarantined, %d nlinks fixed\n",
+			repairRep.JournalsRolledBack, len(repairRep.JournalsCleared), len(repairRep.InodesZeroed),
+			len(repairRep.ExtentsTruncated), len(repairRep.Orphans), repairRep.NlinksFixed)
+		for _, n := range repairRep.Notes {
+			fmt.Printf("fsck: repair: %s\n", n)
+		}
+	}
+	if rep.OK() && degradedReason == "" {
 		fmt.Println("fsck: clean")
 		return
 	}

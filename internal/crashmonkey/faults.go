@@ -1,0 +1,389 @@
+package crashmonkey
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+)
+
+// Fault campaign: the crash-exploration harness extended with media faults.
+// Each seeded run replays an ACE workload, builds a crash image at a random
+// fence epoch with torn in-flight stores and/or poisons cache lines the
+// workload touched, and then asserts the degradation ladder: every outcome
+// must be transparent recovery, a clean EIO, or read-only degradation —
+// never a panic and never silently wrong data. The data oracle is exact
+// because every workload writes zeros: any successful read that returns a
+// nonzero byte is silent corruption.
+
+// FaultMode selects how a run injures the device.
+type FaultMode int
+
+// Fault modes.
+const (
+	// ModeTorn builds a crash image whose in-flight stores are torn at cache
+	// line granularity (no poison).
+	ModeTorn FaultMode = iota
+	// ModePoisonCrash builds a torn crash image and additionally poisons
+	// lines the in-flight operation stored to.
+	ModePoisonCrash
+	// ModePoisonLive poisons lines on a cleanly unmounted image, modelling
+	// media wear discovered at the next mount.
+	ModePoisonLive
+	modeCount
+)
+
+func (m FaultMode) String() string {
+	switch m {
+	case ModeTorn:
+		return "torn"
+	case ModePoisonCrash:
+		return "poison+crash"
+	case ModePoisonLive:
+		return "poison-live"
+	}
+	return "?"
+}
+
+// FaultCampaignConfig tunes the campaign.
+type FaultCampaignConfig struct {
+	// Runs is the number of seeded runs (default 120).
+	Runs int
+	// DeviceSize for the scratch FS (default 64 MiB).
+	DeviceSize int64
+	// CPUs for the WineFS instance (default 2).
+	CPUs int
+	Seed uint64
+}
+
+func (c *FaultCampaignConfig) defaults() {
+	if c.Runs == 0 {
+		c.Runs = 120
+	}
+	if c.DeviceSize == 0 {
+		c.DeviceSize = 64 << 20
+	}
+	if c.CPUs == 0 {
+		c.CPUs = 2
+	}
+}
+
+// FaultCampaignResult aggregates the campaign. Every run lands in exactly
+// one outcome bucket or in Failures.
+type FaultCampaignResult struct {
+	Runs int
+	// CleanRecoveries: mount succeeded un-degraded and the namespace matched
+	// the atomicity oracle.
+	CleanRecoveries int
+	// EIOMounts: the mount itself failed with a clean EIO.
+	EIOMounts int
+	// Degraded: the mount fell back to read-only.
+	Degraded int
+	// Repaired counts EIO/degraded runs where the offline repair then
+	// produced a clean, mountable image.
+	Repaired int
+	// DataEIOReads counts file reads that surfaced poison as EIO.
+	DataEIOReads int
+	// Failures are the runs that broke the ladder: a panic, a silent wrong
+	// byte, a non-EIO error, or writes accepted while degraded.
+	Failures []string
+}
+
+// OK reports whether the ladder held for every run.
+func (r *FaultCampaignResult) OK() bool { return len(r.Failures) == 0 }
+
+func (r *FaultCampaignResult) String() string {
+	return fmt.Sprintf("%d runs: %d clean recoveries, %d EIO mounts, %d degraded, %d repaired, %d data reads EIO, %d failures",
+		r.Runs, r.CleanRecoveries, r.EIOMounts, r.Degraded, r.Repaired, r.DataEIOReads, len(r.Failures))
+}
+
+// RunFaultCampaign executes cfg.Runs seeded fault runs, cycling through the
+// ACE seq-1 and seq-2 workloads.
+func RunFaultCampaign(cfg FaultCampaignConfig) *FaultCampaignResult {
+	cfg.defaults()
+	workloads := append(GenerateSeq1(), GenerateSeq2()...)
+	res := &FaultCampaignResult{}
+	for i := 0; i < cfg.Runs; i++ {
+		res.Runs++
+		w := workloads[i%len(workloads)]
+		seed := cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
+		// Rotate the mode by cycle so each workload meets every mode (the
+		// workload count is a multiple of the mode count).
+		mode := FaultMode((i + i/len(workloads)) % int(modeCount))
+		if msg := guardRun(func() string {
+			return faultRun(w, cfg, seed, mode, res)
+		}); msg != "" {
+			res.Failures = append(res.Failures, fmt.Sprintf("run %d (%s, %s, seed %#x): %s", i, w.Name, mode, seed, msg))
+		}
+	}
+	return res
+}
+
+// guardRun converts a panic anywhere in a run into a campaign failure —
+// the one outcome the ladder forbids unconditionally.
+func guardRun(f func() string) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprintf("PANIC: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return f()
+}
+
+// faultRun performs one seeded run and classifies its outcome. It returns
+// "" when the degradation ladder held and a failure description otherwise.
+func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, res *FaultCampaignResult) string {
+	rng := sim.NewRand(seed)
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(cfg.DeviceSize)
+	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: cfg.CPUs, InodesPerCPU: 512})
+	if err != nil {
+		return fmt.Sprintf("mkfs: %v", err)
+	}
+	for _, o := range w.Setup {
+		if err := apply(ctx, fs, o); err != nil {
+			return fmt.Sprintf("setup %s: %v", o, err)
+		}
+	}
+
+	// Replay the workload, keeping per-op snapshots, traces and oracle
+	// states (states[k] is the namespace before op k).
+	states := []State{captureState(ctx, fs)}
+	var bases []*pmem.Image
+	var traces [][]pmem.Store
+	var okOps []int
+	for k, o := range w.Ops {
+		base := dev.Snapshot()
+		dev.StartTrace()
+		opErr := apply(ctx, fs, o)
+		trace := dev.StopTrace()
+		states = append(states, captureState(ctx, fs))
+		if opErr == nil && len(trace) > 0 {
+			bases = append(bases, base)
+			traces = append(traces, trace)
+			okOps = append(okOps, k)
+		}
+	}
+	if len(okOps) == 0 {
+		res.CleanRecoveries++ // nothing to injure; vacuous
+		return ""
+	}
+
+	var img *pmem.Image
+	var injured []pmem.Store // stores whose lines are poison candidates
+	var oracle []State
+	switch mode {
+	case ModeTorn, ModePoisonCrash:
+		pick := rng.Intn(len(okOps))
+		k, base, trace := okOps[pick], bases[pick], traces[pick]
+		maxEpoch := 0
+		for _, s := range trace {
+			if s.Epoch > maxEpoch {
+				maxEpoch = s.Epoch
+			}
+		}
+		e := rng.Intn(maxEpoch + 1)
+		var durable []pmem.Store
+		for _, s := range trace {
+			if s.Epoch <= e {
+				durable = append(durable, s)
+				if s.Epoch == e {
+					injured = append(injured, s)
+				}
+			}
+		}
+		keep := 0.2 + 0.6*rng.Float64()
+		torn := pmem.TearStores(durable, e, keep, rng)
+		img = base.Clone()
+		img.Apply(torn)
+		oracle = []State{states[k], states[k+1]}
+	case ModePoisonLive:
+		if err := fs.Unmount(ctx); err != nil {
+			return fmt.Sprintf("unmount: %v", err)
+		}
+		img = dev.Snapshot()
+		for _, t := range traces {
+			injured = append(injured, t...)
+		}
+		oracle = []State{states[len(states)-1]}
+	}
+
+	scratch := pmem.New(cfg.DeviceSize)
+	scratch.Restore(img)
+	if mode == ModePoisonCrash || mode == ModePoisonLive {
+		// Pick poison targets byte-weighted across everything the workload
+		// stored, so large data writes are hit as often as their footprint
+		// deserves (store-uniform picking would drown them under the many
+		// 64-byte journal entries).
+		var total int64
+		for _, s := range injured {
+			total += int64(len(s.Data))
+		}
+		nPoison := 1 + rng.Intn(3)
+		for p := 0; p < nPoison && total > 0; p++ {
+			r := rng.Int63n(total)
+			for _, s := range injured {
+				if r < int64(len(s.Data)) {
+					off := s.Off + r
+					scratch.Poison(off/pmem.CacheLine*pmem.CacheLine, 1)
+					break
+				}
+				r -= int64(len(s.Data))
+			}
+		}
+	}
+
+	// Recover and classify.
+	rctx := sim.NewCtx(2, 0)
+	rfs, err := winefs.Mount(rctx, scratch, winefs.Options{CPUs: cfg.CPUs, InodesPerCPU: 512})
+	if err != nil {
+		// Rung 2: the mount itself must fail with a clean EIO, nothing else.
+		if !errors.Is(err, vfs.ErrIO) {
+			return fmt.Sprintf("mount failed with non-EIO error: %v", err)
+		}
+		res.EIOMounts++
+		return repairAndRemount(scratch, cfg, res)
+	}
+	if reason, degraded := rfs.Degraded(); degraded {
+		// Rung 3: read-only fallback. Reads must keep working (no panic;
+		// errors must be EIO) and every mutation must refuse cleanly.
+		_ = captureState(rctx, rfs)
+		if msg := readAllFiles(rctx, rfs, res); msg != "" {
+			return fmt.Sprintf("degraded (%s): %s", reason, msg)
+		}
+		if err := rfs.Mkdir(rctx, "/.probe"); !errors.Is(err, vfs.ErrReadOnly) {
+			return fmt.Sprintf("degraded (%s): mkdir returned %v, want ErrReadOnly", reason, err)
+		}
+		if _, err := rfs.Create(rctx, "/.probe2"); !errors.Is(err, vfs.ErrReadOnly) {
+			return fmt.Sprintf("degraded (%s): create returned %v, want ErrReadOnly", reason, err)
+		}
+		res.Degraded++
+		return repairAndRemount(scratch, cfg, res)
+	}
+	// Rung 1: transparent recovery. The namespace must match the atomicity
+	// oracle and the image must pass fsck.
+	got := captureState(rctx, rfs)
+	match := false
+	for _, want := range oracle {
+		if got == want {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return fmt.Sprintf("atomicity violated:\n got: %q\nwant one of: %q", got, oracle)
+	}
+	if rep := winefs.Check(scratch); !rep.OK() {
+		return fmt.Sprintf("clean mount but fsck: %s", rep.Errors[0])
+	}
+	if msg := readAllFiles(rctx, rfs, res); msg != "" {
+		return msg
+	}
+	res.CleanRecoveries++
+	return ""
+}
+
+// readAllFiles reads every file in full through the checked path. Reads may
+// fail — but only with EIO — and bytes that do come back must be zero
+// (every campaign workload writes zeros), so any nonzero byte is silent
+// corruption.
+func readAllFiles(ctx *sim.Ctx, fs vfs.FS, res *FaultCampaignResult) string {
+	var walk func(dir string) string
+	walk = func(dir string) string {
+		ents, err := fs.ReadDir(ctx, dir)
+		if err != nil {
+			if errors.Is(err, vfs.ErrIO) {
+				res.DataEIOReads++
+				return ""
+			}
+			return fmt.Sprintf("readdir %s: non-EIO error %v", dir, err)
+		}
+		for _, e := range ents {
+			p := dir + "/" + e.Name
+			if dir == "/" {
+				p = "/" + e.Name
+			}
+			if e.IsDir {
+				if msg := walk(p); msg != "" {
+					return msg
+				}
+				continue
+			}
+			f, err := fs.Open(ctx, p)
+			if err != nil {
+				if errors.Is(err, vfs.ErrIO) {
+					res.DataEIOReads++
+					continue
+				}
+				return fmt.Sprintf("open %s: non-EIO error %v", p, err)
+			}
+			fi, err := fs.Stat(ctx, p)
+			if err != nil {
+				continue
+			}
+			buf := make([]byte, 1<<16)
+			for off := int64(0); off < fi.Size; off += int64(len(buf)) {
+				n := fi.Size - off
+				if n > int64(len(buf)) {
+					n = int64(len(buf))
+				}
+				m, err := f.ReadAt(ctx, buf[:n], off)
+				if err != nil {
+					if errors.Is(err, vfs.ErrIO) {
+						res.DataEIOReads++
+						continue
+					}
+					return fmt.Sprintf("read %s@%d: non-EIO error %v", p, off, err)
+				}
+				for j := 0; j < m; j++ {
+					if buf[j] != 0 {
+						return fmt.Sprintf("SILENT CORRUPTION: %s@%d byte %d = %#x, want 0", p, off, j, buf[j])
+					}
+				}
+			}
+			f.Close(ctx)
+		}
+		return ""
+	}
+	return walk("/")
+}
+
+// repairAndRemount runs the offline repairing fsck on a copy of the injured
+// image and requires it to produce a clean, mountable, un-degraded file
+// system. A repair that cannot even read the superblock is the one accepted
+// dead end (there is no backup superblock to recover from).
+func repairAndRemount(scratch *pmem.Device, cfg FaultCampaignConfig, res *FaultCampaignResult) string {
+	rep, err := winefs.Repair(scratch)
+	if err != nil {
+		if errors.Is(err, vfs.ErrIO) || isPmemErr(err) {
+			return "" // superblock itself is gone; EIO is the honest end state
+		}
+		return fmt.Sprintf("repair failed: %v", err)
+	}
+	if !rep.Clean {
+		return fmt.Sprintf("repair left inconsistencies: %v", rep.PostErrors)
+	}
+	ctx := sim.NewCtx(3, 0)
+	rfs, err := winefs.Mount(ctx, scratch, winefs.Options{CPUs: cfg.CPUs, InodesPerCPU: 512})
+	if err != nil {
+		return fmt.Sprintf("post-repair mount failed: %v", err)
+	}
+	if reason, degraded := rfs.Degraded(); degraded {
+		return fmt.Sprintf("post-repair mount degraded: %s", reason)
+	}
+	if err := rfs.Mkdir(ctx, "/.repaired"); err != nil {
+		return fmt.Sprintf("post-repair write failed: %v", err)
+	}
+	res.Repaired++
+	return ""
+}
+
+func isPmemErr(err error) bool {
+	var me *pmem.MediaError
+	var re *pmem.RangeError
+	return errors.As(err, &me) || errors.As(err, &re)
+}

@@ -29,6 +29,7 @@ type Counters struct {
 	PMWriteBytes   int64
 	JournalBytes   int64 // bytes written to any journal/log
 	JournalCommits int64
+	JournalAborts  int64 // transactions rolled back via their undo log
 	LockWaitNS     int64 // virtual time lost waiting on shared resources
 	Syscalls       int64
 	KernelNS       int64 // time attributed to in-kernel (FS) work
@@ -60,6 +61,7 @@ func (c *Counters) Add(o *Counters) {
 	c.PMWriteBytes += o.PMWriteBytes
 	c.JournalBytes += o.JournalBytes
 	c.JournalCommits += o.JournalCommits
+	c.JournalAborts += o.JournalAborts
 	c.LockWaitNS += o.LockWaitNS
 	c.Syscalls += o.Syscalls
 	c.KernelNS += o.KernelNS

@@ -50,6 +50,11 @@ type Device struct {
 	tracing bool
 	epoch   int
 	trace   []Store
+
+	// fault holds media-fault state (poison map, fault plan); lazily
+	// allocated so fault-free devices pay nothing. See fault.go.
+	faultOnce sync.Once
+	fault     *faultState
 }
 
 // Config controls device construction.
@@ -198,6 +203,17 @@ func (d *Device) ReadAt(buf []byte, off int64) {
 func (d *Device) WriteAt(data []byte, off int64) {
 	d.checkRange(off, int64(len(data)))
 	d.record(off, data)
+	for _, seg := range d.tearStore(off, data) {
+		d.writeRaw(seg.Data, seg.Off)
+		// A store re-arms every line it fully overwrites (hardware clears
+		// poison on a full-line write).
+		d.clearPoisonCovered(seg.Off, int64(len(seg.Data)))
+	}
+}
+
+// writeRaw copies data into the backing store with no recording, tearing
+// or poison bookkeeping.
+func (d *Device) writeRaw(data []byte, off int64) {
 	rest := data
 	pos := off
 	for len(rest) > 0 {
@@ -220,6 +236,7 @@ func (d *Device) ZeroRange(off, n int64) {
 	if d.isTracing() {
 		d.record(off, make([]byte, n))
 	}
+	d.clearPoisonCovered(off, n)
 	for n > 0 {
 		base := off / ChunkSize * ChunkSize
 		in := off - base
@@ -399,6 +416,7 @@ func (d *Device) Fence(ctx *sim.Ctx) {
 		d.epoch++
 	}
 	d.traceMu.Unlock()
+	d.advancePlanEpoch()
 }
 
 // --- crash tracing -------------------------------------------------------

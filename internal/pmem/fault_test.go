@@ -1,0 +1,252 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPoisonCheckedReads(t *testing.T) {
+	d := New(1 << 20)
+	d.WriteAt([]byte{1, 2, 3, 4}, 4096)
+	buf := make([]byte, 4)
+
+	if err := d.ReadAtChecked(buf, 4096); err != nil {
+		t.Fatalf("healthy read: %v", err)
+	}
+	d.Poison(4096, 1)
+	err := d.ReadAtChecked(buf, 4096)
+	var me *MediaError
+	if !errors.As(err, &me) {
+		t.Fatalf("poisoned read: got %v, want *MediaError", err)
+	}
+	if me.Line != 4096 {
+		t.Fatalf("poisoned line = %d, want 4096", me.Line)
+	}
+	// Poison is line-granular: any read touching the line fails, a read of
+	// the neighbouring line does not.
+	if err := d.ReadAtChecked(buf, 4096+CacheLine-2); err == nil {
+		t.Fatal("read straddling into a poisoned line succeeded")
+	}
+	if err := d.ReadAtChecked(buf, 4096+CacheLine); err != nil {
+		t.Fatalf("read of the next line: %v", err)
+	}
+	// The unchecked path is the trusted-internal interface and still works.
+	d.ReadAt(buf, 4096)
+}
+
+func TestReadCheckedChargesTime(t *testing.T) {
+	d := New(1 << 20)
+	d.Poison(0, 64)
+	ctx := sim.NewCtx(1, 0)
+	before := ctx.Now()
+	buf := make([]byte, 64)
+	if err := d.ReadChecked(ctx, buf, 0); err == nil {
+		t.Fatal("poisoned ReadChecked succeeded")
+	}
+	if ctx.Now() == before {
+		t.Fatal("failed read charged no virtual time (the load was issued)")
+	}
+}
+
+func TestWriteClearsPoison(t *testing.T) {
+	d := New(1 << 20)
+	d.Poison(128, 128) // two lines
+	buf := make([]byte, 64)
+
+	// A full-line store re-arms the line.
+	d.WriteAt(make([]byte, 64), 128)
+	if err := d.ReadAtChecked(buf, 128); err != nil {
+		t.Fatalf("full-line overwrite did not clear poison: %v", err)
+	}
+	// A partial-line store does not.
+	d.WriteAt([]byte{9}, 192)
+	if err := d.ReadAtChecked(buf, 192); err == nil {
+		t.Fatal("partial-line overwrite cleared poison")
+	}
+	// ZeroRange over the whole line does.
+	d.ZeroRange(192, 64)
+	if err := d.ReadAtChecked(buf, 192); err != nil {
+		t.Fatalf("ZeroRange did not clear poison: %v", err)
+	}
+}
+
+func TestClearPoisonAndPoisonedLines(t *testing.T) {
+	d := New(1 << 20)
+	d.Poison(0, 256)
+	if got := len(d.PoisonedLines(0, 256)); got != 4 {
+		t.Fatalf("PoisonedLines = %d, want 4", got)
+	}
+	d.ClearPoison(64, 64)
+	lines := d.PoisonedLines(0, 256)
+	if len(lines) != 3 || lines[0] != 0 || lines[1] != 128 {
+		t.Fatalf("after ClearPoison: %v", lines)
+	}
+}
+
+func TestReadRules(t *testing.T) {
+	d := New(1 << 20)
+	d.SetFaultPlan(&FaultPlan{
+		Seed:      1,
+		TornFence: -1,
+		Reads: []ReadRule{
+			{Start: 0, End: 4096, Nth: 2},                   // persistent: poisons
+			{Start: 8192, End: 12288, Nth: 1, Transient: true}, // transient: retry works
+		},
+	})
+	buf := make([]byte, 64)
+	if err := d.ReadAtChecked(buf, 0); err != nil {
+		t.Fatalf("1st read should pass: %v", err)
+	}
+	if err := d.ReadAtChecked(buf, 0); err == nil {
+		t.Fatal("2nd read should trip the Nth=2 rule")
+	}
+	// The persistent rule poisoned the lines: every later read fails too.
+	if err := d.ReadAtChecked(buf, 0); err == nil {
+		t.Fatal("persistent rule did not poison the line")
+	}
+	// Transient rule: first read fails, retry succeeds.
+	if err := d.ReadAtChecked(buf, 8192); err == nil {
+		t.Fatal("transient rule did not fire")
+	}
+	if err := d.ReadAtChecked(buf, 8192); err != nil {
+		t.Fatalf("transient error persisted: %v", err)
+	}
+	pr, _ := d.FaultStats()
+	if pr != 3 {
+		t.Fatalf("poisonedReads = %d, want 3", pr)
+	}
+}
+
+func TestCheckRange(t *testing.T) {
+	d := New(4096)
+	size := d.Size() // rounded up to a chunk multiple
+	if err := d.CheckRange(0, size); err != nil {
+		t.Fatalf("in-range: %v", err)
+	}
+	var re *RangeError
+	if err := d.CheckRange(size-100, 200); !errors.As(err, &re) {
+		t.Fatalf("out of range: got %v, want *RangeError", err)
+	}
+	if err := d.CheckRange(-1, 10); err == nil {
+		t.Fatal("negative offset passed")
+	}
+	// CheckRange is range-only: poison does not affect it (extent walks use
+	// it to validate pointers, not data health).
+	d.Poison(0, 64)
+	if err := d.CheckRange(0, 64); err != nil {
+		t.Fatalf("CheckRange tripped on poison: %v", err)
+	}
+}
+
+func TestTornWritesLive(t *testing.T) {
+	d := New(1 << 20)
+	ctx := sim.NewCtx(1, 0)
+	// Epoch 0 is torn with keep=0: every line of every store before the
+	// first fence is dropped.
+	d.SetFaultPlan(&FaultPlan{Seed: 7, TornFence: 0, TornKeep: 0})
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = 0xAB
+	}
+	d.Write(ctx, data, 0)
+	d.Fence(ctx)
+	// After the fence the torn epoch is over: stores persist again.
+	d.Write(ctx, data, 4096)
+
+	buf := make([]byte, 256)
+	d.ReadAt(buf, 0)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("torn store persisted byte %d = %#x", i, b)
+		}
+	}
+	d.ReadAt(buf, 4096)
+	if buf[0] != 0xAB {
+		t.Fatal("post-fence store was dropped")
+	}
+	if _, torn := d.FaultStats(); torn != 4 {
+		t.Fatalf("tornLines = %d, want 4", torn)
+	}
+}
+
+func TestTornWritesDeterministic(t *testing.T) {
+	run := func() []byte {
+		d := New(1 << 20)
+		ctx := sim.NewCtx(1, 0)
+		d.SetFaultPlan(&FaultPlan{Seed: 42, TornFence: 0, TornKeep: 0.5})
+		data := make([]byte, 1024)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		d.Write(ctx, data, 0)
+		out := make([]byte, 1024)
+		d.ReadAt(out, 0)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("torn writes not deterministic at byte %d", i)
+		}
+	}
+	partial := false
+	for _, x := range a {
+		if x != 0 {
+			partial = true
+		}
+	}
+	if !partial {
+		t.Fatal("keep=0.5 dropped everything (seed pathological?)")
+	}
+}
+
+func TestTearStoresOffline(t *testing.T) {
+	stores := []Store{
+		{Off: 0, Data: make([]byte, 256), Epoch: 0},
+		{Off: 4096, Data: make([]byte, 256), Epoch: 1},
+	}
+	for i := range stores[0].Data {
+		stores[0].Data[i] = 1
+	}
+	for i := range stores[1].Data {
+		stores[1].Data[i] = 2
+	}
+	rng := sim.NewRand(5)
+	out := TearStores(stores, 1, 0, rng)
+	// Epoch 0 passes through untouched; epoch 1 is fully dropped.
+	if len(out) != 1 || out[0].Off != 0 || len(out[0].Data) != 256 {
+		t.Fatalf("keep=0: %+v", out)
+	}
+	rng = sim.NewRand(5)
+	out = TearStores(stores, 1, 1, rng)
+	if len(out) != 2 {
+		t.Fatalf("keep=1: %+v", out)
+	}
+	// keep=0.5: surviving segments must be line-aligned fragments of the
+	// original store, and both epochs' bytes must re-apply cleanly.
+	rng = sim.NewRand(5)
+	out = TearStores(stores, 1, 0.5, rng)
+	d := New(1 << 20)
+	img := d.Snapshot()
+	img.Apply(out)
+	scratch := New(1 << 20)
+	scratch.Restore(img)
+	buf := make([]byte, 256)
+	scratch.ReadAt(buf, 0)
+	for i, b := range buf {
+		if b != 1 {
+			t.Fatalf("untorn epoch damaged at byte %d = %d", i, b)
+		}
+	}
+	scratch.ReadAt(buf, 4096)
+	for i, b := range buf {
+		if b != 0 && b != 2 {
+			t.Fatalf("torn epoch has invented byte %d = %d", i, b)
+		}
+		if i%CacheLine == 0 && i > 0 && b != buf[i-1] && buf[i-1] != b {
+			continue // line boundary: persistence may flip
+		}
+	}
+}

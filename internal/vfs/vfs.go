@@ -23,6 +23,11 @@ var (
 	ErrNoSpace  = errors.New("vfs: no space left on device")
 	ErrClosed   = errors.New("vfs: file closed")
 	ErrReadOnly = errors.New("vfs: read-only")
+	// ErrIO is the EIO analogue: an uncorrectable media error (poisoned
+	// cache line) or corrupt on-PM pointer was hit while serving the
+	// request. Implementations return it instead of corrupt bytes and
+	// never panic on media faults.
+	ErrIO = errors.New("vfs: input/output error")
 )
 
 // ConsistencyMode states the crash guarantees a mounted file system

@@ -1,0 +1,411 @@
+package winefs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// nsString is a canonical namespace snapshot for oracle comparisons.
+func nsString(t *testing.T, ctx *sim.Ctx, fs *FS) string {
+	t.Helper()
+	var lines []string
+	var walk func(dir string)
+	walk = func(dir string) {
+		ents, err := fs.ReadDir(ctx, dir)
+		if err != nil {
+			t.Fatalf("readdir %s: %v", dir, err)
+		}
+		for _, e := range ents {
+			p := dir + "/" + e.Name
+			if dir == "/" {
+				p = "/" + e.Name
+			}
+			if e.IsDir {
+				lines = append(lines, p+" dir")
+				walk(p)
+			} else {
+				fi, err := fs.Stat(ctx, p)
+				if err != nil {
+					t.Fatalf("stat %s: %v", p, err)
+				}
+				lines = append(lines, fmt.Sprintf("%s file %d", p, fi.Size))
+			}
+		}
+	}
+	walk("/")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestTxOverflowAbortsCleanly: satellite of the fault work — an oversized
+// raw transaction must fail with the typed ErrTxOverflow (not a panic) and
+// abort must roll every logged range back.
+func TestTxOverflowAbortsCleanly(t *testing.T) {
+	fs, ctx, dev := mk(t)
+	base := fs.g.inodeAddr(3)
+	orig := make([]byte, MaxTxEntries*undoBytes)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	dev.WriteAt(orig, base)
+
+	tx := fs.beginTx(ctx, 0)
+	var err error
+	mutated := 0
+	for i := 0; i < MaxTxEntries+2; i++ {
+		addr := base + int64(i)*undoBytes
+		if err = tx.undo(ctx, addr, undoBytes); err != nil {
+			break
+		}
+		dev.WriteAt([]byte("XXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX"), addr)
+		mutated++
+	}
+	if !errors.Is(err, ErrTxOverflow) {
+		t.Fatalf("overflow returned %v, want ErrTxOverflow", err)
+	}
+	// The START entry and the COMMIT slot each take one of the reserved
+	// entries: overflow fires while the transaction can still be resolved.
+	if mutated != MaxTxEntries-2 {
+		t.Fatalf("logged %d entries before overflow, want %d", mutated, MaxTxEntries-2)
+	}
+	tx.abort(ctx)
+	got := make([]byte, len(orig))
+	dev.ReadAt(got, base)
+	if string(got) != string(orig) {
+		t.Fatal("abort did not roll back logged ranges")
+	}
+	if ctx.Counters.JournalAborts == 0 {
+		t.Fatal("abort not counted")
+	}
+	if tx2, _, _ := fs.journals[0].scanJournal(); tx2 != nil {
+		t.Fatal("journal not quiescent after abort")
+	}
+}
+
+// TestDegradedMountReadOnly: a mount that hits poisoned metadata must come
+// up read-only with the reason recorded, keep serving what it could read,
+// and refuse every mutation with ErrReadOnly.
+func TestDegradedMountReadOnly(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(64 << 20)
+	fs, err := Mkfs(ctx, dev, Options{CPUs: 1, InodesPerCPU: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create(ctx, "/keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("persistent contents survive degradation!")
+	if _, err := f.Append(ctx, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	di, err := fs.Stat(ctx, "/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash (no unmount) with /d's inode slot poisoned.
+	dev.Poison(fs.g.inodeAddr(di.Ino), 1)
+
+	rctx := sim.NewCtx(2, 0)
+	rfs, err := Mount(rctx, dev, Options{CPUs: 1, InodesPerCPU: 512})
+	if err != nil {
+		t.Fatalf("mount should degrade, not fail: %v", err)
+	}
+	reason, degraded := rfs.Degraded()
+	if !degraded || reason == "" {
+		t.Fatalf("Degraded() = %q, %v; want reason, true", reason, degraded)
+	}
+	// Survivors stay readable.
+	kf, err := rfs.Open(rctx, "/keep")
+	if err != nil {
+		t.Fatalf("open survivor: %v", err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := kf.ReadAt(rctx, buf, 0); err != nil || string(buf) != string(data) {
+		t.Fatalf("read survivor: %q, %v", buf, err)
+	}
+	// Every mutation path refuses with ErrReadOnly.
+	if err := rfs.Mkdir(rctx, "/x"); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Fatalf("mkdir: %v, want ErrReadOnly", err)
+	}
+	if _, err := rfs.Create(rctx, "/x"); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Fatalf("create: %v, want ErrReadOnly", err)
+	}
+	if err := rfs.Unlink(rctx, "/keep"); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Fatalf("unlink: %v, want ErrReadOnly", err)
+	}
+	if _, err := kf.Append(rctx, []byte("no")); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Fatalf("append: %v, want ErrReadOnly", err)
+	}
+	if err := kf.Truncate(rctx, 0); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Fatalf("truncate: %v, want ErrReadOnly", err)
+	}
+	// A degraded unmount must not mark the superblock clean.
+	if err := rfs.Unmount(rctx); err == nil {
+		t.Fatal("degraded unmount succeeded (would mark superblock clean)")
+	}
+}
+
+// TestPoisonedDataReadsEIO: poisoned file data surfaces as EIO through the
+// vfs read path — never as garbage bytes — while healthy ranges of the same
+// file keep reading correctly.
+func TestPoisonedDataReadsEIO(t *testing.T) {
+	fs, ctx, dev := mk(t)
+	f, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 8192)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if _, err := f.Append(ctx, data); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := fs.Stat(ctx, "/f")
+	ino := fs.getInode(fi.Ino)
+	if len(ino.extents) == 0 {
+		t.Fatal("no extents")
+	}
+	// Poison one cache line in the middle of the first block.
+	dev.Poison(ino.extents[0].blk*BlockSize+256, 1)
+
+	buf := make([]byte, 64)
+	// A read over the poisoned line fails with EIO.
+	if _, err := f.ReadAt(ctx, buf, 256); !errors.Is(err, vfs.ErrIO) {
+		t.Fatalf("poisoned read: %v, want ErrIO", err)
+	}
+	// Reads before and after the line still return exact bytes.
+	if _, err := f.ReadAt(ctx, buf, 0); err != nil || string(buf) != string(data[:64]) {
+		t.Fatalf("head read: %q, %v", buf, err)
+	}
+	if _, err := f.ReadAt(ctx, buf, 4096); err != nil || string(buf) != string(data[4096:4160]) {
+		t.Fatalf("tail read: %q, %v", buf, err)
+	}
+}
+
+// TestWraparoundCrashRecovery is the journal wraparound satellite: an
+// operation whose transaction commits in the very last reservable slots
+// before the journal wraps, followed by a crash, must recover to exactly
+// the same namespace as the identical operation in a fresh journal.
+func TestWraparoundCrashRecovery(t *testing.T) {
+	run := func(nearWrap bool) (string, int) {
+		ctx := sim.NewCtx(1, 0)
+		dev := pmem.New(64 << 20)
+		fs, err := Mkfs(ctx, dev, Options{CPUs: 1, InodesPerCPU: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Mkdir(ctx, "/d"); err != nil {
+			t.Fatal(err)
+		}
+		j := fs.journals[0]
+		entries := fs.g.journalEntries()
+		if nearWrap {
+			// Advance the journal with committed no-op transactions until
+			// the next reservation only just fits: the create below commits
+			// in the final slots before the wrap point.
+			for j.tail+2*MaxTxEntries <= entries {
+				tx := fs.beginTx(ctx, 0)
+				if err := tx.undo(ctx, fs.g.inodeAddr(1), 16); err != nil {
+					t.Fatal(err)
+				}
+				tx.commit(ctx)
+			}
+			if j.tail+MaxTxEntries > entries {
+				t.Fatalf("overshot: tail=%d entries=%d", j.tail, entries)
+			}
+		}
+		wrapBefore := j.wrap
+		f, err := fs.Create(ctx, "/d/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Append(ctx, make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+		if nearWrap && j.wrap == wrapBefore && j.tail+MaxTxEntries <= entries {
+			t.Fatalf("create/append never reached the wrap region: tail=%d", j.tail)
+		}
+		// Crash: remount the raw image on a fresh device.
+		scratch := pmem.New(64 << 20)
+		scratch.Restore(dev.Snapshot())
+		rctx := sim.NewCtx(2, 0)
+		rfs, err := Mount(rctx, scratch, Options{CPUs: 1, InodesPerCPU: 512})
+		if err != nil {
+			t.Fatalf("recovery mount: %v", err)
+		}
+		if reason, degraded := rfs.Degraded(); degraded {
+			t.Fatalf("recovery degraded: %s", reason)
+		}
+		if rep := Check(scratch); !rep.OK() {
+			t.Fatalf("post-recovery fsck: %v", rep.Errors)
+		}
+		return nsString(t, rctx, rfs), int(j.wrap)
+	}
+	control, _ := run(false)
+	wrapped, wrap := run(true)
+	if wrap < 1 {
+		t.Fatalf("wrap counter = %d", wrap)
+	}
+	if control != wrapped {
+		t.Fatalf("wraparound recovery diverged:\nfresh: %q\n wrap: %q", control, wrapped)
+	}
+}
+
+// TestRepairQuarantinesOrphan: a live inode whose only dirent is lost must
+// be moved into /lost+found by Repair, not destroyed.
+func TestRepairQuarantinesOrphan(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(64 << 20)
+	fs, err := Mkfs(ctx, dev, Options{CPUs: 1, InodesPerCPU: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create(ctx, "/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(ctx, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := fs.Stat(ctx, "/d/f")
+	di, _ := fs.Stat(ctx, "/d")
+
+	// Knock out the dirent for "f" on PM.
+	dino := fs.getInode(di.Ino)
+	found := false
+	buf := make([]byte, DirentSize)
+	for _, e := range dino.extents {
+		for b := e.blk; b < e.blk+e.length && !found; b++ {
+			for off := int64(0); off < BlockSize; off += DirentSize {
+				dev.ReadAt(buf, b*BlockSize+off)
+				cino, name, valid := decodeDirent(buf)
+				if valid && cino == fi.Ino && name == "f" {
+					dev.WriteAt([]byte{0}, b*BlockSize+off+8)
+					found = true
+					break
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dirent for /d/f not found on device")
+	}
+
+	rep, err := Repair(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("repair not clean: %v", rep.PostErrors)
+	}
+	if len(rep.Orphans) != 1 || rep.Orphans[0] != fi.Ino {
+		t.Fatalf("orphans = %v, want [%d]", rep.Orphans, fi.Ino)
+	}
+
+	mctx := sim.NewCtx(2, 0)
+	mfs, err := Mount(mctx, dev, Options{CPUs: 1, InodesPerCPU: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason, degraded := mfs.Degraded(); degraded {
+		t.Fatalf("post-repair degraded: %s", reason)
+	}
+	lost := fmt.Sprintf("/lost+found/lost+%d", fi.Ino)
+	lfi, err := mfs.Stat(mctx, lost)
+	if err != nil {
+		t.Fatalf("quarantined file missing at %s: %v", lost, err)
+	}
+	if lfi.Size != 4096 {
+		t.Fatalf("quarantined size = %d, want 4096", lfi.Size)
+	}
+	// Its data survived quarantine.
+	lf, err := mfs.Open(mctx, lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbuf := make([]byte, 4096)
+	if _, err := lf.ReadAt(mctx, rbuf, 0); err != nil {
+		t.Fatalf("read quarantined data: %v", err)
+	}
+}
+
+// TestRepairTruncatesBadExtents: a poisoned extent record costs the file
+// its tail, never its head, and never the whole file system.
+func TestRepairTruncatesBadExtents(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(64 << 20)
+	fs, err := Mkfs(ctx, dev, Options{CPUs: 1, InodesPerCPU: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave appends to two files so each accumulates multiple extent
+	// records.
+	fa, _ := fs.Create(ctx, "/a")
+	fb, _ := fs.Create(ctx, "/b")
+	for i := 0; i < 6; i++ {
+		if _, err := fa.Append(ctx, make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.Append(ctx, make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, _ := fs.Stat(ctx, "/a")
+	ino := fs.getInode(fi.Ino)
+	if len(ino.extents) < 5 {
+		t.Skip("allocator merged extents; cannot build a multi-record file")
+	}
+	// Poison the cache line holding inline extent records 4..7. Poison is
+	// 64-byte granular and extent records are 16 bytes, so records 0..3
+	// (the first line) survive: the repaired file keeps its first 4 blocks.
+	dev.Poison(fs.g.inodeAddr(fi.Ino)+inoOffExtents+4*extentSize, 1)
+
+	rep, err := Repair(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("repair not clean: %v", rep.PostErrors)
+	}
+	if len(rep.ExtentsTruncated) != 1 || rep.ExtentsTruncated[0] != fi.Ino {
+		t.Fatalf("truncated = %v, want [%d]", rep.ExtentsTruncated, fi.Ino)
+	}
+
+	mctx := sim.NewCtx(2, 0)
+	mfs, err := Mount(mctx, dev, Options{CPUs: 1, InodesPerCPU: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afi, err := mfs.Stat(mctx, "/a")
+	if err != nil {
+		t.Fatalf("/a lost entirely: %v", err)
+	}
+	if afi.Size == 0 || afi.Size >= 6*4096 {
+		t.Fatalf("size = %d, want head-only truncation in (0, 24576)", afi.Size)
+	}
+	// The surviving head is still readable, and /b is untouched.
+	af, _ := mfs.Open(mctx, "/a")
+	if _, err := af.ReadAt(mctx, make([]byte, afi.Size), 0); err != nil {
+		t.Fatalf("read surviving head: %v", err)
+	}
+	bfi, err := mfs.Stat(mctx, "/b")
+	if err != nil || bfi.Size != 6*4096 {
+		t.Fatalf("/b damaged: size=%d err=%v", bfi.Size, err)
+	}
+}

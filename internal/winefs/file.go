@@ -100,7 +100,14 @@ func (f *File) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 		if n > int64(len(p)-read) {
 			n = int64(len(p) - read)
 		}
-		f.fs.dev.Read(ctx, p[read:read+int(n)], phys*BlockSize+in)
+		// A corrupt extent record can point anywhere; a poisoned line fails
+		// the read. Either way the application gets EIO, never garbage.
+		if err := f.fs.dev.CheckRange(phys*BlockSize+in, n); err != nil {
+			return read, mapDevErr(err)
+		}
+		if err := f.fs.dev.ReadChecked(ctx, p[read:read+int(n)], phys*BlockSize+in); err != nil {
+			return read, mapDevErr(err)
+		}
 		read += int(n)
 	}
 	return read, nil
@@ -245,6 +252,9 @@ func (f *File) Append(ctx *sim.Ctx, p []byte) (int, error) {
 func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	ctx.Counters.Syscalls++
 	ctx.Advance(f.fs.model.SyscallNS)
+	if err := f.fs.writable(); err != nil {
+		return 0, err
+	}
 	if len(p) == 0 {
 		return 0, nil
 	}
@@ -277,6 +287,17 @@ func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 			tx.commit()
 		}
 	}
+	// fail rolls back the open transaction (if any) and maps the error; a
+	// media fault additionally degrades the file system to read-only.
+	fail := func(err error) error {
+		if tx != nil {
+			return fs.failTx(tx, "write", err)
+		}
+		if isMediaErr(err) {
+			fs.degrade("media error during write: %v", err)
+		}
+		return mapDevErr(err)
+	}
 
 	// A write starting past a mid-block EOF exposes the stale tail of the
 	// old last block: zero it so the gap reads as zero.
@@ -302,8 +323,7 @@ func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 		// up to a full aligned extent (§3.6).
 		wantAligned := ino.flags&flagAligned != 0
 		if err := f.allocRange(ctx, getTx(), startBlk, endBlk, wantAligned, off, end); err != nil {
-			finish()
-			return 0, err
+			return 0, fail(err)
 		}
 	}
 
@@ -312,12 +332,15 @@ func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	// and copies-on-write updates of unaligned holes. Only bytes that
 	// existed before this call (off < oldSize) are overwrites.
 	if err := f.writeData(ctx, getTx, p, off, oldSize); err != nil {
-		finish()
-		return 0, err
+		return 0, fail(err)
 	}
 	if end > ino.size {
+		old := ino.size
 		ino.size = end
-		fs.writeInodeHeader(ctx, getTx(), ino)
+		if err := fs.writeInodeHeader(ctx, getTx(), ino); err != nil {
+			ino.size = old
+			return 0, fail(err)
+		}
 	}
 	finish()
 	if fs.mode == vfs.Relaxed {
@@ -463,7 +486,9 @@ func (f *File) cowRange(ctx *sim.Ctx, tx *mtx, p []byte, off int64) error {
 			we = be
 		}
 		if okOld && (ws > bs || we < be) {
-			fs.dev.Read(ctx, buf, oldPhys*BlockSize)
+			if err := fs.dev.ReadChecked(ctx, buf, oldPhys*BlockSize); err != nil {
+				return err
+			}
 			fs.dev.Write(ctx, buf, nb*BlockSize)
 		}
 		fs.dev.Write(ctx, p[ws-off:we-off], nb*BlockSize+(ws-bs))
@@ -539,7 +564,9 @@ func (f *File) replaceRange(ctx *sim.Ctx, tx *mtx, startBlk, endBlk int64, newEx
 		}
 		fileBlk += l
 	}
-	fs.writeInodeHeader(ctx, tx, ino)
+	if err := fs.writeInodeHeader(ctx, tx, ino); err != nil {
+		return err
+	}
 	// 3. Free the displaced blocks.
 	for _, e := range freed {
 		fs.alloc.free(ctx, e)
@@ -566,6 +593,9 @@ func min64(a, b int64) int64 {
 func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 	ctx.Counters.Syscalls++
 	ctx.Advance(f.fs.model.SyscallNS)
+	if err := f.fs.writable(); err != nil {
+		return err
+	}
 	fs := f.fs
 	ino := f.ino
 	fs.locks.Lock(ctx, ino.ino)
@@ -595,8 +625,7 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 			if e.fileBlk >= keepBlks {
 				freed = append(freed, alloc.Extent{Start: e.blk, Len: e.length})
 				if err := fs.recRemove(ctx, tx, ino, i); err != nil {
-					tx.commit()
-					return err
+					return fs.failTx(tx, "truncate", err)
 				}
 				continue
 			}
@@ -604,8 +633,7 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 			freed = append(freed, alloc.Extent{Start: e.blk + cut, Len: e.length - cut})
 			ino.extents[i].length = cut
 			if err := fs.recUpdate(ctx, tx, ino, i); err != nil {
-				tx.commit()
-				return err
+				return fs.failTx(tx, "truncate", err)
 			}
 			i++
 		}
@@ -613,8 +641,12 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 			fs.alloc.free(ctx, e)
 		}
 	}
+	old := ino.size
 	ino.size = size
-	fs.writeInodeHeader(ctx, tx, ino)
+	if err := fs.writeInodeHeader(ctx, tx, ino); err != nil {
+		ino.size = old
+		return fs.failTx(tx, "truncate", err)
+	}
 	tx.commit()
 	return nil
 }
@@ -625,6 +657,9 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 func (f *File) Fallocate(ctx *sim.Ctx, off, n int64) error {
 	ctx.Counters.Syscalls++
 	ctx.Advance(f.fs.model.SyscallNS)
+	if err := f.fs.writable(); err != nil {
+		return err
+	}
 	fs := f.fs
 	ino := f.ino
 	fs.locks.Lock(ctx, ino.ino)
@@ -638,13 +673,16 @@ func (f *File) Fallocate(ctx *sim.Ctx, off, n int64) error {
 	wantAligned := ino.flags&flagAligned != 0
 	// skip-zero range is empty: zero everything newly allocated.
 	if err := f.allocRange(ctx, tx, startBlk, endBlk, wantAligned, -1, -1); err != nil {
-		tx.commit()
-		return err
+		return fs.failTx(tx, "fallocate", err)
 	}
+	old := ino.size
 	if off+n > ino.size {
 		ino.size = off + n
 	}
-	fs.writeInodeHeader(ctx, tx, ino)
+	if err := fs.writeInodeHeader(ctx, tx, ino); err != nil {
+		ino.size = old
+		return fs.failTx(tx, "fallocate", err)
+	}
 	tx.commit()
 	return nil
 }
@@ -698,6 +736,9 @@ func (fs *FS) SetPathXattr(ctx *sim.Ctx, path, name string, value []byte) error 
 	if name != vfs.XattrAligned {
 		return nil
 	}
+	if err := fs.writable(); err != nil {
+		return err
+	}
 	ino, err := fs.resolve(ctx, path)
 	if err != nil {
 		return err
@@ -707,8 +748,12 @@ func (fs *FS) SetPathXattr(ctx *sim.Ctx, path, name string, value []byte) error 
 	ino.mu.Lock()
 	defer ino.mu.Unlock()
 	tx := fs.begin(ctx)
+	oldFlags := ino.flags
 	ino.flags |= flagAligned
-	fs.writeInodeHeader(ctx, tx, ino)
+	if err := fs.writeInodeHeader(ctx, tx, ino); err != nil {
+		ino.flags = oldFlags
+		return fs.failTx(tx, "setxattr", err)
+	}
 	tx.commit()
 	return nil
 }
@@ -721,6 +766,9 @@ func (f *File) SetXattr(ctx *sim.Ctx, name string, value []byte) error {
 	if name != vfs.XattrAligned {
 		return nil // only the alignment attribute is modelled
 	}
+	if err := f.fs.writable(); err != nil {
+		return err
+	}
 	fs := f.fs
 	ino := f.ino
 	fs.locks.Lock(ctx, ino.ino)
@@ -728,8 +776,12 @@ func (f *File) SetXattr(ctx *sim.Ctx, name string, value []byte) error {
 	ino.mu.Lock()
 	defer ino.mu.Unlock()
 	tx := fs.begin(ctx)
+	oldFlags := ino.flags
 	ino.flags |= flagAligned
-	fs.writeInodeHeader(ctx, tx, ino)
+	if err := fs.writeInodeHeader(ctx, tx, ino); err != nil {
+		ino.flags = oldFlags
+		return fs.failTx(tx, "setxattr", err)
+	}
 	tx.commit()
 	return nil
 }
@@ -790,7 +842,11 @@ func (f *File) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
 		return mmu.FaultResult{Phys: phys}, nil
 	}
 
-	// Demand allocation under the inode lock.
+	// Demand allocation under the inode lock. A degraded (read-only) file
+	// system cannot back new pages.
+	if err := fs.writable(); err != nil {
+		return mmu.FaultResult{}, err
+	}
 	fs.locks.Lock(ctx, ino.ino)
 	defer fs.locks.Unlock(ctx, ino.ino)
 	ino.mu.Lock()
@@ -820,8 +876,7 @@ func (f *File) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
 		if blk, ok := fs.alloc.allocAligned(ctx, tx.cpu); ok {
 			fs.dev.Zero(ctx, blk*BlockSize, alloc.HugeBytes)
 			if err := fs.recAppend(ctx, tx, ino, wextent{fileBlk: chunkBlk, blk: blk, length: BlocksPerHuge}); err != nil {
-				tx.commit()
-				return mmu.FaultResult{}, err
+				return mmu.FaultResult{}, fs.failTx(tx, "fault", err)
 			}
 			tx.commit()
 			return mmu.FaultResult{Huge: true, Phys: blk * BlockSize}, nil
@@ -836,8 +891,7 @@ func (f *File) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
 	blk := small[0].Start
 	fs.dev.Zero(ctx, blk*BlockSize, BlockSize)
 	if err := fs.recAppend(ctx, tx, ino, wextent{fileBlk: pageOff / BlockSize, blk: blk, length: 1}); err != nil {
-		tx.commit()
-		return mmu.FaultResult{}, err
+		return mmu.FaultResult{}, fs.failTx(tx, "fault", err)
 	}
 	tx.commit()
 	return mmu.FaultResult{Phys: blk * BlockSize}, nil

@@ -2,9 +2,11 @@ package winefs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/alloc"
 	"repro/internal/mmu"
@@ -65,6 +67,85 @@ type FS struct {
 
 	rewriteMu sync.Mutex
 	rewriteQ  []uint64
+
+	// Degradation ladder (media faults): a mount that hits unreadable or
+	// corrupt metadata continues best-effort but falls back to read-only;
+	// degradedFlag gates every mutating operation and degradedReasons
+	// records why, for Degraded() and operators.
+	degradedFlag    atomic.Bool
+	degradedMu      sync.Mutex
+	degradedReasons []string
+}
+
+// degrade switches the file system to read-only mode, recording why. It is
+// idempotent and safe from any goroutine.
+func (fs *FS) degrade(format string, args ...interface{}) {
+	fs.degradedMu.Lock()
+	fs.degradedReasons = append(fs.degradedReasons, fmt.Sprintf(format, args...))
+	fs.degradedMu.Unlock()
+	fs.degradedFlag.Store(true)
+}
+
+// Degraded reports whether the file system fell back to read-only mode
+// because of media faults, and the first recorded reason.
+func (fs *FS) Degraded() (reason string, degraded bool) {
+	if !fs.degradedFlag.Load() {
+		return "", false
+	}
+	fs.degradedMu.Lock()
+	defer fs.degradedMu.Unlock()
+	if len(fs.degradedReasons) > 0 {
+		reason = fs.degradedReasons[0]
+	}
+	return reason, true
+}
+
+// DegradedReasons returns every recorded degradation reason.
+func (fs *FS) DegradedReasons() []string {
+	fs.degradedMu.Lock()
+	defer fs.degradedMu.Unlock()
+	return append([]string(nil), fs.degradedReasons...)
+}
+
+// writable gates mutating operations: a degraded file system returns
+// ErrReadOnly instead of touching PM.
+func (fs *FS) writable() error {
+	if fs.degradedFlag.Load() {
+		return vfs.ErrReadOnly
+	}
+	return nil
+}
+
+// mapDevErr translates device-level media/range errors into the vfs EIO
+// error applications expect; other errors pass through.
+func mapDevErr(err error) error {
+	var me *pmem.MediaError
+	var re *pmem.RangeError
+	if errors.As(err, &me) || errors.As(err, &re) {
+		return fmt.Errorf("%w: %v", vfs.ErrIO, err)
+	}
+	return err
+}
+
+// isMediaErr reports whether err originates from a media fault or a corrupt
+// on-PM pointer (rather than, say, ENOSPC).
+func isMediaErr(err error) bool {
+	var me *pmem.MediaError
+	var re *pmem.RangeError
+	return errors.As(err, &me) || errors.As(err, &re)
+}
+
+// failTx handles an error raised in the middle of a journal transaction: the
+// transaction is rolled back via its undo log, and if the failure was a media
+// fault the file system degrades to read-only — DRAM bookkeeping touched
+// before the fault (free-slot lists, extent growth) may no longer match the
+// rolled-back PM state, so further mutation is unsafe.
+func (fs *FS) failTx(tx *mtx, op string, err error) error {
+	tx.abort()
+	if isMediaErr(err) {
+		fs.degrade("media error during %s: %v", op, err)
+	}
+	return mapDevErr(err)
 }
 
 // inode is the DRAM image of a file or directory.
@@ -90,6 +171,15 @@ type inode struct {
 	// mappings are the live mmaps of this file; the reactive rewriter
 	// shoots them down after swapping the extent map.
 	mappings []*mmu.Mapping
+}
+
+// typNow reads the inode type under its lock: namespace pre-checks race
+// with a concurrent unlink/rmdir/rename flipping the type to typeFree.
+func (ino *inode) typNow() uint8 {
+	ino.mu.RLock()
+	t := ino.typ
+	ino.mu.RUnlock()
+	return t
 }
 
 type dentry struct {
@@ -221,7 +311,7 @@ func (fs *FS) writeSuper(ctx *sim.Ctx, clean bool) {
 
 // writeInodeHeader persists the inode's header piece, journaling the old
 // contents first when tx != nil.
-func (fs *FS) writeInodeHeader(ctx *sim.Ctx, tx *mtx, ino *inode) {
+func (fs *FS) writeInodeHeader(ctx *sim.Ctx, tx *mtx, ino *inode) error {
 	addr := fs.g.inodeAddr(ino.ino)
 	di := dinode{
 		magic:    inodeMagic,
@@ -239,18 +329,21 @@ func (fs *FS) writeInodeHeader(ctx *sim.Ctx, tx *mtx, ino *inode) {
 	}
 	b := di.encodeHeader()[:32]
 	if tx != nil {
-		tx.undo(addr, 32)
+		if err := tx.undo(addr, 32); err != nil {
+			return err
+		}
 	}
 	fs.dev.Write(ctx, b, addr)
 	fs.dev.Flush(ctx, addr, 32)
+	return nil
 }
 
 // persistInodeRaw writes a full inode image without journaling (mkfs /
 // rebuild paths).
 func (fs *FS) persistInodeRaw(ctx *sim.Ctx, ino *inode) {
-	fs.writeInodeHeader(ctx, nil, ino)
+	_ = fs.writeInodeHeader(ctx, nil, ino) // nil tx: cannot fail
 	for i := range ino.extents {
-		fs.writeExtentSlot(ctx, nil, ino, i)
+		_ = fs.writeExtentSlot(ctx, nil, ino, i)
 	}
 	fs.dev.Fence(ctx)
 }
@@ -280,7 +373,9 @@ func (fs *FS) extSlotAddr(ctx *sim.Ctx, tx *mtx, ino *inode, slot int) (int64, e
 		} else {
 			prev := ino.indirect[len(ino.indirect)-1]
 			ptrAddr := prev * BlockSize
-			tx.undo(ptrAddr, 8)
+			if err := tx.undo(ptrAddr, 8); err != nil {
+				return 0, err
+			}
 			var pb [8]byte
 			binary.LittleEndian.PutUint64(pb[:], uint64(blk))
 			fs.dev.Write(ctx, pb[:], ptrAddr)
@@ -305,7 +400,9 @@ func (fs *FS) writeExtentSlot(ctx *sim.Ctx, tx *mtx, ino *inode, i int) error {
 	var b [extentSize]byte
 	encodeExtent(b[:], ino.extents[i])
 	if tx != nil {
-		tx.undo(addr, extentSize)
+		if err := tx.undo(addr, extentSize); err != nil {
+			return err
+		}
 	}
 	fs.dev.Write(ctx, b[:], addr)
 	fs.dev.Flush(ctx, addr, extentSize)
@@ -345,17 +442,24 @@ func (fs *FS) txCPU(ctx *sim.Ctx) int {
 	return cpu
 }
 
-func (m *mtx) undo(addr int64, n int) {
+func (m *mtx) undo(addr int64, n int) error {
 	need := (n + undoBytes - 1) / undoBytes
 	if m.tx.wrote+need > MaxTxEntries-1 {
 		m.tx.commit(m.ctx)
 		m.tx = m.fs.beginTx(m.ctx, m.cpu)
 	}
-	m.tx.undo(m.ctx, addr, n)
+	return m.tx.undo(m.ctx, addr, n)
 }
 
 func (m *mtx) commit() {
 	m.tx.commit(m.ctx)
+}
+
+// abort rolls back the current journal transaction of the chain (earlier
+// chained transactions have already committed; each link is individually
+// atomic) and releases the journal.
+func (m *mtx) abort() {
+	m.tx.abort(m.ctx)
 }
 
 // --- path resolution -------------------------------------------------------
@@ -404,7 +508,7 @@ func (fs *FS) resolveParent(ctx *sim.Ctx, path string) (*inode, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	if p.typ != typeDir {
+	if p.typNow() != typeDir {
 		return nil, "", vfs.ErrNotDir
 	}
 	return p, name, nil
@@ -444,19 +548,25 @@ func (fs *FS) direntSlot(ctx *sim.Ctx, tx *mtx, dir *inode) (int64, error) {
 }
 
 // writeDirent journals and persists a dirent at addr.
-func (fs *FS) writeDirent(ctx *sim.Ctx, tx *mtx, addr int64, ino uint64, name string) {
+func (fs *FS) writeDirent(ctx *sim.Ctx, tx *mtx, addr int64, ino uint64, name string) error {
 	var b [DirentSize]byte
 	encodeDirent(b[:], ino, name)
-	tx.undo(addr, DirentSize)
+	if err := tx.undo(addr, DirentSize); err != nil {
+		return err
+	}
 	fs.dev.Write(ctx, b[:], addr)
 	fs.dev.Flush(ctx, addr, DirentSize)
+	return nil
 }
 
 // clearDirent journals and invalidates the dirent at addr.
-func (fs *FS) clearDirent(ctx *sim.Ctx, tx *mtx, addr int64) {
-	tx.undo(addr+8, 1) // the valid byte
+func (fs *FS) clearDirent(ctx *sim.Ctx, tx *mtx, addr int64) error {
+	if err := tx.undo(addr+8, 1); err != nil { // the valid byte
+		return err
+	}
 	fs.dev.Write(ctx, []byte{0}, addr+8)
 	fs.dev.Flush(ctx, addr+8, 1)
+	return nil
 }
 
 // appendExtent adds a record to the inode's extent list, merging with the
@@ -493,6 +603,9 @@ func (fs *FS) Mode() vfs.ConsistencyMode { return fs.mode }
 func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
 	ctx.Counters.Syscalls++
 	ctx.Advance(fs.model.SyscallNS)
+	if err := fs.writable(); err != nil {
+		return nil, err
+	}
 	parent, name, err := fs.resolveParent(ctx, path)
 	if err != nil {
 		return nil, err
@@ -504,7 +617,7 @@ func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
 	if de, ok := parent.dir.tree.Get(name); ok {
 		parent.mu.Unlock()
 		existing := fs.getInode(de.ino)
-		if existing == nil || existing.typ == typeDir {
+		if existing == nil || existing.typNow() == typeDir {
 			return nil, vfs.ErrIsDir
 		}
 		return &File{fs: fs, ino: existing}, nil
@@ -525,15 +638,20 @@ func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
 	tx := fs.begin(ctx)
 	parent.mu.Lock()
 	slotAddr, err := fs.direntSlot(ctx, tx, parent)
+	if err == nil {
+		err = fs.writeDirent(ctx, tx, slotAddr, inoNum, name)
+	}
+	if err == nil {
+		err = fs.writeInodeHeader(ctx, tx, child)
+	}
+	if err == nil {
+		err = fs.writeInodeHeader(ctx, tx, parent)
+	}
 	if err != nil {
 		parent.mu.Unlock()
-		tx.commit()
 		fs.freeIno(inoNum)
-		return nil, err
+		return nil, fs.failTx(tx, "create", err)
 	}
-	fs.writeDirent(ctx, tx, slotAddr, inoNum, name)
-	fs.writeInodeHeader(ctx, tx, child)
-	fs.writeInodeHeader(ctx, tx, parent)
 	parent.dir.tree.Set(name, dentry{ino: inoNum, addr: slotAddr})
 	parent.mu.Unlock()
 	tx.commit()
@@ -552,7 +670,7 @@ func (fs *FS) Open(ctx *sim.Ctx, path string) (vfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ino.typ == typeDir {
+	if ino.typNow() == typeDir {
 		return nil, vfs.ErrIsDir
 	}
 	return &File{fs: fs, ino: ino}, nil
@@ -562,6 +680,9 @@ func (fs *FS) Open(ctx *sim.Ctx, path string) (vfs.File, error) {
 func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
 	ctx.Counters.Syscalls++
 	ctx.Advance(fs.model.SyscallNS)
+	if err := fs.writable(); err != nil {
+		return err
+	}
 	parent, name, err := fs.resolveParent(ctx, path)
 	if err != nil {
 		return err
@@ -585,16 +706,23 @@ func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
 	tx := fs.begin(ctx)
 	parent.mu.Lock()
 	slotAddr, err := fs.direntSlot(ctx, tx, parent)
+	if err == nil {
+		err = fs.writeDirent(ctx, tx, slotAddr, inoNum, name)
+	}
+	if err == nil {
+		err = fs.writeInodeHeader(ctx, tx, child)
+	}
+	if err == nil {
+		parent.nlink++
+		if err = fs.writeInodeHeader(ctx, tx, parent); err != nil {
+			parent.nlink--
+		}
+	}
 	if err != nil {
 		parent.mu.Unlock()
-		tx.commit()
 		fs.freeIno(inoNum)
-		return err
+		return fs.failTx(tx, "mkdir", err)
 	}
-	fs.writeDirent(ctx, tx, slotAddr, inoNum, name)
-	fs.writeInodeHeader(ctx, tx, child)
-	parent.nlink++
-	fs.writeInodeHeader(ctx, tx, parent)
 	parent.dir.tree.Set(name, dentry{ino: inoNum, addr: slotAddr})
 	parent.mu.Unlock()
 	tx.commit()
@@ -609,6 +737,9 @@ func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
 func (fs *FS) Unlink(ctx *sim.Ctx, path string) error {
 	ctx.Counters.Syscalls++
 	ctx.Advance(fs.model.SyscallNS)
+	if err := fs.writable(); err != nil {
+		return err
+	}
 	parent, name, err := fs.resolveParent(ctx, path)
 	if err != nil {
 		return err
@@ -626,21 +757,31 @@ func (fs *FS) Unlink(ctx *sim.Ctx, path string) error {
 	if target == nil {
 		return vfs.ErrNotExist
 	}
-	if target.typ == typeDir {
+	if target.typNow() == typeDir {
 		return vfs.ErrIsDir
 	}
 	fs.locks.Lock(ctx, target.ino)
 	defer fs.locks.Unlock(ctx, target.ino)
 
 	tx := fs.begin(ctx)
-	fs.clearDirent(ctx, tx, de.addr)
+	if err := fs.clearDirent(ctx, tx, de.addr); err != nil {
+		return fs.failTx(tx, "unlink", err)
+	}
 	target.mu.Lock()
 	target.nlink--
 	drop := target.nlink == 0
 	if drop {
 		target.typ = typeFree
 	}
-	fs.writeInodeHeader(ctx, tx, target)
+	if err := fs.writeInodeHeader(ctx, tx, target); err != nil {
+		target.nlink++
+		if drop {
+			target.typ = typeFile
+			drop = false
+		}
+		target.mu.Unlock()
+		return fs.failTx(tx, "unlink", err)
+	}
 	target.mu.Unlock()
 	tx.commit()
 
@@ -683,6 +824,9 @@ func (fs *FS) destroyInode(ctx *sim.Ctx, ino *inode) {
 func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
 	ctx.Counters.Syscalls++
 	ctx.Advance(fs.model.SyscallNS)
+	if err := fs.writable(); err != nil {
+		return err
+	}
 	parent, name, err := fs.resolveParent(ctx, path)
 	if err != nil {
 		return err
@@ -700,7 +844,7 @@ func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
 	if target == nil {
 		return vfs.ErrNotExist
 	}
-	if target.typ != typeDir {
+	if target.typNow() != typeDir {
 		return vfs.ErrNotDir
 	}
 	target.mu.RLock()
@@ -711,14 +855,24 @@ func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
 	}
 
 	tx := fs.begin(ctx)
-	fs.clearDirent(ctx, tx, de.addr)
+	if err := fs.clearDirent(ctx, tx, de.addr); err != nil {
+		return fs.failTx(tx, "rmdir", err)
+	}
 	target.mu.Lock()
 	target.typ = typeFree
-	fs.writeInodeHeader(ctx, tx, target)
+	if err := fs.writeInodeHeader(ctx, tx, target); err != nil {
+		target.typ = typeDir
+		target.mu.Unlock()
+		return fs.failTx(tx, "rmdir", err)
+	}
 	target.mu.Unlock()
 	parent.mu.Lock()
 	parent.nlink--
-	fs.writeInodeHeader(ctx, tx, parent)
+	if err := fs.writeInodeHeader(ctx, tx, parent); err != nil {
+		parent.nlink++
+		parent.mu.Unlock()
+		return fs.failTx(tx, "rmdir", err)
+	}
 	parent.dir.tree.Delete(name)
 	parent.dir.freeSlots = append(parent.dir.freeSlots, de.addr)
 	parent.mu.Unlock()
@@ -733,6 +887,9 @@ func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
 func (fs *FS) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
 	ctx.Counters.Syscalls++
 	ctx.Advance(fs.model.SyscallNS)
+	if err := fs.writable(); err != nil {
+		return err
+	}
 	oldParent, oldName, err := fs.resolveParent(ctx, oldPath)
 	if err != nil {
 		return err
@@ -775,7 +932,7 @@ func (fs *FS) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
 	var victim *inode
 	if replacing {
 		victim = fs.getInode(oldDe.ino)
-		if victim != nil && victim.typ == typeDir {
+		if victim != nil && victim.typNow() == typeDir {
 			victim.mu.RLock()
 			empty := victim.dir.tree.Len() == 0
 			victim.mu.RUnlock()
@@ -786,30 +943,39 @@ func (fs *FS) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
 	}
 
 	tx := fs.begin(ctx)
-	fs.clearDirent(ctx, tx, de.addr)
+	if err := fs.clearDirent(ctx, tx, de.addr); err != nil {
+		return fs.failTx(tx, "rename", err)
+	}
 	var newAddr int64
 	if replacing {
 		// Reuse the victim's dirent slot: point it at the moved inode.
 		newAddr = oldDe.addr
-		fs.writeDirent(ctx, tx, newAddr, moved.ino, newName)
+		if err := fs.writeDirent(ctx, tx, newAddr, moved.ino, newName); err != nil {
+			return fs.failTx(tx, "rename", err)
+		}
 		if victim != nil {
 			victim.mu.Lock()
 			victim.nlink = 0
 			victim.typ = typeFree
-			fs.writeInodeHeader(ctx, tx, victim)
+			err := fs.writeInodeHeader(ctx, tx, victim)
 			victim.mu.Unlock()
+			if err != nil {
+				return fs.failTx(tx, "rename", err)
+			}
 		}
 	} else {
 		newParent.mu.Lock()
 		newAddr, err = fs.direntSlot(ctx, tx, newParent)
-		if err != nil {
-			newParent.mu.Unlock()
-			tx.commit()
-			return err
+		if err == nil {
+			err = fs.writeDirent(ctx, tx, newAddr, moved.ino, newName)
 		}
-		fs.writeDirent(ctx, tx, newAddr, moved.ino, newName)
-		fs.writeInodeHeader(ctx, tx, newParent)
+		if err == nil {
+			err = fs.writeInodeHeader(ctx, tx, newParent)
+		}
 		newParent.mu.Unlock()
+		if err != nil {
+			return fs.failTx(tx, "rename", err)
+		}
 	}
 	tx.commit()
 

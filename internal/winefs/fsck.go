@@ -41,7 +41,10 @@ func (r *CheckReport) OK() bool { return len(r.Errors) == 0 }
 func Check(dev *pmem.Device) *CheckReport {
 	r := &CheckReport{}
 	sbBuf := make([]byte, sbSize)
-	dev.ReadAt(sbBuf, 0)
+	if err := dev.ReadAtChecked(sbBuf, 0); err != nil {
+		r.errf("superblock unreadable: %v", err)
+		return r
+	}
 	sb := decodeSuperblock(sbBuf)
 	if sb.magic != Magic {
 		r.errf("bad superblock magic %#x", sb.magic)
@@ -68,7 +71,10 @@ func Check(dev *pmem.Device) *CheckReport {
 		base := g.inodeTableBase(c)
 		for s := int64(0); s < g.inodesPerCPU; s++ {
 			hdr := make([]byte, inoOffExtents)
-			dev.ReadAt(hdr, base+s*InodeSize)
+			if err := dev.ReadAtChecked(hdr, base+s*InodeSize); err != nil {
+				r.errf("ino cpu=%d slot=%d: unreadable: %v", c, s, err)
+				continue
+			}
 			di := decodeInodeHeader(hdr)
 			if di.magic != inodeMagic || di.typ == typeFree {
 				continue
@@ -94,7 +100,15 @@ func Check(dev *pmem.Device) *CheckReport {
 					chain := idx / extPerIndirect
 					for len(indirect) <= chain {
 						var pb [8]byte
-						dev.ReadAt(pb[:], indirect[len(indirect)-1]*BlockSize)
+						last := indirect[len(indirect)-1]
+						if err := dev.CheckRange(last*BlockSize, 8); err != nil {
+							r.errf("ino %d: indirect pointer %d out of range", ino, last)
+							break
+						}
+						if err := dev.ReadAtChecked(pb[:], last*BlockSize); err != nil {
+							r.errf("ino %d: indirect block %d unreadable: %v", ino, last, err)
+							break
+						}
 						next := int64(binary.LittleEndian.Uint64(pb[:]))
 						if next == 0 {
 							r.errf("ino %d: broken indirect chain at record %d", ino, i)
@@ -107,7 +121,14 @@ func Check(dev *pmem.Device) *CheckReport {
 					}
 					addr = indirect[chain]*BlockSize + 8 + int64(idx%extPerIndirect)*extentSize
 				}
-				dev.ReadAt(buf, addr)
+				if err := dev.CheckRange(addr, extentSize); err != nil {
+					r.errf("ino %d: extent record %d out of range", ino, i)
+					break
+				}
+				if err := dev.ReadAtChecked(buf, addr); err != nil {
+					r.errf("ino %d: extent record %d unreadable: %v", ino, i, err)
+					break
+				}
 				e := decodeExtent(buf)
 				if e.length <= 0 {
 					r.errf("ino %d: extent %d has non-positive length %d", ino, i, e.length)
@@ -158,7 +179,10 @@ func Check(dev *pmem.Device) *CheckReport {
 		buf := make([]byte, BlockSize)
 		for _, e := range info.extents {
 			for b := e.blk; b < e.blk+e.length; b++ {
-				dev.ReadAt(buf, b*BlockSize)
+				if err := dev.ReadAtChecked(buf, b*BlockSize); err != nil {
+					r.errf("dir %d: dirent block %d unreadable: %v", info.ino, b, err)
+					continue
+				}
 				for off := int64(0); off < BlockSize; off += DirentSize {
 					child, name, valid := decodeDirent(buf[off : off+DirentSize])
 					if !valid || child == 0 {

@@ -2,12 +2,18 @@ package winefs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
 
 	"repro/internal/sim"
 )
+
+// ErrTxOverflow reports a journal transaction that tried to exceed its
+// MaxTxEntries reservation. The transaction is aborted (rolled back via
+// its undo log) and the operation fails; the process does not crash.
+var ErrTxOverflow = errors.New("winefs: transaction exceeds reserved journal entries")
 
 // Journal entry types (§3.6: START, COMMIT or DATA).
 const (
@@ -55,11 +61,18 @@ func (j *journal) writeHeader(ctx *sim.Ctx, lastCommitted uint64) {
 	ctx.Counters.JournalBytes += EntrySize
 }
 
-func (j *journal) readHeader() (wrap uint32, tail int64, lastCommitted uint64) {
+func (j *journal) readHeader() (wrap uint32, tail int64, lastCommitted uint64, err error) {
 	b := make([]byte, EntrySize)
-	j.fs.dev.ReadAt(b, j.base)
+	if err := j.fs.dev.ReadAtChecked(b, j.base); err != nil {
+		return 0, 0, 0, err
+	}
 	le := binary.LittleEndian
-	return le.Uint32(b[4:]), int64(le.Uint64(b[8:])), le.Uint64(b[16:])
+	if m := le.Uint32(b[0:]); m != entryMagic {
+		// A header with the wrong magic cannot be trusted to say whether an
+		// uncommitted transaction is pending; the caller degrades or repairs.
+		return 0, 0, 0, fmt.Errorf("winefs: journal %d header bad magic %#x", j.cpu, m)
+	}
+	return le.Uint32(b[4:]), int64(le.Uint64(b[8:])), le.Uint64(b[16:]), nil
 }
 
 func (j *journal) entryAddr(slot int64) int64 { return j.base + slot*EntrySize }
@@ -113,6 +126,9 @@ type txn struct {
 	id        uint64
 	wrote     int
 	unflushed int
+	// undoLog mirrors the DATA entries in DRAM so abort can roll the
+	// covered regions back without re-reading the journal.
+	undoLog []jentry
 }
 
 // begin starts a transaction in cpu's journal, reserving MaxTxEntries
@@ -138,14 +154,23 @@ func (fs *FS) beginTx(ctx *sim.Ctx, cpu int) *txn {
 	// every transaction create, unique across all per-CPU journals.
 	id := atomic.AddUint64(&fs.nextTxID, 1)
 	tx := &txn{j: j, id: id}
-	tx.append(ctx, &jentry{typ: entryStart, wrap: j.wrap, txid: id})
+	// The START entry is the first of a fresh reservation; it cannot
+	// overflow.
+	_ = tx.append(ctx, &jentry{typ: entryStart, wrap: j.wrap, txid: id})
 	return tx
 }
 
-func (tx *txn) append(ctx *sim.Ctx, e *jentry) {
+// append writes one entry into the transaction's reservation. The last
+// reserved slot is held back for the COMMIT record, so an oversized
+// transaction fails with ErrTxOverflow while it can still be resolved.
+func (tx *txn) append(ctx *sim.Ctx, e *jentry) error {
 	j := tx.j
-	if tx.wrote >= MaxTxEntries {
-		panic(fmt.Sprintf("winefs: transaction exceeded %d entries", MaxTxEntries))
+	limit := MaxTxEntries - 1
+	if e.typ == entryCommit {
+		limit = MaxTxEntries
+	}
+	if tx.wrote >= limit {
+		return fmt.Errorf("%w (%d entries)", ErrTxOverflow, MaxTxEntries)
 	}
 	b := encodeEntry(e)
 	addr := j.entryAddr(j.tail)
@@ -154,6 +179,7 @@ func (tx *txn) append(ctx *sim.Ctx, e *jentry) {
 	j.tail++
 	tx.wrote++
 	tx.unflushed++
+	return nil
 }
 
 // flushEntries flushes the journal entries appended since the last flush
@@ -172,7 +198,7 @@ func (tx *txn) flushEntries(ctx *sim.Ctx) {
 // across entries. Call undo before modifying the region: the entries are
 // fenced before undo returns, because an in-place update must never become
 // durable ahead of its undo record.
-func (tx *txn) undo(ctx *sim.Ctx, addr int64, n int) {
+func (tx *txn) undo(ctx *sim.Ctx, addr int64, n int) error {
 	for n > 0 {
 		k := n
 		if k > undoBytes {
@@ -180,14 +206,23 @@ func (tx *txn) undo(ctx *sim.Ctx, addr int64, n int) {
 		}
 		e := &jentry{typ: entryData, n: uint8(k), wrap: tx.j.wrap, txid: tx.id, addr: addr}
 		buf := make([]byte, k)
-		tx.j.fs.dev.Read(ctx, buf, addr)
+		// The old contents come off the media; a poisoned line here means
+		// the metadata about to be overwritten is unreadable, so the
+		// operation must fail with EIO rather than log garbage.
+		if err := tx.j.fs.dev.ReadChecked(ctx, buf, addr); err != nil {
+			return err
+		}
 		copy(e.data[:], buf)
-		tx.append(ctx, e)
+		if err := tx.append(ctx, e); err != nil {
+			return err
+		}
+		tx.undoLog = append(tx.undoLog, *e)
 		addr += int64(k)
 		n -= k
 	}
 	tx.flushEntries(ctx)
 	tx.j.fs.dev.Fence(ctx)
+	return nil
 }
 
 // commit makes the transaction durable and reclaims its space. The caller
@@ -199,10 +234,31 @@ func (tx *txn) undo(ctx *sim.Ctx, addr int64, n int) {
 func (tx *txn) commit(ctx *sim.Ctx) {
 	j := tx.j
 	j.fs.dev.Fence(ctx) // order in-place updates before COMMIT
-	tx.append(ctx, &jentry{typ: entryCommit, wrap: j.wrap, txid: tx.id})
+	// The COMMIT slot is reserved by append's limit; this cannot fail.
+	_ = tx.append(ctx, &jentry{typ: entryCommit, wrap: j.wrap, txid: tx.id})
 	tx.flushEntries(ctx)
 	j.fs.dev.Fence(ctx)
 	ctx.Counters.JournalCommits++
+	j.res.Release(ctx)
+}
+
+// abort rolls the transaction back: every journaled region is restored
+// from the in-DRAM undo log in reverse order, then a COMMIT entry marks
+// the transaction resolved (its net effect is nothing, so recovery must
+// not roll it back again — the journaled regions may be rewritten by later
+// transactions).
+func (tx *txn) abort(ctx *sim.Ctx) {
+	j := tx.j
+	for i := len(tx.undoLog) - 1; i >= 0; i-- {
+		e := tx.undoLog[i]
+		j.fs.dev.Write(ctx, e.data[:e.n], e.addr)
+		j.fs.dev.Flush(ctx, e.addr, int64(e.n))
+	}
+	j.fs.dev.Fence(ctx)
+	_ = tx.append(ctx, &jentry{typ: entryCommit, wrap: j.wrap, txid: tx.id})
+	tx.flushEntries(ctx)
+	j.fs.dev.Fence(ctx)
+	ctx.Counters.JournalAborts++
 	j.res.Release(ctx)
 }
 
@@ -214,13 +270,22 @@ type uncommittedTx struct {
 
 // scanJournal walks the journal forward from the last persisted header
 // (written at format and wrap time only) and returns the trailing
-// uncommitted transaction, if any, plus the largest TxID observed.
-func (j *journal) scanJournal() (*uncommittedTx, uint64) {
-	wrap, tail, lastCommitted := j.readHeader()
+// uncommitted transaction, if any, plus the largest TxID observed. A
+// media error on the header or an entry ends the scan with the error; the
+// caller decides whether to degrade.
+func (j *journal) scanJournal() (*uncommittedTx, uint64, error) {
+	wrap, tail, lastCommitted, hdrErr := j.readHeader()
+	if hdrErr != nil {
+		return nil, 0, hdrErr
+	}
 	entries := j.fs.g.journalEntries()
+	var scanErr error
 	read := func(slot int64) (jentry, bool) {
 		b := make([]byte, EntrySize)
-		j.fs.dev.ReadAt(b, j.entryAddr(slot))
+		if err := j.fs.dev.ReadAtChecked(b, j.entryAddr(slot)); err != nil {
+			scanErr = err
+			return jentry{}, false
+		}
 		return decodeEntry(b)
 	}
 	var maxSeen uint64
@@ -251,34 +316,45 @@ func (j *journal) scanJournal() (*uncommittedTx, uint64) {
 	}
 	if tail >= 1 && tail <= entries {
 		if tx := tryRun(tail, wrap); tx != nil {
-			return tx, maxSeen
+			return tx, maxSeen, scanErr
 		}
 		// The in-flight transaction may have started right after a wrap
 		// whose header write did not persist.
 		if tx := tryRun(1, wrap+1); tx != nil {
-			return tx, maxSeen
+			return tx, maxSeen, scanErr
 		}
-		return nil, maxSeen
+		return nil, maxSeen, scanErr
 	}
-	return nil, maxSeen
+	return nil, maxSeen, scanErr
 }
 
 // recoverJournals rolls back every uncommitted transaction across all
 // per-CPU journals, in descending global TxID order (§3.6, "Journal
-// Recovery"). Returns the number of transactions rolled back.
+// Recovery"). Returns the number of transactions rolled back. A journal
+// whose entries are unreadable (media error) is skipped — its in-flight
+// transaction cannot be rolled back safely — and the mount degrades to
+// read-only with the error recorded.
 func (fs *FS) recoverJournals(ctx *sim.Ctx) int {
 	var pending []*uncommittedTx
+	failed := make(map[int]bool)
 	maxID := fs.nextTxID
 	for _, j := range fs.journals {
-		tx, seen := j.scanJournal()
-		if tx != nil {
+		tx, seen, err := j.scanJournal()
+		if err != nil {
+			// The in-flight transaction (if any) cannot be rolled back
+			// safely from a partial scan; leave the journal untouched so a
+			// repaired mount can still see it, and degrade.
+			failed[j.cpu] = true
+			fs.degrade("journal %d unreadable during recovery: %v", j.cpu, err)
+		} else if tx != nil {
 			pending = append(pending, tx)
 		}
 		if seen > maxID {
 			maxID = seen
 		}
 		// Charge the scan: reading the header plus up to MaxTxEntries.
-		fs.dev.Read(ctx, make([]byte, EntrySize), j.base)
+		ctx.Counters.PMReadBytes += EntrySize
+		ctx.Advance(fs.model.ReadLat64)
 	}
 	sort.Slice(pending, func(i, k int) bool { return pending[i].txid > pending[k].txid })
 	for _, tx := range pending {
@@ -298,6 +374,9 @@ func (fs *FS) recoverJournals(ctx *sim.Ctx) int {
 	}
 	fs.nextTxID = maxID
 	for _, j := range fs.journals {
+		if failed[j.cpu] {
+			continue
+		}
 		j.tail = 1
 		j.wrap++
 		j.writeHeader(ctx, maxID)
@@ -316,24 +395,34 @@ func (j *journal) format(ctx *sim.Ctx) {
 
 // loadJournal restores the DRAM cursor at mount: the header gives the
 // start of the current wrap segment; the cursor is the first slot after
-// the entries already written in this segment.
-func (j *journal) load() {
-	wrap, tail, _ := j.readHeader()
+// the entries already written in this segment. A media error is returned
+// so the mount can degrade; the cursor is left at a safe position (the
+// journal will not be written in degraded mode).
+func (j *journal) load() error {
+	wrap, tail, _, err := j.readHeader()
+	if err != nil {
+		j.tail = 1
+		j.wrap = 1
+		return err
+	}
 	j.wrap = wrap
 	j.tail = tail
 	entries := j.fs.g.journalEntries()
 	if j.tail < 1 || j.tail > entries {
 		j.tail = 1
 		j.wrap++
-		return
+		return nil
 	}
 	b := make([]byte, EntrySize)
 	for j.tail < entries {
-		j.fs.dev.ReadAt(b, j.entryAddr(j.tail))
+		if err := j.fs.dev.ReadAtChecked(b, j.entryAddr(j.tail)); err != nil {
+			return err
+		}
 		e, ok := decodeEntry(b)
 		if !ok || e.wrap != j.wrap {
 			break
 		}
 		j.tail++
 	}
+	return nil
 }

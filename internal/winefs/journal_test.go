@@ -54,7 +54,7 @@ func TestTxnCommitReclaims(t *testing.T) {
 	if j.tail <= tailBefore {
 		t.Fatal("tail did not advance")
 	}
-	if tx2, _ := j.scanJournal(); tx2 != nil {
+	if tx2, _, _ := j.scanJournal(); tx2 != nil {
 		t.Fatalf("found uncommitted tx after commit: %+v", tx2)
 	}
 }
@@ -72,7 +72,7 @@ func TestUncommittedTxRollsBack(t *testing.T) {
 	dev.WriteAt([]byte("GARBAGE-GARBAGE-GARBAGE-GARBAGE!"), addr)
 	tx.j.res.Release(ctx) // release without committing (simulated crash)
 
-	found, _ := fs.journals[0].scanJournal()
+	found, _, _ := fs.journals[0].scanJournal()
 	if found == nil || found.txid != tx.id || len(found.undo) != 1 {
 		t.Fatalf("scan found %+v", found)
 	}
@@ -86,7 +86,7 @@ func TestUncommittedTxRollsBack(t *testing.T) {
 		t.Fatalf("rollback failed: %q", got)
 	}
 	// After recovery the journal is empty again.
-	if tx2, _ := fs.journals[0].scanJournal(); tx2 != nil {
+	if tx2, _, _ := fs.journals[0].scanJournal(); tx2 != nil {
 		t.Fatal("journal not clean after recovery")
 	}
 }
@@ -106,7 +106,7 @@ func TestJournalWraparound(t *testing.T) {
 		t.Fatalf("journal never wrapped: wrap=%d", j.wrap)
 	}
 	// Still consistent: no phantom uncommitted transactions.
-	if tx, _ := j.scanJournal(); tx != nil {
+	if tx, _, _ := j.scanJournal(); tx != nil {
 		t.Fatalf("phantom tx after wraparound: %+v", tx)
 	}
 	// And an uncommitted tx right after a wrap is still found.
@@ -114,7 +114,7 @@ func TestJournalWraparound(t *testing.T) {
 	tx := fs.beginTx(ctx, 0)
 	tx.undo(ctx, fs.g.inodeAddr(1), 8)
 	tx.j.res.Release(ctx)
-	found, _ := j.scanJournal()
+	found, _, _ := j.scanJournal()
 	if found == nil || found.txid != tx.id {
 		t.Fatalf("wrap-straddling tx not found: %+v", found)
 	}

@@ -17,7 +17,11 @@ import (
 // parallel (§3.6, "Crash Recovery and unmount").
 func Mount(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 	sbBuf := make([]byte, sbSize)
-	dev.ReadAt(sbBuf, 0)
+	// A poisoned superblock is not survivable: without the geometry nothing
+	// else on the device can be located. Mount fails with EIO.
+	if err := dev.ReadAtChecked(sbBuf, 0); err != nil {
+		return nil, mapDevErr(err)
+	}
 	sb := decodeSuperblock(sbBuf)
 	if sb.magic != Magic {
 		return nil, fmt.Errorf("winefs: bad superblock magic %#x", sb.magic)
@@ -40,7 +44,9 @@ func Mount(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 	for c := 0; c < fs.g.cpus; c++ {
 		j := &journal{fs: fs, cpu: c, base: fs.g.journalBase(c)}
 		fs.journals = append(fs.journals, j)
-		j.load()
+		if err := j.load(); err != nil {
+			fs.degrade("journal %d unreadable at mount: %v", c, err)
+		}
 	}
 
 	if !sb.clean {
@@ -60,14 +66,20 @@ func Mount(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 		}
 	}
 	// The mount is live: mark the superblock dirty so a crash triggers
-	// recovery.
-	fs.writeSuper(ctx, false)
+	// recovery. A degraded mount never writes — it serves reads only.
+	if fs.writable() == nil {
+		fs.writeSuper(ctx, false)
+	}
 	return fs, nil
 }
 
 // Unmount implements vfs.FS: serialise the DRAM allocator state and mark
-// the superblock clean.
+// the superblock clean. A degraded mount changes nothing: the superblock
+// stays dirty so the next mount re-runs recovery (or fsck -repair).
 func (fs *FS) Unmount(ctx *sim.Ctx) error {
+	if err := fs.writable(); err != nil {
+		return err
+	}
 	fs.saveFreeState(ctx)
 	fs.writeSuper(ctx, true)
 	return nil
@@ -96,7 +108,12 @@ func (fs *FS) rebuildFromScan(ctx *sim.Ctx, rebuildFree bool) {
 		for s := int64(0); s < fs.g.inodesPerCPU; s++ {
 			cpuCost += inodeScanCost
 			hdr := make([]byte, inoOffExtents)
-			fs.dev.ReadAt(hdr, base+s*InodeSize)
+			if err := fs.dev.ReadAtChecked(hdr, base+s*InodeSize); err != nil {
+				// The slot may hold a live inode we can no longer prove
+				// anything about: degrade rather than guess.
+				fs.degrade("inode table cpu %d slot %d unreadable: %v", c, s, err)
+				continue
+			}
 			di := decodeInodeHeader(hdr)
 			if di.magic != inodeMagic || di.typ == typeFree {
 				continue
@@ -155,7 +172,10 @@ func (fs *FS) rebuildFromScan(ctx *sim.Ctx, rebuildFree bool) {
 }
 
 // loadExtents reads an inode's extent records (inline + indirect chain)
-// into DRAM; returns the virtual-time cost of the reads.
+// into DRAM; returns the virtual-time cost of the reads. A poisoned record
+// or a corrupt chain pointer stops the walk and degrades the mount: the
+// records already loaded stay usable, the rest of the file reads as EIO-free
+// holes but the file system goes read-only.
 func (fs *FS) loadExtents(ino *inode, di dinode) int64 {
 	var cost int64
 	n := int(di.extCount)
@@ -174,10 +194,21 @@ func (fs *FS) loadExtents(ino *inode, di dinode) int64 {
 			chain := idx / extPerIndirect
 			for len(ino.indirect) <= chain {
 				// Follow the chain pointer at the start of the last block.
+				last := ino.indirect[len(ino.indirect)-1]
+				if err := fs.dev.CheckRange(last*BlockSize, 8); err != nil {
+					fs.degrade("ino %d: corrupt indirect chain: %v", ino.ino, err)
+					sortExtents(ino)
+					return cost
+				}
 				var pb [8]byte
-				fs.dev.ReadAt(pb[:], ino.indirect[len(ino.indirect)-1]*BlockSize)
+				if err := fs.dev.ReadAtChecked(pb[:], last*BlockSize); err != nil {
+					fs.degrade("ino %d: indirect block unreadable: %v", ino.ino, err)
+					sortExtents(ino)
+					return cost
+				}
 				next := int64(binary.LittleEndian.Uint64(pb[:]))
 				if next == 0 {
+					sortExtents(ino)
 					return cost
 				}
 				ino.indirect = append(ino.indirect, next)
@@ -185,9 +216,22 @@ func (fs *FS) loadExtents(ino *inode, di dinode) int64 {
 			}
 			addr = ino.indirect[chain]*BlockSize + 8 + int64(idx%extPerIndirect)*extentSize
 		}
-		fs.dev.ReadAt(buf, addr)
+		if err := fs.dev.CheckRange(addr, extentSize); err != nil {
+			fs.degrade("ino %d: extent record %d out of range: %v", ino.ino, i, err)
+			break
+		}
+		if err := fs.dev.ReadAtChecked(buf, addr); err != nil {
+			fs.degrade("ino %d: extent record %d unreadable: %v", ino.ino, i, err)
+			break
+		}
 		cost += int64(fs.model.ReadLat64) / 4
 		e := decodeExtent(buf)
+		// Validate the decoded record before trusting it: a torn or stale
+		// record can point anywhere.
+		if e.length <= 0 || e.blk < 0 || fs.dev.CheckRange(e.blk*BlockSize, e.length*BlockSize) != nil {
+			fs.degrade("ino %d: extent record %d corrupt (blk=%d len=%d)", ino.ino, i, e.blk, e.length)
+			break
+		}
 		ino.extents = append(ino.extents, wextent{fileBlk: e.fileBlk, blk: e.blk, length: e.length})
 		ino.slots = append(ino.slots, i)
 	}
@@ -201,7 +245,13 @@ func (fs *FS) loadDirIndex(ctx *sim.Ctx, dir *inode) {
 	buf := make([]byte, BlockSize)
 	for _, e := range dir.extents {
 		for b := e.blk; b < e.blk+e.length; b++ {
-			fs.dev.ReadAt(buf, b*BlockSize)
+			if err := fs.dev.ReadAtChecked(buf, b*BlockSize); err != nil {
+				// The entries in this block are unknowable: the namespace may
+				// be missing files, so the mount is read-only from here on.
+				fs.degrade("dir %d: dirent block %d unreadable: %v", dir.ino, b, err)
+				ctx.Advance(int64(fs.model.ReadLat64))
+				continue
+			}
 			ctx.Advance(int64(fs.model.ReadLat64))
 			for off := int64(0); off < BlockSize; off += DirentSize {
 				addr := b*BlockSize + off
@@ -276,7 +326,11 @@ func (fs *FS) loadFreeState(ctx *sim.Ctx) bool {
 	area := fs.g.unmountStart * BlockSize
 	limit := fs.g.unmountBlocks * BlockSize
 	raw := make([]byte, limit)
-	fs.dev.ReadAt(raw, area)
+	if err := fs.dev.ReadAtChecked(raw, area); err != nil {
+		// Poisoned unmount area: fall back to the scan (which also leaves
+		// the stale freelist behind — it is rewritten on the next unmount).
+		return false
+	}
 	pos := 0
 	u64 := func() (uint64, bool) {
 		if pos+8 > len(raw) {

@@ -82,6 +82,9 @@ func (fs *FS) RunRewriter(ctx *sim.Ctx) int {
 // rewriteFile re-allocates the whole file from aligned extents, copies the
 // data across, and swaps the extent map in one transaction.
 func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
+	if fs.writable() != nil {
+		return false
+	}
 	fs.locks.Lock(ctx, ino.ino)
 	defer fs.locks.Unlock(ctx, ino.ino)
 	ino.mu.Lock()
@@ -97,6 +100,9 @@ func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
 		return false
 	}
 	// Copy old contents (reading through the old map) into the new blocks.
+	// A media fault here aborts the rewrite: the old (fragmented but intact)
+	// layout stays in place and the application keeps getting EIO only for
+	// the genuinely poisoned bytes.
 	buf := make([]byte, alloc.HugeBytes)
 	var copied int64
 	for _, ne := range newExts {
@@ -110,7 +116,13 @@ func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
 			if copied+n > blocks {
 				n = blocks - copied
 			}
-			fs.readRangeLocked(ctx, ino, buf[:n*BlockSize], copied*BlockSize)
+			if err := fs.readRangeLocked(ctx, ino, buf[:n*BlockSize], copied*BlockSize); err != nil {
+				tx.abort()
+				for _, e := range newExts {
+					fs.alloc.free(ctx, e)
+				}
+				return false
+			}
 			fs.dev.Write(ctx, buf[:n*BlockSize], dst*BlockSize)
 			dst += n
 			copied += n
@@ -119,6 +131,7 @@ func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
 	}
 	// Swap the extent map: free the old layout, install the new.
 	old := ino.extents
+	oldSlots := ino.slots
 	ino.extents = nil
 	ino.slots = nil
 	fileBlk := int64(0)
@@ -139,13 +152,26 @@ func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
 		}
 	}
 	ino.gen++
+	err = nil
 	for i := range ino.extents {
-		if err := fs.writeExtentSlot(ctx, tx, ino, i); err != nil {
-			tx.commit()
-			return false
+		if err = fs.writeExtentSlot(ctx, tx, ino, i); err != nil {
+			break
 		}
 	}
-	fs.writeInodeHeader(ctx, tx, ino)
+	if err == nil {
+		err = fs.writeInodeHeader(ctx, tx, ino)
+	}
+	if err != nil {
+		// The DRAM map has already been swapped; roll back PM and restore it.
+		_ = fs.failTx(tx, "rewrite", err)
+		for _, ne := range newExts {
+			fs.alloc.free(ctx, ne)
+		}
+		ino.extents = old
+		ino.slots = oldSlots
+		ino.gen++
+		return false
+	}
 	tx.commit()
 	// Shoot down any live mappings before the old blocks are freed:
 	// subsequent accesses re-fault against the new (aligned) layout.
@@ -157,8 +183,9 @@ func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
 }
 
 // readRangeLocked reads file bytes through the extent map (caller holds
-// ino.mu). Holes read as zero.
-func (fs *FS) readRangeLocked(ctx *sim.Ctx, ino *inode, p []byte, off int64) {
+// ino.mu). Holes read as zero; poisoned lines or corrupt extent pointers
+// surface as an error.
+func (fs *FS) readRangeLocked(ctx *sim.Ctx, ino *inode, p []byte, off int64) error {
 	read := 0
 	for read < len(p) {
 		pos := off + int64(read)
@@ -182,7 +209,13 @@ func (fs *FS) readRangeLocked(ctx *sim.Ctx, ino *inode, p []byte, off int64) {
 		if n > int64(len(p)-read) {
 			n = int64(len(p) - read)
 		}
-		fs.dev.Read(ctx, p[read:read+int(n)], phys*BlockSize+in)
+		if err := fs.dev.CheckRange(phys*BlockSize+in, n); err != nil {
+			return err
+		}
+		if err := fs.dev.ReadChecked(ctx, p[read:read+int(n)], phys*BlockSize+in); err != nil {
+			return err
+		}
 		read += int(n)
 	}
+	return nil
 }
