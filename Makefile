@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet bench fault-campaign
+.PHONY: all build test check race vet bench fault-campaign serve-smoke
 
 all: build
 
@@ -24,6 +24,12 @@ check: vet race test
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Boots winefsd on loopback TCP, drives a multi-client workload through
+# fileserver.Client, and verifies the stats endpoint (end-to-end server
+# smoke; also part of CI).
+serve-smoke:
+	$(GO) run ./cmd/winefsd -smoke
 
 # The ≥100-run media-fault campaign plus every poison/torn-write test.
 fault-campaign:

@@ -4,9 +4,15 @@
 // Usage:
 //
 //	winebench [-quick] [-cpus N] [-size BYTES] [-seed N] [-run fig1,fig3,...]
+//	winebench -server [-clients N] [-server-ops N]
 //
 // -run selects experiments (comma-separated from: fig1 fig2 fig3 fig4 fig6
 // fig7 table2 fig8 fig9 fig10 recovery defrag hpc crashmonkey; default all).
+//
+// -server runs the serving-throughput baseline instead: N concurrent
+// clients drive one winefsd-style server through the deterministic
+// in-memory transport and the merged latency digest plus virtual ops/s are
+// reported.
 package main
 
 import (
@@ -14,10 +20,17 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"repro/internal/crashmonkey"
 	"repro/internal/experiments"
+	"repro/internal/fileserver"
 	"repro/internal/perf"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -26,7 +39,18 @@ func main() {
 	size := flag.Int64("size", 0, "device size in bytes (0 = default)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	run := flag.String("run", "all", "comma-separated experiment list")
+	server := flag.Bool("server", false, "run the serving-throughput baseline and exit")
+	clients := flag.Int("clients", 8, "concurrent clients in -server mode")
+	serverOps := flag.Int("server-ops", 0, "loop iterations per client in -server mode (0 = 200, 50 with -quick)")
 	flag.Parse()
+
+	if *server {
+		if err := runServerBench(*clients, *cpus, *size, *serverOps, *quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "winebench: server: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{
 		Quick:      *quick,
@@ -251,4 +275,100 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runServerBench is winebench -server: the serving-throughput baseline.
+// It boots one server over the in-memory transport, fans out `clients`
+// concurrent ServerMix clients, and reports virtual ops/s plus the merged
+// latency digest — the numbers ROADMAP's serving milestone tracks.
+func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uint64) error {
+	if ops <= 0 {
+		ops = 200
+		if quick {
+			ops = 50
+		}
+	}
+	if size == 0 {
+		size = 2 << 30
+	}
+	dev := pmem.New(size)
+	ctx := sim.NewCtx(1, 0)
+	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: cpus, Mode: vfs.Strict})
+	if err != nil {
+		return fmt.Errorf("mkfs: %w", err)
+	}
+	srv := fileserver.New(fs, fileserver.Config{CPUs: cpus})
+	pl := fileserver.NewPipeListener()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(pl) }()
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	results := make([]workloads.ServerMixResult, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := pl.Dial()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cl, err := fileserver.Dial(conn)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cctx := sim.NewCtx(5000+i, i%cpus)
+			results[i], errs[i] = workloads.ServerMixClient(cctx, cl, i,
+				workloads.ServerMixConfig{Ops: ops, Seed: seed})
+			if errs[i] == nil {
+				errs[i] = cl.Unmount(cctx)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+	srv.Shutdown()
+	if err := <-serveErr; err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	var lat perf.Histogram
+	var totalOps, spanNS int64
+	for _, r := range results {
+		lat.Merge(&r.Lat)
+		totalOps += r.Ops
+		if r.VirtualNS > spanNS {
+			spanNS = r.VirtualNS
+		}
+	}
+	opsPerSec := 0.0
+	if spanNS > 0 {
+		// Clients run concurrently in virtual time, so the span is the
+		// slowest client, not the sum.
+		opsPerSec = float64(totalOps) / (float64(spanNS) / 1e9)
+	}
+	sum := lat.Summary()
+	st := srv.Stats()
+	t := &experiments.Table{
+		Title:  fmt.Sprintf("Serving baseline: %d clients x %d iterations (in-memory transport)", clients, ops),
+		Header: []string{"metric", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"client ops", fmt.Sprintf("%d", totalOps)},
+		[]string{"server ops", fmt.Sprintf("%d", st.Ops)},
+		[]string{"throughput", fmt.Sprintf("%.0f ops/s (virtual)", opsPerSec)},
+		[]string{"latency p50", fmt.Sprintf("%dns", sum.P50NS)},
+		[]string{"latency p90", fmt.Sprintf("%dns", sum.P90NS)},
+		[]string{"latency p99", fmt.Sprintf("%dns", sum.P99NS)},
+		[]string{"latency max", fmt.Sprintf("%dns", sum.MaxNS)},
+		[]string{"sessions", fmt.Sprintf("%d", st.TotalSessions)},
+	)
+	t.Print(os.Stdout)
+	return nil
 }

@@ -1,0 +1,311 @@
+// Command winefsd serves a simulated persistent-memory device image over
+// TCP using the fileserver wire protocol, turning the in-process WineFS
+// reproduction into a multi-client network file server.
+//
+// Usage:
+//
+//	winefsd [-img wine.img] [-size 1g] [-cpus 8] [-relaxed]
+//	        [-addr 127.0.0.1:7070] [-stats 127.0.0.1:7071] [-window 32]
+//
+// With -img the image (created by mkfs) is loaded, mounted and saved back
+// on clean shutdown; without it a fresh volatile device of -size bytes is
+// formatted. -stats starts an HTTP endpoint whose /stats page reports the
+// server-wide aggregate of every session's perf counters, the request
+// latency digest and the mount's degradation state as JSON.
+//
+// winefsd -smoke runs the self-contained smoke test: boot a server on a
+// loopback port, run a small multi-client workload through
+// fileserver.Client over real TCP, then verify the stats endpoint. It
+// exits non-zero on any failure (the make serve-smoke target).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/fileserver"
+	"repro/internal/perf"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+	"repro/internal/workloads"
+)
+
+func parseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "g"):
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "k"):
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}
+
+// statsPage is the JSON document /stats serves.
+type statsPage struct {
+	FS       string
+	Mode     string
+	Sessions struct {
+		Active int
+		Total  uint64
+	}
+	OpenHandles int
+	Ops         int64
+	Latency     perf.LatencySummary
+	Counters    perf.Counters
+	Degraded    bool
+	Reason      string `json:",omitempty"`
+}
+
+func buildStats(srv *fileserver.Server) statsPage {
+	st := srv.Stats()
+	var p statsPage
+	fs := srv.FS()
+	p.FS = fs.Name()
+	p.Mode = fs.Mode().String()
+	p.Sessions.Active = st.ActiveSessions
+	p.Sessions.Total = st.TotalSessions
+	p.OpenHandles = st.OpenHandles
+	p.Ops = st.Ops
+	p.Latency = st.Lat.Summary()
+	p.Counters = st.Counters
+	if d, ok := fs.(interface{ Degraded() (string, bool) }); ok {
+		p.Reason, p.Degraded = d.Degraded()
+	}
+	return p
+}
+
+// serveStats starts the HTTP stats endpoint on addr; it returns the bound
+// address (addr may carry port 0).
+func serveStats(srv *fileserver.Server, addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(buildStats(srv))
+	})
+	go http.Serve(l, mux)
+	return l.Addr().String(), nil
+}
+
+func main() {
+	img := flag.String("img", "", "device image to serve (empty: fresh volatile device)")
+	size := flag.String("size", "1g", "device size when no image is given (k/m/g suffixes)")
+	cpus := flag.Int("cpus", 8, "simulated CPUs sessions are pinned across")
+	relaxed := flag.Bool("relaxed", false, "metadata-only consistency mode")
+	addr := flag.String("addr", "127.0.0.1:7070", "serving address")
+	stats := flag.String("stats", "", "HTTP stats endpoint address (empty: disabled)")
+	window := flag.Int("window", 32, "per-session pipelined-request window")
+	smoke := flag.Bool("smoke", false, "run the loopback smoke test and exit")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*cpus); err != nil {
+			fmt.Fprintf(os.Stderr, "winefsd: smoke FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("winefsd: smoke OK")
+		return
+	}
+
+	mode := vfs.Strict
+	if *relaxed {
+		mode = vfs.Relaxed
+	}
+	ctx := sim.NewCtx(1, 0)
+	var dev *pmem.Device
+	var fs *winefs.FS
+	var err error
+	if *img != "" {
+		if dev, err = pmem.Load(*img); err != nil {
+			fmt.Fprintf(os.Stderr, "winefsd: %v\n", err)
+			os.Exit(1)
+		}
+		if fs, err = winefs.Mount(ctx, dev, winefs.Options{Mode: mode}); err != nil {
+			fmt.Fprintf(os.Stderr, "winefsd: mount %s: %v\n", *img, err)
+			os.Exit(1)
+		}
+	} else {
+		bytes, perr := parseSize(*size)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "winefsd: bad size: %v\n", perr)
+			os.Exit(2)
+		}
+		dev = pmem.New(bytes)
+		if fs, err = winefs.Mkfs(ctx, dev, winefs.Options{CPUs: *cpus, Mode: mode}); err != nil {
+			fmt.Fprintf(os.Stderr, "winefsd: mkfs: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if reason, degraded := fs.Degraded(); degraded {
+		fmt.Fprintf(os.Stderr, "winefsd: WARNING: serving read-only (degraded): %s\n", reason)
+	}
+
+	srv := fileserver.New(fs, fileserver.Config{CPUs: *cpus, Window: *window})
+	l, err := fileserver.ListenTCP(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "winefsd: listen: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats != "" {
+		bound, serr := serveStats(srv, *stats)
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "winefsd: stats listen: %v\n", serr)
+			os.Exit(1)
+		}
+		fmt.Printf("winefsd: stats on http://%s/stats\n", bound)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	// Serve returns nil once Shutdown drains, which can happen before the
+	// handler has unmounted and saved — main must wait for shutdownDone or
+	// the process exits with the image unsaved.
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-sig
+		fmt.Println("winefsd: draining...")
+		srv.Shutdown()
+		uctx := sim.NewCtx(2, 0)
+		if err := fs.Unmount(uctx); err != nil {
+			fmt.Fprintf(os.Stderr, "winefsd: unmount: %v\n", err)
+		}
+		if *img != "" {
+			if err := dev.Save(*img); err != nil {
+				fmt.Fprintf(os.Stderr, "winefsd: save %s: %v\n", *img, err)
+				os.Exit(1)
+			}
+			fmt.Printf("winefsd: saved %s\n", *img)
+		}
+	}()
+
+	fmt.Printf("winefsd: serving %s (%s) on %s\n", fs.Name(), fs.Mode(), l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintf(os.Stderr, "winefsd: serve: %v\n", err)
+		os.Exit(1)
+	}
+	<-shutdownDone
+}
+
+// runSmoke boots a full server + stats endpoint on loopback ports, drives
+// a small multi-client workload over TCP and checks the stats endpoint
+// agrees work happened.
+func runSmoke(cpus int) error {
+	const clients = 4
+	dev := pmem.New(256 << 20)
+	ctx := sim.NewCtx(1, 0)
+	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: cpus, Mode: vfs.Strict})
+	if err != nil {
+		return fmt.Errorf("mkfs: %w", err)
+	}
+	srv := fileserver.New(fs, fileserver.Config{CPUs: cpus})
+	l, err := fileserver.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	statsAddr, err := serveStats(srv, "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("stats listen: %w", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	var totalOps int64
+	var opsMu sync.Mutex
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := fileserver.DialTCP(l.Addr())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cl, err := fileserver.Dial(conn)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cctx := sim.NewCtx(100+i, i%cpus)
+			res, err := workloads.ServerMixClient(cctx, cl, i, workloads.ServerMixConfig{Ops: 48, Seed: 7})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			opsMu.Lock()
+			totalOps += res.Ops
+			opsMu.Unlock()
+			errs[i] = cl.Unmount(cctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+
+	resp, err := http.Get("http://" + statsAddr + "/stats")
+	if err != nil {
+		return fmt.Errorf("stats endpoint: %w", err)
+	}
+	defer resp.Body.Close()
+	var page statsPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return fmt.Errorf("stats decode: %w", err)
+	}
+	if page.FS != fs.Name() {
+		return fmt.Errorf("stats FS = %q, want %q", page.FS, fs.Name())
+	}
+	if page.Sessions.Total != clients {
+		return fmt.Errorf("stats sessions.total = %d, want %d", page.Sessions.Total, clients)
+	}
+	// Ops includes the hello/detach frames; it must cover at least the
+	// workload's own syscalls.
+	if page.Ops < totalOps {
+		return fmt.Errorf("stats ops = %d, want >= %d", page.Ops, totalOps)
+	}
+	if page.Counters.Syscalls == 0 || page.Latency.Count == 0 {
+		return fmt.Errorf("stats counters empty: %+v", page)
+	}
+	if page.Degraded {
+		return fmt.Errorf("unexpected degraded mount: %s", page.Reason)
+	}
+
+	srv.Shutdown()
+	if err := <-serveErr; err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Printf("winefsd: smoke: %d clients, %d server ops, p99=%dns\n",
+		clients, page.Ops, page.Latency.P99NS)
+	return nil
+}

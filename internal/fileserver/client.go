@@ -1,0 +1,448 @@
+package fileserver
+
+import (
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Client is a remote mount: it implements vfs.FS over a Conn, so the
+// workload drivers in internal/workloads run against a served file system
+// without modification. A single Client is safe for concurrent use by many
+// goroutines; requests are multiplexed by id and responses demultiplexed
+// by a dedicated reader goroutine, so concurrent callers pipeline
+// naturally into the server's bounded window.
+//
+// Virtual time: every response carries the virtual nanoseconds the server
+// charged its session for the request, and the calling ctx is advanced by
+// exactly that, so throughput and latency measured at the client are the
+// served numbers. (Network latency itself is not modelled; the transports
+// are a rendezvous.)
+type Client struct {
+	conn Conn
+	name string
+	mode vfs.ConsistencyMode
+
+	wmu sync.Mutex // serialises frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan respFrame
+	nextID  uint64
+	closed  bool
+}
+
+type respFrame struct {
+	st      status
+	payload []byte
+}
+
+var _ vfs.FS = (*Client)(nil)
+
+// Dial performs the protocol handshake over an established connection and
+// returns the remote mount.
+func Dial(conn Conn) (*Client, error) {
+	c := &Client{conn: conn, pending: make(map[uint64]chan respFrame)}
+	go c.readLoop()
+	var e enc
+	e.u32(ProtoVersion)
+	d, err := c.call(nil, opHello, e.b)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	d.u32() // server protocol version (equal or the handshake would have failed)
+	c.name = d.str()
+	c.mode = vfs.ConsistencyMode(d.u8())
+	if !d.ok() {
+		conn.Close()
+		return nil, ErrBadRequest
+	}
+	return c, nil
+}
+
+// readLoop demultiplexes responses to their waiting callers. On transport
+// death every waiter is woken with ErrConnClosed.
+func (c *Client) readLoop() {
+	for {
+		id, code, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for _, ch := range c.pending {
+				close(ch)
+			}
+			c.pending = make(map[uint64]chan respFrame)
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- respFrame{st: status(code), payload: payload}
+		}
+	}
+}
+
+// call issues one request and blocks for its response. ctx (nil for the
+// handshake) is advanced by the server-charged virtual cost whether the
+// request succeeded or not — failed syscalls cost time too.
+func (c *Client) call(ctx *sim.Ctx, o op, payload []byte) (*dec, error) {
+	ch := make(chan respFrame, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.conn, id, uint8(o), payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+
+	f, ok := <-ch
+	if !ok {
+		return nil, ErrConnClosed
+	}
+	d := newDec(f.payload)
+	cost := d.u64()
+	if ctx != nil {
+		ctx.Advance(int64(cost))
+	}
+	if f.st != statusOK {
+		return nil, errFor(f.st, d.str())
+	}
+	return d, nil
+}
+
+// pathCall is the shape shared by Mkdir/Unlink/Rmdir.
+func (c *Client) pathCall(ctx *sim.Ctx, o op, path string) error {
+	var e enc
+	e.str(path)
+	_, err := c.call(ctx, o, e.b)
+	return err
+}
+
+// Name implements vfs.FS; it reports the served file system's name.
+func (c *Client) Name() string { return c.name }
+
+// Mode implements vfs.FS.
+func (c *Client) Mode() vfs.ConsistencyMode { return c.mode }
+
+func (c *Client) openLike(ctx *sim.Ctx, o op, path string) (vfs.File, error) {
+	var e enc
+	e.str(path)
+	d, err := c.call(ctx, o, e.b)
+	if err != nil {
+		return nil, err
+	}
+	f := &remoteFile{c: c, handle: d.u64(), ino: d.u64(), size: d.i64()}
+	if !d.ok() {
+		return nil, ErrBadRequest
+	}
+	return f, nil
+}
+
+// Create implements vfs.FS.
+func (c *Client) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
+	return c.openLike(ctx, opCreate, path)
+}
+
+// Open implements vfs.FS.
+func (c *Client) Open(ctx *sim.Ctx, path string) (vfs.File, error) {
+	return c.openLike(ctx, opOpen, path)
+}
+
+// Mkdir implements vfs.FS.
+func (c *Client) Mkdir(ctx *sim.Ctx, path string) error {
+	return c.pathCall(ctx, opMkdir, path)
+}
+
+// Unlink implements vfs.FS.
+func (c *Client) Unlink(ctx *sim.Ctx, path string) error {
+	return c.pathCall(ctx, opUnlink, path)
+}
+
+// Rmdir implements vfs.FS.
+func (c *Client) Rmdir(ctx *sim.Ctx, path string) error {
+	return c.pathCall(ctx, opRmdir, path)
+}
+
+// Rename implements vfs.FS.
+func (c *Client) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
+	var e enc
+	e.str(oldPath)
+	e.str(newPath)
+	_, err := c.call(ctx, opRename, e.b)
+	return err
+}
+
+// Stat implements vfs.FS.
+func (c *Client) Stat(ctx *sim.Ctx, path string) (vfs.FileInfo, error) {
+	var e enc
+	e.str(path)
+	d, err := c.call(ctx, opStat, e.b)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	fi := vfs.FileInfo{
+		Ino:   d.u64(),
+		Size:  d.i64(),
+		IsDir: d.u8() != 0,
+		Nlink: int(d.u32()),
+	}
+	if !d.ok() {
+		return vfs.FileInfo{}, ErrBadRequest
+	}
+	return fi, nil
+}
+
+// ReadDir implements vfs.FS.
+func (c *Client) ReadDir(ctx *sim.Ctx, path string) ([]vfs.DirEntry, error) {
+	var e enc
+	e.str(path)
+	d, err := c.call(ctx, opReadDir, e.b)
+	if err != nil {
+		return nil, err
+	}
+	n := d.u32()
+	ents := make([]vfs.DirEntry, 0, n)
+	for i := uint32(0); i < n && d.ok(); i++ {
+		ents = append(ents, vfs.DirEntry{
+			Name:  d.str(),
+			Ino:   d.u64(),
+			IsDir: d.u8() != 0,
+		})
+	}
+	if !d.ok() {
+		return nil, ErrBadRequest
+	}
+	return ents, nil
+}
+
+// StatFS implements vfs.FS. A dead connection reports a zero StatFS (the
+// interface has no error return).
+func (c *Client) StatFS(ctx *sim.Ctx) vfs.StatFS {
+	d, err := c.call(ctx, opStatFS, nil)
+	if err != nil {
+		return vfs.StatFS{}
+	}
+	return vfs.StatFS{
+		TotalBlocks:   d.i64(),
+		FreeBlocks:    d.i64(),
+		FreeAligned2M: d.i64(),
+		Files:         d.i64(),
+	}
+}
+
+// FreeExtents implements vfs.FS. The physical free-space map is a local
+// concern of the served file system; a remote mount has no view of it.
+func (c *Client) FreeExtents() []alloc.Extent { return nil }
+
+// Unmount implements vfs.FS: it detaches from the server (closing this
+// session's handles server-side) and closes the connection. The served
+// file system itself stays mounted for other clients.
+func (c *Client) Unmount(ctx *sim.Ctx) error {
+	_, err := c.call(ctx, opDetach, nil)
+	c.Close()
+	return err
+}
+
+// Close tears the connection down without the detach round trip.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// remoteFile is an open handle on a served file. Safe for concurrent use;
+// the cached size is refreshed from every size-changing response.
+type remoteFile struct {
+	c      *Client
+	handle uint64
+	ino    uint64
+
+	mu   sync.Mutex
+	size int64
+}
+
+var _ vfs.File = (*remoteFile)(nil)
+
+// Ino implements vfs.File.
+func (f *remoteFile) Ino() uint64 { return f.ino }
+
+// Size implements vfs.File; it returns the size as of the last response
+// that reported one (writes through other clients move it server-side).
+func (f *remoteFile) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+func (f *remoteFile) setSize(s int64) {
+	f.mu.Lock()
+	f.size = s
+	f.mu.Unlock()
+}
+
+// ReadAt implements vfs.File, splitting large reads into maxIO frames.
+// Like the local file systems it truncates reads past EOF and returns
+// (0, nil) at EOF.
+func (f *remoteFile) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		chunk := len(p) - total
+		if chunk > maxIO {
+			chunk = maxIO
+		}
+		var e enc
+		e.u64(f.handle)
+		e.i64(off + int64(total))
+		e.u32(uint32(chunk))
+		d, err := f.c.call(ctx, opRead, e.b)
+		if err != nil {
+			return total, err
+		}
+		data := d.bytes()
+		if !d.ok() {
+			return total, ErrBadRequest
+		}
+		copy(p[total:], data)
+		total += len(data)
+		if len(data) < chunk {
+			break // EOF
+		}
+	}
+	return total, nil
+}
+
+// writeLike shares the chunking loop between WriteAt and Append.
+func (f *remoteFile) writeLike(ctx *sim.Ctx, o op, p []byte, off int64) (int, error) {
+	total := 0
+	for {
+		chunk := len(p) - total
+		if chunk > maxIO {
+			chunk = maxIO
+		}
+		var e enc
+		e.u64(f.handle)
+		if o == opWrite {
+			e.i64(off + int64(total))
+		}
+		e.bytes(p[total : total+chunk])
+		d, err := f.c.call(ctx, o, e.b)
+		if err != nil {
+			return total, err
+		}
+		n := int(d.u32())
+		size := d.i64()
+		if !d.ok() {
+			return total, ErrBadRequest
+		}
+		f.setSize(size)
+		total += n
+		if n < chunk || total >= len(p) {
+			return total, nil
+		}
+	}
+}
+
+// WriteAt implements vfs.File.
+func (f *remoteFile) WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
+	return f.writeLike(ctx, opWrite, p, off)
+}
+
+// Append implements vfs.File.
+func (f *remoteFile) Append(ctx *sim.Ctx, p []byte) (int, error) {
+	return f.writeLike(ctx, opAppend, p, 0)
+}
+
+// Truncate implements vfs.File.
+func (f *remoteFile) Truncate(ctx *sim.Ctx, size int64) error {
+	var e enc
+	e.u64(f.handle)
+	e.i64(size)
+	d, err := f.c.call(ctx, opTruncate, e.b)
+	if err != nil {
+		return err
+	}
+	f.setSize(d.i64())
+	return nil
+}
+
+// Fallocate implements vfs.File.
+func (f *remoteFile) Fallocate(ctx *sim.Ctx, off, n int64) error {
+	var e enc
+	e.u64(f.handle)
+	e.i64(off)
+	e.i64(n)
+	d, err := f.c.call(ctx, opFallocate, e.b)
+	if err != nil {
+		return err
+	}
+	f.setSize(d.i64())
+	return nil
+}
+
+// Fsync implements vfs.File.
+func (f *remoteFile) Fsync(ctx *sim.Ctx) error {
+	var e enc
+	e.u64(f.handle)
+	_, err := f.c.call(ctx, opFsync, e.b)
+	return err
+}
+
+// Mmap implements vfs.File. A remote client shares no address space with
+// the server, so mapping is not supported (SplitFS-style client-side
+// mapping would need the data path split out of the protocol — a later
+// PR's problem).
+func (f *remoteFile) Mmap(ctx *sim.Ctx, length int64) (*mmu.Mapping, error) {
+	return nil, ErrNotSupported
+}
+
+// Extents implements vfs.File; physical layout is not visible remotely.
+func (f *remoteFile) Extents() []mmu.Extent { return nil }
+
+// SetXattr implements vfs.File.
+func (f *remoteFile) SetXattr(ctx *sim.Ctx, name string, value []byte) error {
+	var e enc
+	e.u64(f.handle)
+	e.str(name)
+	e.bytes(value)
+	_, err := f.c.call(ctx, opSetXattr, e.b)
+	return err
+}
+
+// GetXattr implements vfs.File.
+func (f *remoteFile) GetXattr(ctx *sim.Ctx, name string) ([]byte, bool) {
+	var e enc
+	e.u64(f.handle)
+	e.str(name)
+	d, err := f.c.call(ctx, opGetXattr, e.b)
+	if err != nil {
+		return nil, false
+	}
+	ok := d.u8() != 0
+	val := append([]byte(nil), d.bytes()...)
+	if !d.ok() || !ok {
+		return nil, false
+	}
+	return val, true
+}
+
+// Close implements vfs.File.
+func (f *remoteFile) Close(ctx *sim.Ctx) error {
+	var e enc
+	e.u64(f.handle)
+	_, err := f.c.call(ctx, opCloseHandle, e.b)
+	return err
+}

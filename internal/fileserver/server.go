@@ -1,0 +1,577 @@
+package fileserver
+
+import (
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"sync"
+)
+
+// Thread-id bases keep simulated session threads (and their RNG streams)
+// disjoint from the workload drivers' 1000–5000 range.
+const (
+	sessionThreadBase = 9000
+	cleanupThreadBase = 12000
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CPUs is the simulated-CPU domain sessions are pinned to round-robin,
+	// so WineFS's per-CPU journals and allocator pools see genuinely
+	// multi-core traffic. Default 8.
+	CPUs int
+	// Window is the per-session bound on queued pipelined requests. When a
+	// client pipelines past it the server stops reading its connection,
+	// which backpressures the transport instead of buffering without
+	// limit. Default 32.
+	Window int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPUs <= 0 {
+		c.CPUs = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	return c
+}
+
+// Stats is a point-in-time aggregate over all sessions, live and finished.
+// Counters merges every session's perf.Counters (via Counters.Add); Lat
+// merges the per-request virtual-latency histograms.
+type Stats struct {
+	ActiveSessions int
+	TotalSessions  uint64
+	OpenHandles    int
+	Ops            int64
+	Counters       perf.Counters
+	Lat            perf.Histogram
+}
+
+// Server exports one vfs.FS to any number of concurrent clients. Each
+// accepted connection becomes a session owned by a single goroutine with
+// its own sim.Ctx; the file system underneath is shared, exactly as a
+// kernel FS is shared between processes.
+type Server struct {
+	fs  vfs.FS
+	cfg Config
+
+	mu        sync.Mutex
+	listeners []Listener
+	sessions  map[uint64]*session
+	nextSess  uint64
+	total     uint64
+	draining  bool
+
+	// finished sessions fold their accounting in here.
+	doneCounters perf.Counters
+	doneLat      perf.Histogram
+	doneOps      int64
+
+	wg sync.WaitGroup
+}
+
+// New returns a server exporting fs.
+func New(fs vfs.FS, cfg Config) *Server {
+	return &Server{
+		fs:       fs,
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[uint64]*session),
+	}
+}
+
+// FS returns the exported file system.
+func (s *Server) FS() vfs.FS { return s.fs }
+
+// Serve accepts connections on l until the listener fails or the server is
+// shut down. It returns nil on graceful shutdown. Multiple Serve calls on
+// different listeners are allowed.
+func (s *Server) Serve(l Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return ErrShutdown
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.startSession(conn)
+	}
+}
+
+func (s *Server) startSession(conn Conn) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	id := s.nextSess
+	s.nextSess++
+	s.total++
+	sess := &session{
+		id:      id,
+		srv:     s,
+		conn:    conn,
+		ctx:     sim.NewCtx(sessionThreadBase+int(id), int(id)%s.cfg.CPUs),
+		handles: make(map[uint64]vfs.File),
+		reqs:    make(chan request, s.cfg.Window),
+		done:    make(chan struct{}),
+	}
+	s.sessions[id] = sess
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go sess.reader()
+	go sess.worker()
+}
+
+// Shutdown drains gracefully: listeners close, every session's read side
+// is shut so no new requests arrive, the already-pipelined requests are
+// answered, handles are closed, and Shutdown returns once every session is
+// gone. Safe to call more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.draining = true
+	ls := s.listeners
+	s.listeners = nil
+	live := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, sess := range live {
+		closeRead(sess.conn)
+	}
+	s.wg.Wait()
+}
+
+// Stats aggregates accounting across finished and live sessions.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		ActiveSessions: len(s.sessions),
+		TotalSessions:  s.total,
+		Ops:            s.doneOps,
+	}
+	st.Counters.Add(&s.doneCounters)
+	st.Lat.Merge(&s.doneLat)
+	for _, sess := range s.sessions {
+		sess.statsMu.Lock()
+		st.Counters.Add(&sess.snapCounters)
+		st.Lat.Merge(&sess.snapLat)
+		st.Ops += sess.ops
+		st.OpenHandles += sess.openHandles
+		sess.statsMu.Unlock()
+	}
+	return st
+}
+
+// request is one decoded-but-unprocessed frame.
+type request struct {
+	id      uint64
+	op      op
+	payload []byte
+}
+
+// session serves one client connection. The worker goroutine owns ctx, the
+// handle table and the write side of conn; the reader goroutine owns the
+// read side and feeds the bounded reqs channel.
+type session struct {
+	id   uint64
+	srv  *Server
+	conn Conn
+	ctx  *sim.Ctx
+
+	handles    map[uint64]vfs.File
+	nextHandle uint64
+
+	reqs chan request
+	done chan struct{} // closed by the worker on exit
+
+	// statsMu guards the snapshot the server's Stats() reads while the
+	// worker is live.
+	statsMu      sync.Mutex
+	snapCounters perf.Counters
+	snapLat      perf.Histogram
+	ops          int64
+	openHandles  int
+}
+
+// reader pulls frames off the connection into the bounded request queue.
+// A full queue blocks it — and therefore the transport — which is the
+// pipelining backpressure. Any read error (EOF, abrupt client death,
+// drain's CloseRead) ends the session's input; close(reqs) lets the worker
+// finish what was already pipelined and tear down.
+func (sess *session) reader() {
+	defer close(sess.reqs)
+	for {
+		id, code, payload, err := readFrame(sess.conn)
+		if err != nil {
+			return
+		}
+		select {
+		case sess.reqs <- request{id: id, op: op(code), payload: payload}:
+		case <-sess.done:
+			return
+		}
+	}
+}
+
+// worker processes requests in arrival order and writes every response.
+func (sess *session) worker() {
+	defer sess.teardown()
+	for req := range sess.reqs {
+		start := sess.ctx.Now()
+		st, resp, stop := sess.dispatch(req)
+		cost := sess.ctx.Now() - start
+
+		var out enc
+		out.u64(uint64(cost))
+		if st == statusOK {
+			out.b = append(out.b, resp...)
+		} else {
+			out.str(resp2msg(resp))
+		}
+		err := writeFrame(sess.conn, req.id, uint8(st), out.b)
+
+		sess.statsMu.Lock()
+		sess.snapCounters = *sess.ctx.Counters
+		sess.snapLat.Record(cost)
+		sess.ops++
+		sess.openHandles = len(sess.handles)
+		sess.statsMu.Unlock()
+
+		if stop || err != nil {
+			return
+		}
+	}
+}
+
+// resp2msg interprets the dispatch payload of a failed request as its
+// error message.
+func resp2msg(resp []byte) string { return string(resp) }
+
+// teardown runs exactly once per session, whatever killed it. Open handles
+// are closed with a *fresh* sim.Ctx: the session ctx conceptually died
+// with the client (and may sit mid-request in virtual time), while handle
+// cleanup is the server's own work — like the kernel releasing a crashed
+// process's file table — and must leave no inode lock in vfs.LockTable
+// orphaned for the next client.
+func (sess *session) teardown() {
+	close(sess.done)
+	cleanup := sim.NewCtx(cleanupThreadBase+int(sess.id), sess.ctx.CPU)
+	cleanup.AdvanceTo(sess.ctx.Now())
+	for _, f := range sess.handles {
+		f.Close(cleanup) // best-effort: a degraded FS may refuse, that's fine
+	}
+	sess.handles = nil
+	sess.conn.Close()
+
+	sess.statsMu.Lock()
+	sess.snapCounters = *sess.ctx.Counters
+	sess.snapCounters.Add(cleanup.Counters)
+	counters := sess.snapCounters
+	lat := sess.snapLat
+	ops := sess.ops
+	sess.openHandles = 0
+	sess.statsMu.Unlock()
+
+	s := sess.srv
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.doneCounters.Add(&counters)
+	s.doneLat.Merge(&lat)
+	s.doneOps += ops
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// fail formats an error into (status, message-payload).
+func fail(err error) (status, []byte, bool) {
+	st, msg := statusFor(err)
+	return st, []byte(msg), false
+}
+
+// dispatch executes one request against the exported FS. It returns the
+// wire status, the response payload (message text when the status is not
+// OK), and whether the session should stop (client detach).
+func (sess *session) dispatch(req request) (status, []byte, bool) {
+	d := newDec(req.payload)
+	fs := sess.srv.fs
+	ctx := sess.ctx
+
+	switch req.op {
+	case opHello:
+		ver := d.u32()
+		if !d.ok() || ver != ProtoVersion {
+			return statusBadRequest, []byte("protocol version mismatch"), false
+		}
+		var e enc
+		e.u32(ProtoVersion)
+		e.str(fs.Name())
+		e.u8(uint8(fs.Mode()))
+		e.u32(uint32(sess.srv.cfg.CPUs))
+		e.u32(uint32(sess.srv.cfg.Window))
+		return statusOK, e.b, false
+
+	case opOpen, opCreate:
+		path := d.str()
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		var f vfs.File
+		var err error
+		if req.op == opOpen {
+			f, err = fs.Open(ctx, path)
+		} else {
+			f, err = fs.Create(ctx, path)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		h := sess.nextHandle
+		sess.nextHandle++
+		sess.handles[h] = f
+		var e enc
+		e.u64(h)
+		e.u64(f.Ino())
+		e.i64(f.Size())
+		return statusOK, e.b, false
+
+	case opMkdir, opUnlink, opRmdir:
+		path := d.str()
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		var err error
+		switch req.op {
+		case opMkdir:
+			err = fs.Mkdir(ctx, path)
+		case opUnlink:
+			err = fs.Unlink(ctx, path)
+		case opRmdir:
+			err = fs.Rmdir(ctx, path)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return statusOK, nil, false
+
+	case opRename:
+		oldPath, newPath := d.str(), d.str()
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		if err := fs.Rename(ctx, oldPath, newPath); err != nil {
+			return fail(err)
+		}
+		return statusOK, nil, false
+
+	case opStat:
+		path := d.str()
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		fi, err := fs.Stat(ctx, path)
+		if err != nil {
+			return fail(err)
+		}
+		var e enc
+		e.u64(fi.Ino)
+		e.i64(fi.Size)
+		e.u8(b2u8(fi.IsDir))
+		e.u32(uint32(fi.Nlink))
+		return statusOK, e.b, false
+
+	case opReadDir:
+		path := d.str()
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		ents, err := fs.ReadDir(ctx, path)
+		if err != nil {
+			return fail(err)
+		}
+		var e enc
+		e.u32(uint32(len(ents)))
+		for _, ent := range ents {
+			e.str(ent.Name)
+			e.u64(ent.Ino)
+			e.u8(b2u8(ent.IsDir))
+		}
+		return statusOK, e.b, false
+
+	case opStatFS:
+		sfs := fs.StatFS(ctx)
+		var e enc
+		e.i64(sfs.TotalBlocks)
+		e.i64(sfs.FreeBlocks)
+		e.i64(sfs.FreeAligned2M)
+		e.i64(sfs.Files)
+		return statusOK, e.b, false
+
+	case opRead:
+		h, off, n := d.u64(), d.i64(), d.u32()
+		f := sess.handles[h]
+		if !d.ok() || n > maxIO {
+			return statusBadRequest, nil, false
+		}
+		if f == nil {
+			return statusBadHandle, nil, false
+		}
+		buf := make([]byte, n)
+		got, err := f.ReadAt(ctx, buf, off)
+		if err != nil {
+			return fail(err)
+		}
+		var e enc
+		e.bytes(buf[:got])
+		return statusOK, e.b, false
+
+	case opWrite, opAppend:
+		h := d.u64()
+		var off int64
+		if req.op == opWrite {
+			off = d.i64()
+		}
+		data := d.bytes()
+		f := sess.handles[h]
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		if f == nil {
+			return statusBadHandle, nil, false
+		}
+		var n int
+		var err error
+		if req.op == opWrite {
+			n, err = f.WriteAt(ctx, data, off)
+		} else {
+			n, err = f.Append(ctx, data)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		var e enc
+		e.u32(uint32(n))
+		e.i64(f.Size())
+		return statusOK, e.b, false
+
+	case opTruncate:
+		h, size := d.u64(), d.i64()
+		f := sess.handles[h]
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		if f == nil {
+			return statusBadHandle, nil, false
+		}
+		if err := f.Truncate(ctx, size); err != nil {
+			return fail(err)
+		}
+		var e enc
+		e.i64(f.Size())
+		return statusOK, e.b, false
+
+	case opFallocate:
+		h, off, n := d.u64(), d.i64(), d.i64()
+		f := sess.handles[h]
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		if f == nil {
+			return statusBadHandle, nil, false
+		}
+		if err := f.Fallocate(ctx, off, n); err != nil {
+			return fail(err)
+		}
+		var e enc
+		e.i64(f.Size())
+		return statusOK, e.b, false
+
+	case opFsync:
+		h := d.u64()
+		f := sess.handles[h]
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		if f == nil {
+			return statusBadHandle, nil, false
+		}
+		if err := f.Fsync(ctx); err != nil {
+			return fail(err)
+		}
+		return statusOK, nil, false
+
+	case opCloseHandle:
+		h := d.u64()
+		f := sess.handles[h]
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		if f == nil {
+			return statusBadHandle, nil, false
+		}
+		delete(sess.handles, h)
+		if err := f.Close(ctx); err != nil {
+			return fail(err)
+		}
+		return statusOK, nil, false
+
+	case opSetXattr:
+		h, name, val := d.u64(), d.str(), d.bytes()
+		f := sess.handles[h]
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		if f == nil {
+			return statusBadHandle, nil, false
+		}
+		if err := f.SetXattr(ctx, name, val); err != nil {
+			return fail(err)
+		}
+		return statusOK, nil, false
+
+	case opGetXattr:
+		h, name := d.u64(), d.str()
+		f := sess.handles[h]
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		if f == nil {
+			return statusBadHandle, nil, false
+		}
+		val, ok := f.GetXattr(ctx, name)
+		var e enc
+		e.u8(b2u8(ok))
+		e.bytes(val)
+		return statusOK, e.b, false
+
+	case opDetach:
+		return statusOK, nil, true
+	}
+	return statusBadRequest, []byte("unknown opcode"), false
+}
+
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

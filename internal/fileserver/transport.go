@@ -1,0 +1,152 @@
+package fileserver
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is a bidirectional byte stream between one client and the server.
+// Both transports (TCP and the in-memory pipe) satisfy it; the optional
+// CloseRead side-channel (satisfied by *net.TCPConn and *pipeConn) lets a
+// draining server stop reading new requests while the in-flight ones are
+// still answered on the write side.
+type Conn = io.ReadWriteCloser
+
+// Listener accepts client connections for Server.Serve.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr describes the listening endpoint (host:port for TCP).
+	Addr() string
+}
+
+// closeRead shuts the read side of a connection when the transport
+// supports it, falling back to a full close.
+func closeRead(c Conn) {
+	if cr, ok := c.(interface{ CloseRead() error }); ok {
+		cr.CloseRead()
+		return
+	}
+	c.Close()
+}
+
+// --- TCP transport ---------------------------------------------------------
+
+type tcpListener struct{ l net.Listener }
+
+// ListenTCP starts a TCP listener for winefsd. addr follows net.Listen
+// conventions ("127.0.0.1:7070", ":0" for an ephemeral port).
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Frames are small and latency-sensitive; never wait for Nagle.
+		tc.SetNoDelay(true)
+	}
+	return c, nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// DialTCP connects to a winefsd instance.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return c, nil
+}
+
+// --- in-memory pipe transport ----------------------------------------------
+
+// PipeListener is the deterministic in-memory transport the tests and the
+// winebench -server baseline use: no sockets, no kernel buffering, every
+// byte moves through an io.Pipe rendezvous, so runs are reproducible and
+// the race detector sees every cross-goroutine edge.
+type PipeListener struct {
+	accept chan Conn
+	once   sync.Once
+	closed chan struct{}
+}
+
+// NewPipeListener returns an open in-memory listener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{
+		accept: make(chan Conn),
+		closed: make(chan struct{}),
+	}
+}
+
+// Dial connects a new client, handing the server half to Accept. It fails
+// with ErrShutdown once the listener is closed.
+func (p *PipeListener) Dial() (Conn, error) {
+	client, server := pipePair()
+	select {
+	case p.accept <- server:
+		return client, nil
+	case <-p.closed:
+		client.Close()
+		return nil, ErrShutdown
+	}
+}
+
+// Accept implements Listener.
+func (p *PipeListener) Accept() (Conn, error) {
+	select {
+	case c := <-p.accept:
+		return c, nil
+	case <-p.closed:
+		return nil, ErrShutdown
+	}
+}
+
+// Close implements Listener; pending and future Dial/Accept calls fail.
+func (p *PipeListener) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	return nil
+}
+
+// Addr implements Listener.
+func (p *PipeListener) Addr() string { return "pipe" }
+
+// pipeConn is one end of an in-memory duplex stream built from two
+// io.Pipes.
+type pipeConn struct {
+	r *io.PipeReader
+	w *io.PipeWriter
+}
+
+func pipePair() (a, b Conn) {
+	ar, aw := io.Pipe()
+	br, bw := io.Pipe()
+	return &pipeConn{r: ar, w: bw}, &pipeConn{r: br, w: aw}
+}
+
+func (c *pipeConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c *pipeConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+
+func (c *pipeConn) Close() error {
+	c.r.CloseWithError(io.ErrClosedPipe)
+	c.w.CloseWithError(io.ErrClosedPipe)
+	return nil
+}
+
+// CloseRead shuts only the inbound half: our reads (and the peer's writes)
+// fail, while our writes still reach the peer — exactly what graceful
+// drain needs.
+func (c *pipeConn) CloseRead() error { return c.r.CloseWithError(io.EOF) }

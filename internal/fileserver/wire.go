@@ -1,0 +1,286 @@
+// Package fileserver is the network serving layer of the reproduction: a
+// session-oriented file server that exports any vfs.FS over a compact
+// length-prefixed wire protocol, plus a client that implements vfs.FS so
+// unmodified workloads can run against a remote mount.
+//
+// Frames are little-endian:
+//
+//	request:  u32 frameLen | u64 reqID | u8 opcode | payload
+//	response: u32 frameLen | u64 reqID | u8 status | u64 costNS | payload
+//
+// frameLen counts the bytes after the length field itself. costNS is the
+// virtual time the server charged the session for the request; the client
+// advances the calling sim.Ctx by it, so virtual-time accounting (and
+// therefore every throughput number in the repository) stays meaningful
+// across the wire. Error responses carry a human-readable message as their
+// payload; the status byte alone decides which vfs sentinel the client
+// returns, so errors.Is-style checks work unmodified on the far side.
+package fileserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+)
+
+// ProtoVersion is bumped on any incompatible wire change; the handshake
+// rejects mismatched clients instead of misparsing their frames.
+const ProtoVersion = 1
+
+// maxFrame bounds a single frame so a corrupt or hostile length prefix
+// cannot make the peer allocate unbounded memory.
+const maxFrame = 16 << 20
+
+// maxIO is the largest read or write carried by one frame; the client
+// splits bigger requests into maxIO pieces.
+const maxIO = 4 << 20
+
+// op identifies a request type.
+type op uint8
+
+const (
+	opHello op = iota + 1
+	opOpen
+	opCreate
+	opMkdir
+	opUnlink
+	opRmdir
+	opRename
+	opStat
+	opReadDir
+	opStatFS
+	opRead
+	opWrite
+	opAppend
+	opTruncate
+	opFallocate
+	opFsync
+	opCloseHandle
+	opSetXattr
+	opGetXattr
+	opDetach
+)
+
+// status is the first byte of every response. Each code except statusError
+// maps to exactly one typed error on the client, so the PR 1 robustness
+// ladder (EIO, read-only degradation, ErrTxOverflow) survives the wire.
+type status uint8
+
+const (
+	statusOK status = iota
+	statusNotExist
+	statusExist
+	statusNotDir
+	statusIsDir
+	statusNotEmpty
+	statusNoSpace
+	statusClosed
+	statusReadOnly
+	statusIO
+	statusTxOverflow
+	statusBadHandle
+	statusBadRequest
+	statusShutdown
+	statusError // anything unmapped; message travels in the payload
+)
+
+// wireErrs pairs every mapped sentinel with its status code. Order matters
+// only in that it is scanned with errors.Is, which unwraps, so wrapped
+// errors (winefs wraps vfs.ErrIO with the media detail) map correctly.
+var wireErrs = []struct {
+	err error
+	st  status
+}{
+	{vfs.ErrNotExist, statusNotExist},
+	{vfs.ErrExist, statusExist},
+	{vfs.ErrNotDir, statusNotDir},
+	{vfs.ErrIsDir, statusIsDir},
+	{vfs.ErrNotEmpty, statusNotEmpty},
+	{vfs.ErrNoSpace, statusNoSpace},
+	{vfs.ErrClosed, statusClosed},
+	{vfs.ErrReadOnly, statusReadOnly},
+	{vfs.ErrIO, statusIO},
+	{winefs.ErrTxOverflow, statusTxOverflow},
+}
+
+// Errors introduced by the serving layer itself.
+var (
+	// ErrConnClosed reports that the transport died (or was shut down)
+	// before the response arrived.
+	ErrConnClosed = errors.New("fileserver: connection closed")
+	// ErrNotSupported is returned for operations that have no remote
+	// equivalent (Mmap needs an address space the client doesn't share).
+	ErrNotSupported = errors.New("fileserver: operation not supported on a remote mount")
+	// ErrBadHandle reports a request naming a handle the session never
+	// opened (or already closed).
+	ErrBadHandle = errors.New("fileserver: bad file handle")
+	// ErrBadRequest reports a malformed or unknown request frame.
+	ErrBadRequest = errors.New("fileserver: malformed request")
+	// ErrShutdown reports that the server is draining and accepts no new
+	// connections.
+	ErrShutdown = errors.New("fileserver: server shutting down")
+)
+
+// statusFor maps an error from the exported FS onto a wire status.
+func statusFor(err error) (status, string) {
+	if err == nil {
+		return statusOK, ""
+	}
+	for _, w := range wireErrs {
+		if errors.Is(err, w.err) {
+			return w.st, err.Error()
+		}
+	}
+	return statusError, err.Error()
+}
+
+// errFor maps a wire status back onto the matching sentinel. Known codes
+// return the bare vfs error so workload code comparing with == (the
+// repository's idiom for ErrExist and friends) works against a remote
+// mount exactly as against a local one.
+func errFor(st status, msg string) error {
+	for _, w := range wireErrs {
+		if w.st == st {
+			return w.err
+		}
+	}
+	switch st {
+	case statusOK:
+		return nil
+	case statusBadHandle:
+		return ErrBadHandle
+	case statusBadRequest:
+		return ErrBadRequest
+	case statusShutdown:
+		return ErrShutdown
+	}
+	if msg == "" {
+		msg = "remote error"
+	}
+	return fmt.Errorf("fileserver: remote: %s", msg)
+}
+
+// writeFrame assembles and writes one frame with a single Write call (the
+// pipe transport is synchronous, so frame assembly must not interleave).
+func writeFrame(w io.Writer, id uint64, code uint8, payload []byte) error {
+	buf := make([]byte, 13+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(9+len(payload)))
+	binary.LittleEndian.PutUint64(buf[4:], id)
+	buf[12] = code
+	copy(buf[13:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame; any transport error (including EOF) is
+// returned verbatim for the caller to treat as session death.
+func readFrame(r io.Reader) (id uint64, code uint8, payload []byte, err error) {
+	var hdr [13]byte
+	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 9 || n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("fileserver: bad frame length %d", n)
+	}
+	if _, err = io.ReadFull(r, hdr[4:]); err != nil {
+		return 0, 0, nil, err
+	}
+	id = binary.LittleEndian.Uint64(hdr[4:12])
+	code = hdr[12]
+	payload = make([]byte, n-9)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return id, code, payload, nil
+}
+
+// enc builds a payload.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8) { e.b = append(e.b, v) }
+
+func (e *enc) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.b = append(e.b, b[:]...)
+}
+
+func (e *enc) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.b = append(e.b, b[:]...)
+}
+
+func (e *enc) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec consumes a payload. Any out-of-bounds read sets bad; callers check
+// ok() once at the end instead of after every field.
+type dec struct {
+	b   []byte
+	pos int
+	bad bool
+}
+
+func newDec(b []byte) *dec { return &dec{b: b} }
+
+func (d *dec) take(n int) []byte {
+	if d.bad || n < 0 || d.pos+n > len(d.b) {
+		d.bad = true
+		return nil
+	}
+	p := d.b[d.pos : d.pos+n]
+	d.pos += n
+	return p
+}
+
+func (d *dec) u8() uint8 {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *dec) u32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (d *dec) u64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (d *dec) i64() int64 { return int64(d.u64()) }
+
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	return d.take(int(n))
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+// ok reports whether every read so far stayed in bounds and the payload
+// was fully consumed.
+func (d *dec) ok() bool { return !d.bad }

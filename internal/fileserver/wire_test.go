@@ -1,0 +1,108 @@
+package fileserver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello, wire")
+	if err := writeFrame(&buf, 42, uint8(opRead), payload); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	id, code, got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if id != 42 || op(code) != opRead || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = (%d, %d, %q)", id, code, got)
+	}
+}
+
+func TestFrameRejectsHostileLength(t *testing.T) {
+	// A corrupt length prefix must not cause a giant allocation.
+	buf := bytes.NewBuffer([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, _, _, err := readFrame(buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	buf = bytes.NewBuffer([]byte{1, 0, 0, 0})
+	if _, _, _, err := readFrame(buf); err == nil {
+		t.Fatal("undersized frame accepted")
+	}
+}
+
+func TestEncDecRoundTrip(t *testing.T) {
+	var e enc
+	e.u8(7)
+	e.u32(1 << 20)
+	e.u64(1 << 40)
+	e.i64(-5)
+	e.str("päth/σ")
+	e.bytes([]byte{1, 2, 3})
+	d := newDec(e.b)
+	if d.u8() != 7 || d.u32() != 1<<20 || d.u64() != 1<<40 || d.i64() != -5 {
+		t.Fatal("numeric round trip failed")
+	}
+	if d.str() != "päth/σ" || !bytes.Equal(d.bytes(), []byte{1, 2, 3}) {
+		t.Fatal("string/bytes round trip failed")
+	}
+	if !d.ok() {
+		t.Fatal("dec reported bad on valid payload")
+	}
+	// Reading past the end flips bad instead of panicking.
+	if d.u64() != 0 || d.ok() {
+		t.Fatal("out-of-bounds read not flagged")
+	}
+}
+
+func TestDecTruncated(t *testing.T) {
+	var e enc
+	e.str("abcdef")
+	d := newDec(e.b[:5]) // length says 6, payload holds 1
+	if d.str() != "" || d.ok() {
+		t.Fatal("truncated string not flagged")
+	}
+}
+
+// TestStatusErrorMapping: every sentinel of PR 1's robustness ladder must
+// survive the wire as the identical bare error, including when wrapped.
+func TestStatusErrorMapping(t *testing.T) {
+	cases := []error{
+		vfs.ErrNotExist, vfs.ErrExist, vfs.ErrNotDir, vfs.ErrIsDir,
+		vfs.ErrNotEmpty, vfs.ErrNoSpace, vfs.ErrClosed, vfs.ErrReadOnly,
+		vfs.ErrIO, winefs.ErrTxOverflow,
+	}
+	for _, want := range cases {
+		for _, sent := range []error{want, fmt.Errorf("%w: media detail", want)} {
+			st, msg := statusFor(sent)
+			got := errFor(st, msg)
+			// The == comparison is deliberate: workload code compares
+			// sentinels with != / ==, so the client must return the bare
+			// error value.
+			if got != want {
+				t.Errorf("statusFor/errFor(%v) = %v, want identical sentinel", sent, want)
+			}
+		}
+	}
+	if st, _ := statusFor(nil); st != statusOK {
+		t.Error("nil must map to statusOK")
+	}
+	st, msg := statusFor(errors.New("weird backend failure"))
+	if st != statusError {
+		t.Errorf("unmapped error got status %d", st)
+	}
+	if got := errFor(st, msg); got == nil || got.Error() != "fileserver: remote: weird backend failure" {
+		t.Errorf("generic error round trip = %v", got)
+	}
+	for _, st := range []status{statusBadHandle, statusBadRequest, statusShutdown} {
+		if errFor(st, "") == nil {
+			t.Errorf("status %d mapped to nil", st)
+		}
+	}
+}

@@ -218,6 +218,30 @@ type CDFPoint struct {
 	Fraction  float64
 }
 
+// LatencySummary is the fixed-quantile digest of a histogram that
+// monitoring surfaces (the winefsd stats endpoint, the serving-throughput
+// baseline) report. All latencies are virtual nanoseconds.
+type LatencySummary struct {
+	Count  int64
+	MeanNS float64
+	P50NS  int64
+	P90NS  int64
+	P99NS  int64
+	MaxNS  int64
+}
+
+// Summary digests the histogram into its commonly reported quantiles.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanNS: h.Mean(),
+		P50NS:  h.Median(),
+		P90NS:  h.Quantile(0.9),
+		P99NS:  h.Quantile(0.99),
+		MaxNS:  h.Max(),
+	}
+}
+
 // Series is a labelled sequence of (x, y) points — the common currency the
 // experiment runners hand to the table printer.
 type Series struct {

@@ -136,8 +136,11 @@ func Split(path string) (dir, name string) {
 }
 
 // Clean normalises a path: ensures a leading slash, strips trailing
-// slashes and collapses duplicate separators. It does not interpret "." or
-// "..".
+// slashes, collapses duplicate separators and resolves dot segments
+// lexically. "." elements are dropped and ".." pops the previous element;
+// a ".." at the root stays at the root. Every path is therefore confined
+// to the export root, so untrusted client paths (the network file server
+// hands Clean whatever arrives on the wire) cannot traverse above "/".
 func Clean(path string) string {
 	if path == "" {
 		return "/"
@@ -145,7 +148,15 @@ func Clean(path string) string {
 	parts := strings.Split(path, "/")
 	out := make([]string, 0, len(parts))
 	for _, p := range parts {
-		if p != "" {
+		switch p {
+		case "", ".":
+			// Empty (duplicate or trailing separator) and current-dir
+			// elements contribute nothing.
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
 			out = append(out, p)
 		}
 	}

@@ -16,6 +16,23 @@ func TestClean(t *testing.T) {
 		"/a//b/":     "/a/b",
 		"a/b/c":      "/a/b/c",
 		"///x///y//": "/x/y",
+		// Dot-segment resolution: untrusted (network) paths must not be
+		// able to traverse above the export root or smuggle "." / ".."
+		// components into directory entries.
+		".":           "/",
+		"/./":         "/",
+		"/a/./b":      "/a/b",
+		"/a/../b":     "/b",
+		"/a/../../b":  "/b",
+		"..":          "/",
+		"/..":         "/",
+		"/../..":      "/",
+		"/../x":       "/x",
+		"/a/b/../../": "/",
+		"/a//.//../b": "/b",
+		"/a/b/..":     "/a",
+		"/...":        "/...", // only exactly "." and ".." are special
+		"/..a/b":      "/..a/b",
 	}
 	for in, want := range cases {
 		if got := Clean(in); got != want {
