@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet bench fault-campaign serve-smoke
+.PHONY: all build test check race vet bench bench-json fault-campaign serve-smoke
 
 all: build
 
@@ -24,6 +24,13 @@ check: vet race test
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable serving baseline: runs the -server bench, writes
+# BENCH_server.json, and regression-checks it against the committed
+# BENCH_baseline.json (work counters exact, contention timings within
+# tolerance). Refresh the baseline by copying BENCH_server.json over it.
+bench-json:
+	$(GO) run ./cmd/winebench -server -quick -clients 4 -json BENCH_server.json -check-against BENCH_baseline.json
 
 # Boots winefsd on loopback TCP, drives a multi-client workload through
 # fileserver.Client, and verifies the stats endpoint (end-to-end server

@@ -5,6 +5,7 @@
 //
 //	winebench [-quick] [-cpus N] [-size BYTES] [-seed N] [-run fig1,fig3,...]
 //	winebench -server [-clients N] [-server-ops N]
+//	          [-json FILE] [-trace FILE] [-metrics-out FILE]
 //
 // -run selects experiments (comma-separated from: fig1 fig2 fig3 fig4 fig6
 // fig7 table2 fig8 fig9 fig10 recovery defrag hpc crashmonkey; default all).
@@ -12,10 +13,18 @@
 // -server runs the serving-throughput baseline instead: N concurrent
 // clients drive one winefsd-style server through the deterministic
 // in-memory transport and the merged latency digest plus virtual ops/s are
-// reported.
+// reported. In this mode three machine-readable outputs are available:
+// -json writes the run as a BENCH report (throughput, latency summary and
+// the full merged perf counter set — everything is virtual time, so the
+// file is bit-identical across runs with the same seed and makes a
+// committable regression baseline); -trace captures every request span as
+// a Chrome trace-event file loadable in chrome://tracing or Perfetto;
+// -metrics-out dumps the final server counters in the Prometheus text
+// format, exactly as a live winefsd /metrics scrape would render them.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +34,11 @@ import (
 	"repro/internal/crashmonkey"
 	"repro/internal/experiments"
 	"repro/internal/fileserver"
+	"repro/internal/metrics"
 	"repro/internal/perf"
 	"repro/internal/pmem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/winefs"
 	"repro/internal/workloads"
@@ -42,10 +53,15 @@ func main() {
 	server := flag.Bool("server", false, "run the serving-throughput baseline and exit")
 	clients := flag.Int("clients", 8, "concurrent clients in -server mode")
 	serverOps := flag.Int("server-ops", 0, "loop iterations per client in -server mode (0 = 200, 50 with -quick)")
+	jsonOut := flag.String("json", "", "-server: write the BENCH report as JSON to this file")
+	traceOut := flag.String("trace", "", "-server: write request spans as a Chrome trace-event file")
+	metricsOut := flag.String("metrics-out", "", "-server: dump final counters in Prometheus text format to this file")
+	baseline := flag.String("check-against", "", "-server: compare the run against this BENCH report and fail on regression")
 	flag.Parse()
 
 	if *server {
-		if err := runServerBench(*clients, *cpus, *size, *serverOps, *quick, *seed); err != nil {
+		out := benchOutputs{JSON: *jsonOut, Trace: *traceOut, Metrics: *metricsOut, Baseline: *baseline}
+		if err := runServerBench(*clients, *cpus, *size, *serverOps, *quick, *seed, out); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: server: %v\n", err)
 			os.Exit(1)
 		}
@@ -277,11 +293,44 @@ func main() {
 	}
 }
 
+// benchOutputs names the optional machine-readable artifacts of a -server
+// run; empty fields are skipped.
+type benchOutputs struct {
+	JSON     string // BENCH report
+	Trace    string // Chrome trace-event file
+	Metrics  string // Prometheus text dump
+	Baseline string // committed BENCH report to regression-check against
+}
+
+// benchReport is the machine-readable BENCH_*.json schema. For a given
+// (clients, ops, cpus, seed) tuple every work counter — ops, bytes moved,
+// journal commits, faults — is exactly reproducible; only the
+// contention-derived timings (SpanNS, the latency digest, LockWaitNS) wobble
+// about a percent with host goroutine scheduling, because tied virtual-time
+// lock arrivals are booked in real arrival order. checkAgainstBaseline
+// encodes exactly that split when diffing a run against a committed
+// baseline.
+type benchReport struct {
+	Bench        string // report schema tag, "server-mix/v1"
+	Clients      int
+	OpsPerClient int
+	CPUs         int
+	Seed         uint64
+	ClientOps    int64
+	ServerOps    int64
+	// SpanNS is the virtual makespan (slowest client); OpsPerSec is
+	// ClientOps/SpanNS in virtual seconds.
+	SpanNS    int64
+	OpsPerSec float64
+	Latency   perf.LatencySummary
+	Counters  perf.Counters
+}
+
 // runServerBench is winebench -server: the serving-throughput baseline.
 // It boots one server over the in-memory transport, fans out `clients`
 // concurrent ServerMix clients, and reports virtual ops/s plus the merged
 // latency digest — the numbers ROADMAP's serving milestone tracks.
-func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uint64) error {
+func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uint64, out benchOutputs) error {
 	if ops <= 0 {
 		ops = 200
 		if quick {
@@ -297,7 +346,16 @@ func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uin
 	if err != nil {
 		return fmt.Errorf("mkfs: %w", err)
 	}
-	srv := fileserver.New(fs, fileserver.Config{CPUs: cpus})
+	var tracer *trace.Tracer
+	if out.Trace != "" {
+		f, err := os.Create(out.Trace)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		// The sink owns f: Tracer.Close writes the document and closes it.
+		tracer = trace.New(trace.NewChrome(f))
+	}
+	srv := fileserver.New(fs, fileserver.Config{CPUs: cpus, Tracer: tracer})
 	pl := fileserver.NewPipeListener()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(pl) }()
@@ -337,6 +395,12 @@ func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uin
 	if err := <-serveErr; err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace close: %w", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", out.Trace)
+	}
 
 	var lat perf.Histogram
 	var totalOps, spanNS int64
@@ -370,5 +434,118 @@ func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uin
 		[]string{"sessions", fmt.Sprintf("%d", st.TotalSessions)},
 	)
 	t.Print(os.Stdout)
+
+	rep := benchReport{
+		Bench:        "server-mix/v1",
+		Clients:      clients,
+		OpsPerClient: ops,
+		CPUs:         cpus,
+		Seed:         seed,
+		ClientOps:    totalOps,
+		ServerOps:    st.Ops,
+		SpanNS:       spanNS,
+		OpsPerSec:    opsPerSec,
+		Latency:      sum,
+		Counters:     st.Counters,
+	}
+	if out.JSON != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out.JSON, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+		fmt.Printf("wrote BENCH report to %s\n", out.JSON)
+	}
+	if out.Metrics != "" {
+		reg := metrics.NewRegistry()
+		reg.Register(metrics.CollectorFunc(func() []metrics.Family {
+			fams := []metrics.Family{
+				metrics.Counter("winebench_ops_total", "Wire requests the server dispatched.", float64(st.Ops)),
+				metrics.SummaryFamily("winebench_request_latency_ns",
+					"Client-observed request latency in virtual nanoseconds.", sum),
+			}
+			return append(fams, metrics.CountersFamilies("winebench_perf", &st.Counters)...)
+		}))
+		f, err := os.Create(out.Metrics)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		fmt.Printf("wrote Prometheus dump to %s\n", out.Metrics)
+	}
+	if out.Baseline != "" {
+		if err := checkAgainstBaseline(rep, out.Baseline); err != nil {
+			return fmt.Errorf("baseline %s: %w", out.Baseline, err)
+		}
+		fmt.Printf("baseline check OK against %s\n", out.Baseline)
+	}
+	return nil
+}
+
+// lockWaitTolerance bounds how far the contention-derived numbers (span,
+// latency digest, LockWaitNS) may drift from the baseline: tied virtual-time
+// lock arrivals are booked in real arrival order, so these wobble about a
+// percent run to run. Everything else must match exactly.
+const lockWaitTolerance = 0.25
+
+// checkAgainstBaseline compares a finished run against a committed BENCH
+// report: configuration and every work counter must match exactly, while
+// contention-derived timings get lockWaitTolerance of slack.
+func checkAgainstBaseline(rep benchReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if rep.Bench != base.Bench || rep.Clients != base.Clients ||
+		rep.OpsPerClient != base.OpsPerClient || rep.CPUs != base.CPUs || rep.Seed != base.Seed {
+		return fmt.Errorf("configuration mismatch: run (%s %d clients x %d ops, %d cpus, seed %d) vs baseline (%s %d x %d, %d cpus, seed %d)",
+			rep.Bench, rep.Clients, rep.OpsPerClient, rep.CPUs, rep.Seed,
+			base.Bench, base.Clients, base.OpsPerClient, base.CPUs, base.Seed)
+	}
+	var bad []string
+	exact := func(name string, got, want int64) {
+		if got != want {
+			bad = append(bad, fmt.Sprintf("%s = %d, baseline %d", name, got, want))
+		}
+	}
+	within := func(name string, got, want float64) {
+		if want == 0 && got == 0 {
+			return
+		}
+		if want == 0 || got < want*(1-lockWaitTolerance) || got > want*(1+lockWaitTolerance) {
+			bad = append(bad, fmt.Sprintf("%s = %g, baseline %g (>%.0f%% off)", name, got, want, lockWaitTolerance*100))
+		}
+	}
+	exact("ClientOps", rep.ClientOps, base.ClientOps)
+	exact("ServerOps", rep.ServerOps, base.ServerOps)
+	exact("Latency.Count", rep.Latency.Count, base.Latency.Count)
+	within("SpanNS", float64(rep.SpanNS), float64(base.SpanNS))
+	within("OpsPerSec", rep.OpsPerSec, base.OpsPerSec)
+	within("Latency.MeanNS", rep.Latency.MeanNS, base.Latency.MeanNS)
+	within("Latency.P50NS", float64(rep.Latency.P50NS), float64(base.Latency.P50NS))
+	within("Latency.P99NS", float64(rep.Latency.P99NS), float64(base.Latency.P99NS))
+	gotFields, wantFields := rep.Counters.Fields(), base.Counters.Fields()
+	for i, f := range gotFields {
+		if f.Name == "LockWaitNS" {
+			within("Counters.LockWaitNS", float64(f.Value), float64(wantFields[i].Value))
+			continue
+		}
+		exact("Counters."+f.Name, f.Value, wantFields[i].Value)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%d regressions:\n  %s", len(bad), strings.Join(bad, "\n  "))
+	}
 	return nil
 }

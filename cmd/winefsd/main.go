@@ -11,7 +11,14 @@
 // on clean shutdown; without it a fresh volatile device of -size bytes is
 // formatted. -stats starts an HTTP endpoint whose /stats page reports the
 // server-wide aggregate of every session's perf counters, the request
-// latency digest and the mount's degradation state as JSON.
+// latency digest and the mount's degradation state as JSON; the same
+// listener serves /metrics in the Prometheus text exposition format, both
+// sampled from the identical fileserver.Server.Stats() snapshot path so the
+// two views can never drift apart.
+//
+// -trace FILE streams every request span (with its virtual-time breakdown)
+// as JSON Lines; -slow NS additionally logs any request slower than NS
+// virtual nanoseconds to stderr, one line per op.
 //
 // winefsd -smoke runs the self-contained smoke test: boot a server on a
 // loopback port, run a small multi-client workload through
@@ -23,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -33,9 +41,11 @@ import (
 	"syscall"
 
 	"repro/internal/fileserver"
+	"repro/internal/metrics"
 	"repro/internal/perf"
 	"repro/internal/pmem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/winefs"
 	"repro/internal/workloads"
@@ -96,13 +106,43 @@ func buildStats(srv *fileserver.Server) statsPage {
 	return p
 }
 
-// serveStats starts the HTTP stats endpoint on addr; it returns the bound
-// address (addr may carry port 0).
+// newRegistry builds the winefsd metric registry: one collector that samples
+// the server at scrape time. It reads through the same Stats() path as the
+// /stats JSON page, so there is no second bookkeeping that could drift from
+// the in-process perf counters.
+func newRegistry(srv *fileserver.Server) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.Register(metrics.CollectorFunc(func() []metrics.Family {
+		st := srv.Stats()
+		degraded := 0.0
+		if d, ok := srv.FS().(interface{ Degraded() (string, bool) }); ok {
+			if _, bad := d.Degraded(); bad {
+				degraded = 1
+			}
+		}
+		fams := []metrics.Family{
+			metrics.Gauge("winefsd_sessions_active", "Client sessions currently attached.", float64(st.ActiveSessions)),
+			metrics.Counter("winefsd_sessions_total", "Client sessions ever attached.", float64(st.TotalSessions)),
+			metrics.Gauge("winefsd_open_handles", "File handles currently open across sessions.", float64(st.OpenHandles)),
+			metrics.Counter("winefsd_ops_total", "Wire requests dispatched, including hello/detach.", float64(st.Ops)),
+			metrics.Gauge("winefsd_degraded", "1 when the mount fell back to read-only.", degraded),
+			metrics.SummaryFamily("winefsd_request_latency_ns",
+				"Per-request server-side latency in virtual nanoseconds.", st.Lat.Summary()),
+		}
+		return append(fams, metrics.CountersFamilies("winefsd_perf", &st.Counters)...)
+	}))
+	return reg
+}
+
+// serveStats starts the HTTP stats endpoint on addr, serving /stats (JSON)
+// and /metrics (Prometheus text); it returns the bound address (addr may
+// carry port 0).
 func serveStats(srv *fileserver.Server, addr string) (string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
+	reg := newRegistry(srv)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -110,8 +150,34 @@ func serveStats(srv *fileserver.Server, addr string) (string, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(buildStats(srv))
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
 	go http.Serve(l, mux)
 	return l.Addr().String(), nil
+}
+
+// buildTracer wires the -trace / -slow flags into a trace.Tracer (nil when
+// both are off). The returned closer flushes the trace file.
+func buildTracer(traceOut string, slowNS int64) (*trace.Tracer, func(), error) {
+	if traceOut == "" && slowNS <= 0 {
+		return nil, func() {}, nil
+	}
+	var sink trace.Sink = trace.NopSink{}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The sink owns f: Tracer.Close flushes and closes it.
+		sink = trace.NewJSONL(f)
+	}
+	tr := trace.New(sink)
+	if slowNS > 0 {
+		tr.SetSlowLog(os.Stderr, slowNS)
+	}
+	return tr, func() { tr.Close() }, nil
 }
 
 func main() {
@@ -122,6 +188,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "serving address")
 	stats := flag.String("stats", "", "HTTP stats endpoint address (empty: disabled)")
 	window := flag.Int("window", 32, "per-session pipelined-request window")
+	traceOut := flag.String("trace", "", "stream request spans as JSON Lines to this file")
+	slow := flag.Int64("slow", 0, "log requests slower than this many virtual ns to stderr")
 	smoke := flag.Bool("smoke", false, "run the loopback smoke test and exit")
 	flag.Parse()
 
@@ -167,7 +235,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "winefsd: WARNING: serving read-only (degraded): %s\n", reason)
 	}
 
-	srv := fileserver.New(fs, fileserver.Config{CPUs: *cpus, Window: *window})
+	tracer, closeTracer, err := buildTracer(*traceOut, *slow)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "winefsd: trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := fileserver.New(fs, fileserver.Config{CPUs: *cpus, Window: *window, Tracer: tracer})
 	l, err := fileserver.ListenTCP(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "winefsd: listen: %v\n", err)
@@ -193,6 +267,7 @@ func main() {
 		<-sig
 		fmt.Println("winefsd: draining...")
 		srv.Shutdown()
+		closeTracer()
 		uctx := sim.NewCtx(2, 0)
 		if err := fs.Unmount(uctx); err != nil {
 			fmt.Fprintf(os.Stderr, "winefsd: unmount: %v\n", err)
@@ -301,6 +376,39 @@ func runSmoke(cpus int) error {
 		return fmt.Errorf("unexpected degraded mount: %s", page.Reason)
 	}
 
+	// The Prometheus endpoint must agree with /stats exactly: both sample
+	// the same Stats() snapshot path, and with every client detached the
+	// counters are stable between the two scrapes.
+	mresp, err := http.Get("http://" + statsAddr + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics endpoint: %w", err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics read: %w", err)
+	}
+	prom := parsePromValues(string(body))
+	for _, f := range page.Counters.Fields() {
+		name := "winefsd_perf_" + metrics.SnakeCase(f.Name) + "_total"
+		v, ok := prom[name]
+		if !ok {
+			return fmt.Errorf("metrics missing %s", name)
+		}
+		if v != float64(f.Value) {
+			return fmt.Errorf("metrics %s = %v, /stats says %d", name, v, f.Value)
+		}
+	}
+	if got := prom["winefsd_ops_total"]; got != float64(page.Ops) {
+		return fmt.Errorf("metrics ops_total = %v, /stats says %d", got, page.Ops)
+	}
+	if got := prom["winefsd_sessions_total"]; got != clients {
+		return fmt.Errorf("metrics sessions_total = %v, want %d", got, clients)
+	}
+	if got := prom["winefsd_request_latency_ns_count"]; got != float64(page.Latency.Count) {
+		return fmt.Errorf("metrics latency count = %v, /stats says %d", got, page.Latency.Count)
+	}
+
 	srv.Shutdown()
 	if err := <-serveErr; err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -308,4 +416,23 @@ func runSmoke(cpus int) error {
 	fmt.Printf("winefsd: smoke: %d clients, %d server ops, p99=%dns\n",
 		clients, page.Ops, page.Latency.P99NS)
 	return nil
+}
+
+// parsePromValues extracts unlabelled sample lines ("name value") from a
+// Prometheus text page into a name → value map.
+func parsePromValues(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.IndexByte(line, ' ')
+		if i < 0 || strings.ContainsRune(line[:i], '{') {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out
 }

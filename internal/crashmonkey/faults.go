@@ -280,6 +280,13 @@ func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, 
 	if rep := winefs.Check(scratch); !rep.OK() {
 		return fmt.Sprintf("clean mount but fsck: %s", rep.Errors[0])
 	}
+	// A transparent recovery must also rebuild the allocator exactly: the
+	// invariant auditor reconciles caches, hole-pool promotion, StatFS and
+	// the free/used tiling. (Degraded mounts are exempt — unreadable extent
+	// records legitimately lose blocks from both sides of the ledger.)
+	if err := rfs.Audit(rctx); err != nil {
+		return fmt.Sprintf("clean recovery failed audit: %v", err)
+	}
 	if msg := readAllFiles(rctx, rfs, res); msg != "" {
 		return msg
 	}
@@ -377,6 +384,9 @@ func repairAndRemount(scratch *pmem.Device, cfg FaultCampaignConfig, res *FaultC
 	}
 	if err := rfs.Mkdir(ctx, "/.repaired"); err != nil {
 		return fmt.Sprintf("post-repair write failed: %v", err)
+	}
+	if err := rfs.Audit(ctx); err != nil {
+		return fmt.Sprintf("post-repair mount failed audit: %v", err)
 	}
 	res.Repaired++
 	return ""

@@ -1,10 +1,13 @@
 package fileserver
 
 import (
+	"strconv"
+	"sync"
+
 	"repro/internal/perf"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
-	"sync"
 )
 
 // Thread-id bases keep simulated session threads (and their RNG streams)
@@ -25,6 +28,11 @@ type Config struct {
 	// which backpressures the transport instead of buffering without
 	// limit. Default 32.
 	Window int
+	// Tracer, when non-nil, gives every session a trace context: each
+	// request becomes a root span named rpc.<op> whose children are the
+	// spans the FS, MMU and device layers open underneath (journal commits,
+	// page faults, bulk zeroing). Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +138,7 @@ func (s *Server) startSession(conn Conn) {
 		reqs:    make(chan request, s.cfg.Window),
 		done:    make(chan struct{}),
 	}
+	sess.ctx.Trace = s.cfg.Tracer.NewContext(sess.ctx.Thread)
 	s.sessions[id] = sess
 	s.wg.Add(1)
 	s.mu.Unlock()
@@ -238,7 +247,14 @@ func (sess *session) worker() {
 	defer sess.teardown()
 	for req := range sess.reqs {
 		start := sess.ctx.Now()
+		sp := sess.ctx.StartSpan("rpc." + req.op.String())
 		st, resp, stop := sess.dispatch(req)
+		if sp != nil {
+			sp.SetAttr("session", strconv.FormatUint(sess.id, 10))
+			sp.SetAttr("req", strconv.FormatUint(req.id, 10))
+			sp.SetAttr("status", strconv.Itoa(int(st)))
+		}
+		sess.ctx.EndSpan(sp)
 		cost := sess.ctx.Now() - start
 
 		var out enc

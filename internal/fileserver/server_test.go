@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/pmem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/winefs"
 	"repro/internal/workloads"
@@ -216,6 +218,153 @@ func TestRemotePathsConfined(t *testing.T) {
 		}
 	}
 	cl.Unmount(ctx)
+}
+
+// TestRemoteRootPathRejected: untrusted wire paths that clean to "/" must
+// be refused by the server with the same vfs.ErrExist a local mount
+// returns, not create a nameless file or crash the session.
+func TestRemoteRootPathRejected(t *testing.T) {
+	_, pl := newServer(t, pmem.New(128<<20), Config{})
+	cl := dialT(t, pl)
+	ctx := sim.NewCtx(100, 0)
+
+	for _, p := range []string{"/", "", "//", "/.", "/..", "/a/.."} {
+		if _, err := cl.Create(ctx, p); err != vfs.ErrExist {
+			t.Errorf("remote Create(%q) = %v, want bare vfs.ErrExist", p, err)
+		}
+		if err := cl.Mkdir(ctx, p); err != vfs.ErrExist {
+			t.Errorf("remote Mkdir(%q) = %v, want bare vfs.ErrExist", p, err)
+		}
+		if err := cl.Unlink(ctx, p); err != vfs.ErrExist {
+			t.Errorf("remote Unlink(%q) = %v, want bare vfs.ErrExist", p, err)
+		}
+	}
+	// The session survived the hostile paths and the namespace is clean.
+	ents, err := cl.ReadDir(ctx, "/")
+	if err != nil {
+		t.Fatalf("readdir after hostile paths: %v", err)
+	}
+	for _, e := range ents {
+		if e.Name == "" {
+			t.Fatalf("empty-named dirent over the wire: %+v", ents)
+		}
+	}
+	if err := cl.Unmount(ctx); err != nil {
+		t.Fatalf("unmount: %v", err)
+	}
+}
+
+// TestRequestSpanTree: a remote request must produce one coherent span
+// tree — a rpc.<op> root with the FS/device child spans (journal commits,
+// hugepage zeroing) hanging off it, carrying a plausible cost breakdown.
+func TestRequestSpanTree(t *testing.T) {
+	sink := trace.NewCollect()
+	tr := trace.New(sink)
+	_, pl := newServer(t, pmem.New(256<<20), Config{Tracer: tr})
+	cl := dialT(t, pl)
+	ctx := sim.NewCtx(100, 0)
+
+	f, err := cl.Create(ctx, "/traced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2MiB fallocate forces journal commits and bulk zeroing under one rpc.
+	if err := f.Fallocate(ctx, 0, 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, bytes.Repeat([]byte("w"), 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close(ctx)
+	cl.Unmount(ctx)
+
+	spans := sink.Spans()
+	byID := map[uint64]*trace.Span{}
+	roots := map[string]*trace.Span{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		if sp.ParentID == 0 {
+			if !strings.HasPrefix(sp.Name, "rpc.") {
+				t.Errorf("non-rpc root span %q", sp.Name)
+			}
+			roots[sp.Name] = sp
+		}
+	}
+	for _, want := range []string{"rpc.create", "rpc.fallocate", "rpc.write", "rpc.close"} {
+		if roots[want] == nil {
+			t.Errorf("missing root span %s (have %v)", want, spanNames(spans))
+		}
+	}
+	// Children link to a live parent and nest inside its interval.
+	var commits, zeroes int
+	for _, sp := range spans {
+		if sp.ParentID == 0 {
+			continue
+		}
+		parent := byID[sp.ParentID]
+		if parent == nil {
+			t.Fatalf("span %s has dangling parent %d", sp.Name, sp.ParentID)
+		}
+		if sp.StartNS < parent.StartNS || sp.EndNS > parent.EndNS {
+			t.Errorf("span %s [%d,%d] escapes parent %s [%d,%d]",
+				sp.Name, sp.StartNS, sp.EndNS, parent.Name, parent.StartNS, parent.EndNS)
+		}
+		switch sp.Name {
+		case "journal.commit":
+			commits++
+		case "pmem.zero":
+			zeroes++
+		}
+	}
+	if commits == 0 {
+		t.Error("no journal.commit child spans under the rpcs")
+	}
+	if zeroes == 0 {
+		t.Error("no pmem.zero span for the 2MiB fallocate")
+	}
+	// The fallocate rpc's breakdown must attribute journal and zero time.
+	fa := roots["rpc.fallocate"]
+	if fa.Cost.JournalNS <= 0 || fa.Cost.ZeroNS <= 0 {
+		t.Errorf("rpc.fallocate breakdown: %+v", fa.Cost)
+	}
+	if fa.Attrs["status"] != "0" {
+		t.Errorf("rpc.fallocate status attr = %q", fa.Attrs["status"])
+	}
+}
+
+func spanNames(spans []*trace.Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// TestTracingDoesNotPerturbVirtualTime: the same deterministic workload run
+// with tracing off and on must produce identical virtual time and counters
+// — spans observe the clock, never advance it.
+func TestTracingDoesNotPerturbVirtualTime(t *testing.T) {
+	run := func(tr *trace.Tracer) (int64, *sim.Ctx) {
+		_, pl := newServer(t, pmem.New(256<<20), Config{Tracer: tr})
+		cl := dialT(t, pl)
+		ctx := sim.NewCtx(100, 0)
+		res, err := workloads.ServerMixClient(ctx, cl, 0, workloads.ServerMixConfig{Ops: 200, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Unmount(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return res.VirtualNS, ctx
+	}
+	offNS, offCtx := run(nil)
+	onNS, onCtx := run(trace.New(trace.NewCollect()))
+	if offNS != onNS {
+		t.Errorf("virtual time diverged: off=%d on=%d", offNS, onNS)
+	}
+	if *offCtx.Counters != *onCtx.Counters {
+		t.Errorf("counters diverged:\noff: %+v\non:  %+v", offCtx.Counters, onCtx.Counters)
+	}
 }
 
 // TestConcurrentClients is the acceptance test: ≥8 clients doing mixed

@@ -65,6 +65,23 @@ const (
 	opDetach
 )
 
+// opNames names each opcode for traces and logs; index is the op value.
+var opNames = [...]string{
+	opHello: "hello", opOpen: "open", opCreate: "create", opMkdir: "mkdir",
+	opUnlink: "unlink", opRmdir: "rmdir", opRename: "rename", opStat: "stat",
+	opReadDir: "readdir", opStatFS: "statfs", opRead: "read", opWrite: "write",
+	opAppend: "append", opTruncate: "truncate", opFallocate: "fallocate",
+	opFsync: "fsync", opCloseHandle: "close", opSetXattr: "setxattr",
+	opGetXattr: "getxattr", opDetach: "detach",
+}
+
+func (o op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
 // status is the first byte of every response. Each code except statusError
 // maps to exactly one typed error on the client, so the PR 1 robustness
 // ladder (EIO, read-only degradation, ErrTxOverflow) survives the wire.

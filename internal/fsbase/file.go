@@ -65,8 +65,7 @@ func (n *Node) insertExtent(e Ext) {
 
 // ReadAt implements vfs.File.
 func (f *File) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	n := f.node
 	n.mu.RLock()
 	defer n.mu.RUnlock()
@@ -125,8 +124,7 @@ func (f *File) Append(ctx *sim.Ctx, p []byte) (int, error) {
 }
 
 func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	if len(p) == 0 {
 		return 0, nil
 	}
@@ -340,8 +338,7 @@ func (f *File) replaceRange(ctx *sim.Ctx, startBlk, endBlk int64, newExts []allo
 
 // Truncate implements vfs.File (grow = sparse, shrink = free).
 func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	fs := f.fs
 	n := f.node
 	fs.locks.Lock(ctx, n.Ino)
@@ -384,8 +381,7 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 
 // Fallocate implements vfs.File.
 func (f *File) Fallocate(ctx *sim.Ctx, off, length int64) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	fs := f.fs
 	n := f.node
 	fs.locks.Lock(ctx, n.Ino)
@@ -436,8 +432,7 @@ func (f *File) Fallocate(ctx *sim.Ctx, off, length int64) error {
 
 // Fsync implements vfs.File.
 func (f *File) Fsync(ctx *sim.Ctx) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	n := f.node
 	n.mu.Lock()
 	dirty := n.dirty
@@ -474,22 +469,19 @@ func (n *Node) mmuExtentsLocked() []mmu.Extent {
 // SetXattr implements vfs.File. Baselines accept but do not act on the
 // alignment attribute (they have no alignment machinery to feed it to).
 func (f *File) SetXattr(ctx *sim.Ctx, name string, value []byte) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	return nil
 }
 
 // GetXattr implements vfs.File.
 func (f *File) GetXattr(ctx *sim.Ctx, name string) ([]byte, bool) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	return nil, false
 }
 
 // Mmap implements vfs.File.
 func (f *File) Mmap(ctx *sim.Ctx, length int64) (*mmu.Mapping, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	if length <= 0 {
 		length = f.Size()
 	}

@@ -224,9 +224,9 @@ func (fs *FS) resolve(ctx *sim.Ctx, path string) (*Node, error) {
 }
 
 func (fs *FS) resolveParent(ctx *sim.Ctx, path string) (*Node, string, error) {
-	dir, name := vfs.Split(path)
-	if name == "" {
-		return nil, "", vfs.ErrExist
+	dir, name, err := vfs.SplitParent(path)
+	if err != nil {
+		return nil, "", err
 	}
 	p, err := fs.resolve(ctx, dir)
 	if err != nil {
@@ -240,8 +240,7 @@ func (fs *FS) resolveParent(ctx *sim.Ctx, path string) (*Node, string, error) {
 
 // Create implements vfs.FS.
 func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	parent, name, err := fs.resolveParent(ctx, path)
 	if err != nil {
 		return nil, err
@@ -269,8 +268,7 @@ func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
 
 // Open implements vfs.FS.
 func (fs *FS) Open(ctx *sim.Ctx, path string) (vfs.File, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	n, err := fs.resolve(ctx, path)
 	if err != nil {
 		return nil, err
@@ -283,8 +281,7 @@ func (fs *FS) Open(ctx *sim.Ctx, path string) (vfs.File, error) {
 
 // Mkdir implements vfs.FS.
 func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	parent, name, err := fs.resolveParent(ctx, path)
 	if err != nil {
 		return err
@@ -307,8 +304,7 @@ func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
 
 // Unlink implements vfs.FS.
 func (fs *FS) Unlink(ctx *sim.Ctx, path string) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	parent, name, err := fs.resolveParent(ctx, path)
 	if err != nil {
 		return err
@@ -354,8 +350,7 @@ func (fs *FS) destroy(ctx *sim.Ctx, n *Node) {
 
 // Rmdir implements vfs.FS.
 func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	parent, name, err := fs.resolveParent(ctx, path)
 	if err != nil {
 		return err
@@ -389,8 +384,7 @@ func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
 
 // Rename implements vfs.FS.
 func (fs *FS) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	oldParent, oldName, err := fs.resolveParent(ctx, oldPath)
 	if err != nil {
 		return err
@@ -454,8 +448,7 @@ func (fs *FS) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
 
 // Stat implements vfs.FS.
 func (fs *FS) Stat(ctx *sim.Ctx, path string) (vfs.FileInfo, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	n, err := fs.resolve(ctx, path)
 	if err != nil {
 		return vfs.FileInfo{}, err
@@ -467,8 +460,7 @@ func (fs *FS) Stat(ctx *sim.Ctx, path string) (vfs.FileInfo, error) {
 
 // ReadDir implements vfs.FS.
 func (fs *FS) ReadDir(ctx *sim.Ctx, path string) ([]vfs.DirEntry, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	n, err := fs.resolve(ctx, path)
 	if err != nil {
 		return nil, err

@@ -225,11 +225,14 @@ func (m *Mapping) ensureMapped(ctx *sim.Ctx, off int64) (phys int64, huge bool, 
 	m.mu.Unlock()
 
 	// Page fault. The handler may allocate and zero; its costs accrue to ctx.
+	sp := ctx.StartSpan("mmu.fault")
 	pageOff := off / BasePage * BasePage
 	res, ferr := m.handler.Fault(ctx, pageOff)
 	if ferr != nil {
+		ctx.EndSpan(sp)
 		return 0, false, ferr
 	}
+	defer ctx.EndSpan(sp)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c = &m.chunks[ci]

@@ -6,6 +6,7 @@ package perf
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 )
 
@@ -31,7 +32,9 @@ type Counters struct {
 	JournalCommits int64
 	JournalAborts  int64 // transactions rolled back via their undo log
 	LockWaitNS     int64 // virtual time lost waiting on shared resources
+	JournalNS      int64 // time spent appending/flushing/committing journal entries
 	Syscalls       int64
+	SyscallNS      int64 // time charged for syscall entry/exit
 	KernelNS       int64 // time attributed to in-kernel (FS) work
 	AllocSplits    int64 // aligned extents broken up to serve small requests
 	AllocSteals    int64 // allocations served from a remote CPU's pool
@@ -43,33 +46,52 @@ type Counters struct {
 // Reset zeroes every counter.
 func (c *Counters) Reset() { *c = Counters{} }
 
+// counterFields caches the reflected field list of Counters so Add and
+// Fields never silently drop a newly added field: every exported int64
+// field participates automatically. Any non-int64 field is a programming
+// error caught at init.
+var counterFields = func() []reflect.StructField {
+	t := reflect.TypeOf(Counters{})
+	fields := make([]reflect.StructField, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Type.Kind() != reflect.Int64 {
+			panic(fmt.Sprintf("perf: Counters.%s is %s, want int64", f.Name, f.Type))
+		}
+		fields = append(fields, f)
+	}
+	return fields
+}()
+
 // Add accumulates o into c. Used to merge per-thread counters after a
-// multi-threaded run.
+// multi-threaded run. It is reflection-backed over every field of Counters,
+// so a newly added counter can never be silently dropped from cross-thread
+// aggregation.
 func (c *Counters) Add(o *Counters) {
-	c.PageFaults += o.PageFaults
-	c.HugeFaults += o.HugeFaults
-	c.SoftFaults += o.SoftFaults
-	c.TLBMisses += o.TLBMisses
-	c.TLBHits += o.TLBHits
-	c.LLCMisses += o.LLCMisses
-	c.LLCHits += o.LLCHits
-	c.PageWalkNS += o.PageWalkNS
-	c.FaultNS += o.FaultNS
-	c.CopyNS += o.CopyNS
-	c.ZeroNS += o.ZeroNS
-	c.PMReadBytes += o.PMReadBytes
-	c.PMWriteBytes += o.PMWriteBytes
-	c.JournalBytes += o.JournalBytes
-	c.JournalCommits += o.JournalCommits
-	c.JournalAborts += o.JournalAborts
-	c.LockWaitNS += o.LockWaitNS
-	c.Syscalls += o.Syscalls
-	c.KernelNS += o.KernelNS
-	c.AllocSplits += o.AllocSplits
-	c.AllocSteals += o.AllocSteals
-	c.CoWCopies += o.CoWCopies
-	c.GCWork += o.GCWork
-	c.Rewrites += o.Rewrites
+	cv := reflect.ValueOf(c).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := range counterFields {
+		f := cv.Field(i)
+		f.SetInt(f.Int() + ov.Field(i).Int())
+	}
+}
+
+// Field is one named counter value, as enumerated by Fields.
+type Field struct {
+	Name  string
+	Value int64
+}
+
+// Fields enumerates every counter as a (name, value) pair in struct order.
+// Like Add it is reflection-backed, so monitoring exports (the Prometheus
+// endpoint, winebench dumps) always cover the full counter set.
+func (c *Counters) Fields() []Field {
+	cv := reflect.ValueOf(c).Elem()
+	out := make([]Field, len(counterFields))
+	for i, f := range counterFields {
+		out[i] = Field{Name: f.Name, Value: cv.Field(i).Int()}
+	}
+	return out
 }
 
 // TotalFaults is the count of all hard page faults, base and huge.
@@ -148,7 +170,10 @@ func (h *Histogram) Min() int64 { return h.min }
 // Max returns the largest recorded sample.
 func (h *Histogram) Max() int64 { return h.max }
 
-// Quantile returns the latency at quantile q in [0, 1].
+// Quantile returns the latency at quantile q in [0, 1]: the value of the
+// ceil(q*count)-th smallest sample, bucket-quantized. The result is clamped
+// to [Min(), Max()] so a bucket midpoint can never report a latency outside
+// the recorded range.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.count == 0 {
 		return 0
@@ -159,15 +184,34 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q >= 1 {
 		return h.max
 	}
-	target := int64(q * float64(h.count))
+	// Rank of the sample the quantile falls on, 1-based. ceil, not floor:
+	// P99 of 100 samples is the 99th smallest, not the 100th.
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
 	var seen int64
 	for i, n := range h.buckets {
 		seen += n
-		if seen > target {
-			return bucketValue(i)
+		if seen >= rank {
+			return h.clamp(bucketValue(i))
 		}
 	}
 	return h.max
+}
+
+// clamp bounds a bucket-midpoint estimate by the true recorded extremes.
+func (h *Histogram) clamp(v int64) int64 {
+	if v < h.min {
+		return h.min
+	}
+	if v > h.max {
+		return h.max
+	}
+	return v
 }
 
 // Median is Quantile(0.5).
@@ -205,7 +249,7 @@ func (h *Histogram) CDF() []CDFPoint {
 		}
 		seen += n
 		pts = append(pts, CDFPoint{
-			LatencyNS: bucketValue(i),
+			LatencyNS: h.clamp(bucketValue(i)),
 			Fraction:  float64(seen) / float64(h.count),
 		})
 	}

@@ -314,7 +314,15 @@ func (d *Device) Write(ctx *sim.Ctx, data []byte, off int64) {
 
 // Zero zero-fills a range, charging streaming-store cost. Used for page
 // zeroing in fault handlers and fallocate paths; time lands in ZeroNS.
+// Hugepage-sized-or-larger zeroes get their own span — they dominate
+// first-touch latency and are exactly what a trace of an aged-vs-fresh
+// mount should make visible; smaller zeroes stay span-free to bound
+// tracing overhead on the hot path.
 func (d *Device) Zero(ctx *sim.Ctx, off, n int64) {
+	if n >= ChunkSize {
+		sp := ctx.StartSpan("pmem.zero")
+		defer ctx.EndSpan(sp)
+	}
 	d.ZeroRange(off, n)
 	ns := d.scale(ctx, off, int64(float64(n)*d.model.ZeroNSPerByte))
 	ctx.Advance(ns)

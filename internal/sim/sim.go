@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/perf"
+	"repro/internal/trace"
 )
 
 // Ctx is the per-simulated-thread execution context. It is not safe for
@@ -32,6 +33,10 @@ type Ctx struct {
 	CPU int
 	// Counters accumulates performance events for this thread.
 	Counters *perf.Counters
+	// Trace is the thread's span stack; nil (the default) disables tracing
+	// entirely, leaving only a pointer test on the instrumented paths.
+	// Spans observe the virtual clock and counters but never advance them.
+	Trace *trace.Context
 
 	now int64
 	rng *Rand
@@ -75,6 +80,50 @@ func (c *Ctx) Reset() {
 
 // Rand returns the context's deterministic random source.
 func (c *Ctx) Rand() *Rand { return c.rng }
+
+// Syscall charges one syscall entry: the counter and its virtual-time cost.
+// Every vfs.FS implementation's operation preamble funnels through here so
+// syscall time lands in one place (Counters.SyscallNS) for span breakdowns.
+func (c *Ctx) Syscall(ns int64) {
+	c.Counters.Syscalls++
+	c.Counters.SyscallNS += ns
+	c.Advance(ns)
+}
+
+// breakdown snapshots the counter fields that span breakdowns report.
+func (c *Ctx) breakdown() trace.Breakdown {
+	return trace.Breakdown{
+		SyscallNS:  c.Counters.SyscallNS,
+		LockWaitNS: c.Counters.LockWaitNS,
+		JournalNS:  c.Counters.JournalNS,
+		CopyNS:     c.Counters.CopyNS,
+		FaultNS:    c.Counters.FaultNS,
+		ZeroNS:     c.Counters.ZeroNS,
+	}
+}
+
+// StartSpan opens a traced span at the current virtual time, snapshotting
+// the thread's cost counters. Returns nil — at the cost of one pointer test
+// — when tracing is disabled; EndSpan ignores a nil span, so call sites
+// need no guards of their own.
+func (c *Ctx) StartSpan(name string) *trace.Span {
+	if c.Trace == nil {
+		return nil
+	}
+	sp := c.Trace.Start(name, c.now)
+	sp.Mark = c.breakdown()
+	return sp
+}
+
+// EndSpan seals sp at the current virtual time, attributing the counter
+// deltas since StartSpan as the span's cost breakdown, and emits it.
+func (c *Ctx) EndSpan(sp *trace.Span) {
+	if sp == nil {
+		return
+	}
+	sp.Cost = c.breakdown().Sub(sp.Mark)
+	c.Trace.End(sp, c.now)
+}
 
 // Resource models a shared serialisation point (a journal, a lock, a
 // bandwidth-limited device port) in virtual time.

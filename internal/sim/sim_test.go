@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/trace"
 )
 
 func TestCtxClock(t *testing.T) {
@@ -207,5 +209,52 @@ func TestZipfSkew(t *testing.T) {
 	}
 	if float64(top)/draws < 0.3 {
 		t.Fatalf("top-10 share %f too small for theta=0.99", float64(top)/draws)
+	}
+}
+
+// TestSyscallCharges: the preamble helper must count the call, charge
+// SyscallNS and advance the clock by exactly the model cost.
+func TestSyscallCharges(t *testing.T) {
+	ctx := NewCtx(1, 0)
+	ctx.Syscall(250)
+	ctx.Syscall(250)
+	if ctx.Counters.Syscalls != 2 || ctx.Counters.SyscallNS != 500 || ctx.Now() != 500 {
+		t.Fatalf("syscalls=%d syscallNS=%d now=%d",
+			ctx.Counters.Syscalls, ctx.Counters.SyscallNS, ctx.Now())
+	}
+}
+
+// TestSpansObserveButNeverAdvance: StartSpan/EndSpan must attribute counter
+// deltas to the span without moving the virtual clock, and a nil Trace must
+// cost nothing and return nil.
+func TestSpansObserveButNeverAdvance(t *testing.T) {
+	ctx := NewCtx(1, 0)
+	if sp := ctx.StartSpan("off"); sp != nil {
+		t.Fatal("span opened with tracing disabled")
+	}
+	ctx.EndSpan(nil) // must not panic
+
+	sink := trace.NewCollect()
+	ctx.Trace = trace.New(sink).NewContext(ctx.Thread)
+	ctx.Syscall(100)
+	before := ctx.Now()
+	sp := ctx.StartSpan("op")
+	ctx.Syscall(40)
+	ctx.Counters.JournalNS += 7
+	ctx.EndSpan(sp)
+	if got := ctx.Now() - before; got != 40 {
+		t.Fatalf("span advanced the clock: delta=%d, want 40 (the syscall only)", got)
+	}
+	spans := sink.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	got := spans[0]
+	if got.DurNS != 40 || got.Cost.SyscallNS != 40 || got.Cost.JournalNS != 7 {
+		t.Fatalf("span %+v cost %+v", got, got.Cost)
+	}
+	// The pre-span syscall must not leak into the breakdown.
+	if got.Cost.SyscallNS >= 100 {
+		t.Fatal("breakdown includes cost accrued before StartSpan")
 	}
 }

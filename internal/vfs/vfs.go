@@ -135,6 +135,23 @@ func Split(path string) (dir, name string) {
 	return path[:i], path[i+1:]
 }
 
+// SplitParent separates a cleaned path into parent directory and final
+// element, rejecting paths with no final element. Split("/") returns an
+// empty name, which every namespace-mutating operation (Create, Mkdir,
+// Unlink, Rename, ...) must refuse rather than manufacture a nameless
+// dirent; SplitParent centralises that guard so each filesystem cannot
+// forget it. The root resolves to ErrExist — it always exists, matching
+// what Create/Mkdir must report — and callers for which "exists" is not
+// the failure (Unlink, Rmdir, rename sources) remap it to their own
+// EBUSY/EINVAL-style refusal.
+func SplitParent(path string) (dir, name string, err error) {
+	dir, name = Split(path)
+	if name == "" {
+		return dir, name, ErrExist
+	}
+	return dir, name, nil
+}
+
 // Clean normalises a path: ensures a leading slash, strips trailing
 // slashes, collapses duplicate separators and resolves dot segments
 // lexically. "." elements are dropped and ".." pops the previous element;

@@ -56,6 +56,25 @@ func TestSplit(t *testing.T) {
 	}
 }
 
+// TestSplitParentRejectsRoot is the regression test for the empty-name
+// hole: Split("/") yields name == "", which namespace-mutating ops must
+// never accept as a dirent name. SplitParent is the one centralized guard.
+func TestSplitParentRejectsRoot(t *testing.T) {
+	for _, in := range []string{"/", "", "//", "/.", "/a/..", "/../.."} {
+		if _, _, err := SplitParent(in); err != ErrExist {
+			t.Errorf("SplitParent(%q) err = %v, want ErrExist", in, err)
+		}
+	}
+	dir, name, err := SplitParent("/a/b")
+	if err != nil || dir != "/a" || name != "b" {
+		t.Fatalf("SplitParent(/a/b) = %q, %q, %v", dir, name, err)
+	}
+	dir, name, err = SplitParent("a")
+	if err != nil || dir != "/" || name != "a" {
+		t.Fatalf("SplitParent(a) = %q, %q, %v", dir, name, err)
+	}
+}
+
 func TestComponents(t *testing.T) {
 	if c := Components("/"); c != nil {
 		t.Fatalf("Components(/) = %v", c)

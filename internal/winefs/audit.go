@@ -1,0 +1,180 @@
+package winefs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/sim"
+)
+
+// Audit is the runtime invariant auditor: it cross-checks the allocator's
+// cached per-group accounting against the ground truth recomputed from its
+// trees, verifies the hole-pool promotion invariant ("no hole ever fully
+// contains an aligned hugepage chunk", §3.6), checks every free extent for
+// bounds and overlap, and reconciles the totals against both StatFS and the
+// sum of every inode's extents — so a leak or double-free anywhere in the
+// FS shows up as a named violation instead of silent drift.
+//
+// Audit assumes a quiescent file system (no in-flight operations); the
+// soak test and the fault campaign call it between phases. It returns nil
+// when every invariant holds, or an error listing every violation found.
+func (fs *FS) Audit(ctx *sim.Ctx) error {
+	var violations []string
+	addf := func(format string, args ...interface{}) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	// Phase 1: per-group internal consistency, under each group's lock.
+	type freeExt struct {
+		start, length int64
+		aligned       bool
+		cpu           int
+	}
+	var free []freeExt
+	var freeBlocks, alignedExtents int64
+	for _, g := range fs.alloc.groups {
+		g.mu.Lock()
+		poolStart, poolEnd := fs.g.poolRange(g.cpu)
+
+		// Cached holeBlocks vs the sum over the by-start tree.
+		var recomputed int64
+		nHoles := 0
+		g.holes.Ascend(func(start, length int64) bool {
+			recomputed += length
+			nHoles++
+			if length <= 0 {
+				addf("group %d: hole [%d,+%d) has non-positive length", g.cpu, start, length)
+			}
+			if start < poolStart || start+length > poolEnd {
+				addf("group %d: hole [%d,+%d) outside pool [%d,%d)", g.cpu, start, length, poolStart, poolEnd)
+			}
+			if _, ok := g.holesBySize.Get(holeKey{length, start}); !ok {
+				addf("group %d: hole [%d,+%d) missing from by-size index", g.cpu, start, length)
+			}
+			if !g.noPromote {
+				// Promotion invariant: the first aligned chunk boundary at or
+				// after start must not fit a whole hugepage inside the hole.
+				first := (start + BlocksPerHuge - 1) / BlocksPerHuge * BlocksPerHuge
+				if first+BlocksPerHuge <= start+length {
+					addf("group %d: hole [%d,+%d) fully contains aligned chunk %d (promotion invariant)",
+						g.cpu, start, length, first)
+				}
+			}
+			free = append(free, freeExt{start, length, false, g.cpu})
+			return true
+		})
+		if recomputed != g.holeBlocks {
+			addf("group %d: cached holeBlocks=%d but tree sums to %d", g.cpu, g.holeBlocks, recomputed)
+		}
+		if bySize := g.holesBySize.Len(); bySize != nHoles {
+			addf("group %d: %d holes but %d by-size entries", g.cpu, nHoles, bySize)
+		}
+
+		seen := make(map[int64]bool, len(g.aligned))
+		for _, b := range g.aligned {
+			if b%BlocksPerHuge != 0 {
+				addf("group %d: aligned extent %d not hugepage-aligned", g.cpu, b)
+			}
+			if b < poolStart || b+BlocksPerHuge > poolEnd {
+				addf("group %d: aligned extent %d outside pool [%d,%d)", g.cpu, b, poolStart, poolEnd)
+			}
+			if seen[b] {
+				addf("group %d: aligned extent %d listed twice", g.cpu, b)
+			}
+			seen[b] = true
+			free = append(free, freeExt{b, BlocksPerHuge, true, g.cpu})
+		}
+		freeBlocks += g.freeBlocks()
+		alignedExtents += int64(len(g.aligned))
+		g.mu.Unlock()
+	}
+
+	// Phase 2: global free-space disjointness. Every free extent — aligned
+	// or hole, any group — must occupy its own blocks.
+	sort.Slice(free, func(i, j int) bool { return free[i].start < free[j].start })
+	for i := 1; i < len(free); i++ {
+		prev, cur := free[i-1], free[i]
+		if prev.start+prev.length > cur.start {
+			addf("free extents overlap: group %d [%d,+%d) and group %d [%d,+%d)",
+				prev.cpu, prev.start, prev.length, cur.cpu, cur.start, cur.length)
+		}
+	}
+
+	// Phase 3: totals vs StatFS (the public accounting) and FreeExtents.
+	st := fs.StatFS(ctx)
+	if st.FreeBlocks != freeBlocks {
+		addf("StatFS.FreeBlocks=%d but groups sum to %d", st.FreeBlocks, freeBlocks)
+	}
+	if st.FreeAligned2M != alignedExtents {
+		addf("StatFS.FreeAligned2M=%d but groups sum to %d", st.FreeAligned2M, alignedExtents)
+	}
+	var merged int64
+	for _, e := range fs.alloc.freeExtents() {
+		merged += e.Len
+	}
+	if merged != freeBlocks {
+		addf("FreeExtents() covers %d blocks but groups sum to %d", merged, freeBlocks)
+	}
+
+	// Phase 4: full tiling. Every pool block is either free or referenced by
+	// exactly one inode (file/dir extents plus indirect metadata blocks), so
+	// free + used must equal the pool size; a mismatch is a leak (lost
+	// blocks) or a double-accounting (negative leak).
+	var used int64
+	fs.mu.RLock()
+	inodes := make([]*inode, 0, len(fs.inodes))
+	for _, ino := range fs.inodes {
+		inodes = append(inodes, ino)
+	}
+	fs.mu.RUnlock()
+	for _, ino := range inodes {
+		ino.mu.RLock()
+		for _, e := range ino.extents {
+			used += e.length
+		}
+		used += int64(len(ino.indirect))
+		ino.mu.RUnlock()
+	}
+	total := fs.g.poolBlocks * int64(fs.g.cpus)
+	if freeBlocks+used != total {
+		addf("tiling: free=%d + used=%d = %d, want %d (leak of %d blocks)",
+			freeBlocks, used, freeBlocks+used, total, total-freeBlocks-used)
+	}
+
+	if len(violations) == 0 {
+		return nil
+	}
+	return &AuditError{Violations: violations}
+}
+
+// AuditError reports every invariant violation an Audit pass found.
+type AuditError struct {
+	Violations []string
+}
+
+func (e *AuditError) Error() string {
+	if len(e.Violations) == 1 {
+		return "winefs audit: " + e.Violations[0]
+	}
+	return fmt.Sprintf("winefs audit: %d violations, first: %s", len(e.Violations), e.Violations[0])
+}
+
+// auditUsedExtents is a test hook: the per-inode extent list as the audit
+// sees it, merged.
+func (fs *FS) auditUsedExtents() []alloc.Extent {
+	var out []alloc.Extent
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	for _, ino := range fs.inodes {
+		ino.mu.RLock()
+		for _, e := range ino.extents {
+			out = append(out, alloc.Extent{Start: e.blk, Len: e.length})
+		}
+		for _, b := range ino.indirect {
+			out = append(out, alloc.Extent{Start: b, Len: 1})
+		}
+		ino.mu.RUnlock()
+	}
+	return alloc.Merge(out)
+}

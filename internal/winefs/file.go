@@ -65,8 +65,7 @@ func (ino *inode) nextExtentStart(fileBlk, max int64) int64 {
 // ReadAt implements vfs.File. Reads past EOF are truncated; holes in
 // sparse files read as zeros.
 func (f *File) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	ino := f.ino
 	ino.mu.RLock()
 	defer ino.mu.RUnlock()
@@ -250,8 +249,7 @@ func (f *File) Append(ctx *sim.Ctx, p []byte) (int, error) {
 }
 
 func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	if err := f.fs.writable(); err != nil {
 		return 0, err
 	}
@@ -591,8 +589,7 @@ func min64(a, b int64) int64 {
 // Truncate implements vfs.File. Growing is sparse (no allocation —
 // LMDB-style ftruncate); shrinking frees whole blocks past the new end.
 func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	if err := f.fs.writable(); err != nil {
 		return err
 	}
@@ -655,8 +652,7 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 // (zeroing at allocation time keeps WineFS page faults cheap, in contrast
 // to ext4-DAX's zero-on-fault — see Table 2 discussion).
 func (f *File) Fallocate(ctx *sim.Ctx, off, n int64) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	if err := f.fs.writable(); err != nil {
 		return err
 	}
@@ -692,8 +688,7 @@ func (f *File) Fallocate(ctx *sim.Ctx, off, n int64) error {
 // the residual flush of relaxed-mode data plus a fence — this is why
 // fsync-heavy workloads (varmail, Figure 9) do well.
 func (f *File) Fsync(ctx *sim.Ctx) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	if f.dirtyBytes > 0 {
 		lines := (f.dirtyBytes + 63) / 64
 		ctx.Advance(lines * f.fs.model.FlushLat / 8)
@@ -731,8 +726,7 @@ func (ino *inode) mmuExtentsLocked() []mmu.Extent {
 // SetPathXattr sets an extended attribute by path — usable on directories
 // as well as files (directory-level alignment inheritance, §3.6).
 func (fs *FS) SetPathXattr(ctx *sim.Ctx, path, name string, value []byte) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	if name != vfs.XattrAligned {
 		return nil
 	}
@@ -761,8 +755,7 @@ func (fs *FS) SetPathXattr(ctx *sim.Ctx, path, name string, value []byte) error 
 // SetXattr implements vfs.File. Setting XattrAligned persists the
 // alignment hint (§3.6, "Supporting extended attributes").
 func (f *File) SetXattr(ctx *sim.Ctx, name string, value []byte) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	if name != vfs.XattrAligned {
 		return nil // only the alignment attribute is modelled
 	}
@@ -788,8 +781,7 @@ func (f *File) SetXattr(ctx *sim.Ctx, name string, value []byte) error {
 
 // GetXattr implements vfs.File.
 func (f *File) GetXattr(ctx *sim.Ctx, name string) ([]byte, bool) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	if name != vfs.XattrAligned {
 		return nil, false
 	}
@@ -804,8 +796,7 @@ func (f *File) GetXattr(ctx *sim.Ctx, name string) ([]byte, bool) {
 // Mmap implements vfs.File. If the file should be hugepage-mapped but its
 // layout prevents it, the file is queued for reactive rewriting (§3.6).
 func (f *File) Mmap(ctx *sim.Ctx, length int64) (*mmu.Mapping, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(f.fs.model.SyscallNS)
+	ctx.Syscall(f.fs.model.SyscallNS)
 	if length <= 0 {
 		length = f.Size()
 	}

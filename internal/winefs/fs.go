@@ -497,9 +497,9 @@ func (fs *FS) resolve(ctx *sim.Ctx, path string) (*inode, error) {
 
 // resolveParent returns the parent directory inode and final name.
 func (fs *FS) resolveParent(ctx *sim.Ctx, path string) (*inode, string, error) {
-	dir, name := vfs.Split(path)
-	if name == "" {
-		return nil, "", vfs.ErrExist // operating on root
+	dir, name, err := vfs.SplitParent(path)
+	if err != nil {
+		return nil, "", err // operating on root
 	}
 	if len(name) > MaxNameLen {
 		return nil, "", fmt.Errorf("winefs: name %q too long", name)
@@ -601,8 +601,7 @@ func (fs *FS) Mode() vfs.ConsistencyMode { return fs.mode }
 
 // Create implements vfs.FS: it creates (or truncates-opens) a regular file.
 func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	if err := fs.writable(); err != nil {
 		return nil, err
 	}
@@ -664,8 +663,7 @@ func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
 
 // Open implements vfs.FS.
 func (fs *FS) Open(ctx *sim.Ctx, path string) (vfs.File, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	ino, err := fs.resolve(ctx, path)
 	if err != nil {
 		return nil, err
@@ -678,8 +676,7 @@ func (fs *FS) Open(ctx *sim.Ctx, path string) (vfs.File, error) {
 
 // Mkdir implements vfs.FS.
 func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	if err := fs.writable(); err != nil {
 		return err
 	}
@@ -735,8 +732,7 @@ func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
 
 // Unlink implements vfs.FS.
 func (fs *FS) Unlink(ctx *sim.Ctx, path string) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	if err := fs.writable(); err != nil {
 		return err
 	}
@@ -822,8 +818,7 @@ func (fs *FS) destroyInode(ctx *sim.Ctx, ino *inode) {
 
 // Rmdir implements vfs.FS.
 func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	if err := fs.writable(); err != nil {
 		return err
 	}
@@ -885,8 +880,7 @@ func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
 // Rename implements vfs.FS. Both parent directories are locked in inode
 // order; the whole move is one journal transaction.
 func (fs *FS) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	if err := fs.writable(); err != nil {
 		return err
 	}
@@ -994,8 +988,7 @@ func (fs *FS) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
 
 // Stat implements vfs.FS.
 func (fs *FS) Stat(ctx *sim.Ctx, path string) (vfs.FileInfo, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	ino, err := fs.resolve(ctx, path)
 	if err != nil {
 		return vfs.FileInfo{}, err
@@ -1012,8 +1005,7 @@ func (fs *FS) Stat(ctx *sim.Ctx, path string) (vfs.FileInfo, error) {
 
 // ReadDir implements vfs.FS.
 func (fs *FS) ReadDir(ctx *sim.Ctx, path string) ([]vfs.DirEntry, error) {
-	ctx.Counters.Syscalls++
-	ctx.Advance(fs.model.SyscallNS)
+	ctx.Syscall(fs.model.SyscallNS)
 	dir, err := fs.resolve(ctx, path)
 	if err != nil {
 		return nil, err

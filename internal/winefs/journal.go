@@ -124,6 +124,7 @@ func decodeEntry(b []byte) (jentry, bool) {
 type txn struct {
 	j         *journal
 	id        uint64
+	opened    int64 // virtual time the transaction was created (post-Acquire)
 	wrote     int
 	unflushed int
 	// undoLog mirrors the DATA entries in DRAM so abort can roll the
@@ -153,10 +154,11 @@ func (fs *FS) beginTx(ctx *sim.Ctx, cpu int) *txn {
 	// §3.6: the shared transaction ID is an atomic counter incremented on
 	// every transaction create, unique across all per-CPU journals.
 	id := atomic.AddUint64(&fs.nextTxID, 1)
-	tx := &txn{j: j, id: id}
+	tx := &txn{j: j, id: id, opened: ctx.Now()}
 	// The START entry is the first of a fresh reservation; it cannot
 	// overflow.
 	_ = tx.append(ctx, &jentry{typ: entryStart, wrap: j.wrap, txid: id})
+	ctx.Counters.JournalNS += ctx.Now() - tx.opened
 	return tx
 }
 
@@ -199,6 +201,8 @@ func (tx *txn) flushEntries(ctx *sim.Ctx) {
 // fenced before undo returns, because an in-place update must never become
 // durable ahead of its undo record.
 func (tx *txn) undo(ctx *sim.Ctx, addr int64, n int) error {
+	t0 := ctx.Now()
+	defer func() { ctx.Counters.JournalNS += ctx.Now() - t0 }()
 	for n > 0 {
 		k := n
 		if k > undoBytes {
@@ -232,6 +236,8 @@ func (tx *txn) undo(ctx *sim.Ctx, addr int64, n int) error {
 // tail advances; recovery scans forward from the last persisted header and
 // ignores committed transactions).
 func (tx *txn) commit(ctx *sim.Ctx) {
+	sp := ctx.StartSpan("journal.commit")
+	t0 := ctx.Now()
 	j := tx.j
 	j.fs.dev.Fence(ctx) // order in-place updates before COMMIT
 	// The COMMIT slot is reserved by append's limit; this cannot fail.
@@ -239,7 +245,9 @@ func (tx *txn) commit(ctx *sim.Ctx) {
 	tx.flushEntries(ctx)
 	j.fs.dev.Fence(ctx)
 	ctx.Counters.JournalCommits++
+	ctx.Counters.JournalNS += ctx.Now() - t0
 	j.res.Release(ctx)
+	ctx.EndSpan(sp)
 }
 
 // abort rolls the transaction back: every journaled region is restored
@@ -248,6 +256,8 @@ func (tx *txn) commit(ctx *sim.Ctx) {
 // not roll it back again — the journaled regions may be rewritten by later
 // transactions).
 func (tx *txn) abort(ctx *sim.Ctx) {
+	t0 := ctx.Now()
+	defer func() { ctx.Counters.JournalNS += ctx.Now() - t0 }()
 	j := tx.j
 	for i := len(tx.undoLog) - 1; i >= 0; i-- {
 		e := tx.undoLog[i]

@@ -33,6 +33,9 @@ func TestSoakLifecycle(t *testing.T) {
 	if _, err := ager.Run(ctx); err != nil {
 		t.Fatal(err)
 	}
+	if err := fs.Audit(ctx); err != nil {
+		t.Fatalf("audit after aging: %v", err)
+	}
 
 	payloads := map[string][]byte{}
 	for cycle := 0; cycle < 3; cycle++ {
@@ -64,6 +67,9 @@ func TestSoakLifecycle(t *testing.T) {
 		if err := ager.RaiseUtil(ctx, 0.6+float64(cycle)*0.05); err != nil {
 			t.Fatal(err)
 		}
+		if err := fs.Audit(ctx); err != nil {
+			t.Fatalf("cycle %d: audit after churn: %v", cycle, err)
+		}
 
 		// Phase 4: crash (no unmount), recover, verify.
 		rctx := sim.NewCtx(10+cycle, 0)
@@ -73,6 +79,10 @@ func TestSoakLifecycle(t *testing.T) {
 		}
 		if rep := winefs.Check(dev); !rep.OK() {
 			t.Fatalf("cycle %d: fsck after crash: %v", cycle, rep.Errors[0])
+		}
+		// The rebuilt allocator must reconcile exactly, even after a crash.
+		if err := rfs.Audit(rctx); err != nil {
+			t.Fatalf("cycle %d: audit after recovery: %v", cycle, err)
 		}
 		for n, want := range payloads {
 			g, err := rfs.Open(rctx, n)
@@ -105,6 +115,9 @@ func TestSoakLifecycle(t *testing.T) {
 		ager = geriatrix.New(fs, geriatrix.Config{TargetUtil: 0.6, ChurnFactor: 0.1, Seed: uint64(100 + cycle)})
 		if _, err := ager.Run(ctx); err != nil && err != vfs.ErrNoSpace {
 			t.Fatal(err)
+		}
+		if err := fs.Audit(ctx); err != nil {
+			t.Fatalf("cycle %d: audit after remount churn: %v", cycle, err)
 		}
 	}
 	_ = mmu.HugePage

@@ -54,6 +54,53 @@ func TestCreateWriteRead(t *testing.T) {
 	}
 }
 
+// TestRootPathOpsRejected: every spelling that cleans to "/" has no final
+// path element, so namespace-mutating ops must refuse it (via
+// vfs.SplitParent) instead of manufacturing a nameless dirent.
+func TestRootPathOpsRejected(t *testing.T) {
+	fs, ctx := defaultFS(t)
+	if err := fs.Mkdir(ctx, "/scratch"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/", "", "//", "/.", "/scratch/..", "/../."} {
+		if _, err := fs.Create(ctx, p); err != vfs.ErrExist {
+			t.Errorf("Create(%q) = %v, want ErrExist", p, err)
+		}
+		if err := fs.Mkdir(ctx, p); err != vfs.ErrExist {
+			t.Errorf("Mkdir(%q) = %v, want ErrExist", p, err)
+		}
+		if err := fs.Unlink(ctx, p); err != vfs.ErrExist {
+			t.Errorf("Unlink(%q) = %v, want ErrExist", p, err)
+		}
+		if err := fs.Rmdir(ctx, p); err != vfs.ErrExist {
+			t.Errorf("Rmdir(%q) = %v, want ErrExist", p, err)
+		}
+		if err := fs.Rename(ctx, p, "/elsewhere"); err != vfs.ErrExist {
+			t.Errorf("Rename(%q, /elsewhere) = %v, want ErrExist", p, err)
+		}
+		if err := fs.Rename(ctx, "/scratch", p); err != vfs.ErrExist {
+			t.Errorf("Rename(/scratch, %q) = %v, want ErrExist", p, err)
+		}
+	}
+	// Read-only ops on the root keep working.
+	if fi, err := fs.Stat(ctx, "/"); err != nil || !fi.IsDir {
+		t.Fatalf("Stat(/) = %+v, %v", fi, err)
+	}
+	if _, err := fs.ReadDir(ctx, "/"); err != nil {
+		t.Fatalf("ReadDir(/) = %v", err)
+	}
+	// No empty-named dirent appeared anywhere.
+	ents, err := fs.ReadDir(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name == "" {
+			t.Fatal("empty-named dirent manufactured in root")
+		}
+	}
+}
+
 func TestCreateInSubdir(t *testing.T) {
 	fs, ctx := defaultFS(t)
 	if err := fs.Mkdir(ctx, "/a"); err != nil {
