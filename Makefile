@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet bench bench-json fault-campaign serve-smoke
+.PHONY: all build test check race vet bench bench-json bench-scaling fault-campaign serve-smoke
 
 all: build
 
@@ -31,6 +31,15 @@ bench:
 # tolerance). Refresh the baseline by copying BENCH_server.json over it.
 bench-json:
 	$(GO) run ./cmd/winebench -server -quick -clients 4 -json BENCH_server.json -check-against BENCH_baseline.json
+
+# fxmark-style scalability sweep: every sharing case (shared-read,
+# disjoint-write, overlap-write, private-append, meta-contended) over
+# 1→16 threads, direct and through winefsd, regression-checked against the
+# committed BENCH_scaling.json (work counters exact, contention timings and
+# allocator-placement counters within tolerance). Refresh the baseline with
+# `go run ./cmd/winebench -scaling -json BENCH_scaling.json`.
+bench-scaling:
+	$(GO) run ./cmd/winebench -scaling -check-against BENCH_scaling.json
 
 # Boots winefsd on loopback TCP, drives a multi-client workload through
 # fileserver.Client, and verifies the stats endpoint (end-to-end server

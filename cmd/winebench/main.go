@@ -6,6 +6,7 @@
 //	winebench [-quick] [-cpus N] [-size BYTES] [-seed N] [-run fig1,fig3,...]
 //	winebench -server [-clients N] [-server-ops N]
 //	          [-json FILE] [-trace FILE] [-metrics-out FILE]
+//	winebench -scaling [-scaling-ops N] [-json FILE] [-check-against FILE]
 //
 // -run selects experiments (comma-separated from: fig1 fig2 fig3 fig4 fig6
 // fig7 table2 fig8 fig9 fig10 recovery defrag hpc crashmonkey; default all).
@@ -21,6 +22,14 @@
 // a Chrome trace-event file loadable in chrome://tracing or Perfetto;
 // -metrics-out dumps the final server counters in the Prometheus text
 // format, exactly as a live winefsd /metrics scrape would render them.
+//
+// -scaling runs the fxmark-style concurrency scalability suite instead:
+// each sharing case (shared-read, disjoint-write, overlap-write,
+// private-append, meta-contended) sweeps 1→16 threads on a fresh 16-CPU
+// file system, both with direct calls and through the winefsd transport.
+// -json writes the committable BENCH_scaling.json report; -check-against
+// regression-checks a run against one (work counters exact, contention
+// timings with tolerance).
 package main
 
 import (
@@ -51,6 +60,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	run := flag.String("run", "all", "comma-separated experiment list")
 	server := flag.Bool("server", false, "run the serving-throughput baseline and exit")
+	scaling := flag.Bool("scaling", false, "run the fxmark-style scalability suite and exit")
+	scalingOps := flag.Int("scaling-ops", 0, "loop iterations per thread in -scaling mode (0 = 200, 64 with -quick)")
 	clients := flag.Int("clients", 8, "concurrent clients in -server mode")
 	serverOps := flag.Int("server-ops", 0, "loop iterations per client in -server mode (0 = 200, 50 with -quick)")
 	jsonOut := flag.String("json", "", "-server: write the BENCH report as JSON to this file")
@@ -59,6 +70,13 @@ func main() {
 	baseline := flag.String("check-against", "", "-server: compare the run against this BENCH report and fail on regression")
 	flag.Parse()
 
+	if *scaling {
+		if err := runScalingBench(*scalingOps, *quick, *seed, *jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "winebench: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *server {
 		out := benchOutputs{JSON: *jsonOut, Trace: *traceOut, Metrics: *metricsOut, Baseline: *baseline}
 		if err := runServerBench(*clients, *cpus, *size, *serverOps, *quick, *seed, out); err != nil {

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/fileserver"
+	"repro/internal/perf"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+	"repro/internal/workloads"
+)
+
+// winebench -scaling: the fxmark-style concurrency scalability suite.
+// Every (case, transport, threads) point boots a fresh strict-mode WineFS
+// on scalingCPUs simulated CPUs and runs `threads` concurrent workers,
+// thread t pinned to CPU t — that 1:1 pinning is what makes the work
+// counters exactly reproducible, so BENCH_scaling.json can gate on them.
+// Threads sweep 1→scalingCPUs; the interesting signal is the shape:
+// shared reads, disjoint-range writes and private appends speed up with
+// thread count until the device ports saturate, while overlapping writes
+// and single-directory metadata churn serialise on the contended lock.
+
+const scalingCPUs = 16
+
+func scalingThreadCounts() []int { return []int{1, 2, 4, 8, 16} }
+
+// scalingPoint is one (case, transport, threads) measurement.
+type scalingPoint struct {
+	Case      string
+	Transport string // "local" (direct calls) or "server" (through winefsd)
+	Threads   int
+	// Ops and Bytes are summed over threads and exactly reproducible.
+	Ops   int64
+	Bytes int64
+	// SpanNS is the slowest thread's virtual time; OpsPerSec is
+	// Ops/SpanNS in virtual seconds. Contention-derived, so
+	// baseline-checked with tolerance rather than exactly.
+	SpanNS     int64
+	OpsPerSec  float64
+	LockWaitNS int64
+	// Counters merges the worker threads' counters (local) or the server
+	// sessions' (server). Setup work is excluded in both transports.
+	Counters perf.Counters
+}
+
+// scalingReport is the machine-readable BENCH_scaling.json schema.
+type scalingReport struct {
+	Bench        string // report schema tag, "scaling/v1"
+	CPUs         int
+	OpsPerThread int
+	Seed         uint64
+	Points       []scalingPoint
+}
+
+// runScalingBench sweeps every fxmark case over both transports and all
+// thread counts, prints ops/s tables, and optionally writes/checks the
+// JSON report.
+func runScalingBench(ops int, quick bool, seed uint64, jsonOut, baseline string) error {
+	if ops <= 0 {
+		ops = 200
+		if quick {
+			ops = 64
+		}
+	}
+	rep := scalingReport{Bench: "scaling/v1", CPUs: scalingCPUs, OpsPerThread: ops, Seed: seed}
+	for _, c := range workloads.FxmarkCases() {
+		for _, transport := range []string{"local", "server"} {
+			for _, threads := range scalingThreadCounts() {
+				pt, err := runScalingPoint(c, transport, threads, ops, seed)
+				if err != nil {
+					return fmt.Errorf("%s/%s/%d threads: %w", c, transport, threads, err)
+				}
+				rep.Points = append(rep.Points, pt)
+			}
+		}
+	}
+
+	for _, transport := range []string{"local", "server"} {
+		t := &experiments.Table{
+			Title:  fmt.Sprintf("Scalability (%s transport): virtual kops/s vs threads, %d CPUs", transport, scalingCPUs),
+			Header: []string{"case"},
+		}
+		for _, n := range scalingThreadCounts() {
+			t.Header = append(t.Header, fmt.Sprintf("%d", n))
+		}
+		for _, c := range workloads.FxmarkCases() {
+			row := []string{string(c)}
+			for _, n := range scalingThreadCounts() {
+				for _, pt := range rep.Points {
+					if pt.Case == string(c) && pt.Transport == transport && pt.Threads == n {
+						row = append(row, fmt.Sprintf("%.1f", pt.OpsPerSec/1e3))
+					}
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Print(os.Stdout)
+	}
+
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+		fmt.Printf("wrote scaling report to %s\n", jsonOut)
+	}
+	if baseline != "" {
+		if err := checkScalingBaseline(rep, baseline); err != nil {
+			return fmt.Errorf("baseline %s: %w", baseline, err)
+		}
+		fmt.Printf("baseline check OK against %s\n", baseline)
+	}
+	return nil
+}
+
+// runScalingPoint measures one (case, transport, threads) cell on a fresh
+// file system. Setup always runs single-threaded directly against the FS;
+// only the measured loops go through the transport under test.
+func runScalingPoint(c workloads.FxmarkCase, transport string, threads, ops int, seed uint64) (scalingPoint, error) {
+	pt := scalingPoint{Case: string(c), Transport: transport, Threads: threads}
+	cfg := workloads.FxmarkConfig{Ops: ops, Seed: seed}
+	dev := pmem.New(1 << 30)
+	setupCtx := sim.NewCtx(1, 0)
+	fs, err := winefs.Mkfs(setupCtx, dev, winefs.Options{CPUs: scalingCPUs, Mode: vfs.Strict})
+	if err != nil {
+		return pt, fmt.Errorf("mkfs: %w", err)
+	}
+	if err := workloads.FxmarkSetup(setupCtx, fs, c, threads, cfg); err != nil {
+		return pt, err
+	}
+
+	// Lock and device-port calendars extend to setup's virtual frontier;
+	// workers start there, not at 0, or their first acquisition would charge
+	// the whole setup history as phantom lock wait.
+	epoch := setupCtx.Now()
+	var srv *fileserver.Server
+	serveErr := make(chan error, 1)
+	targets := make([]vfs.FS, threads)
+	switch transport {
+	case "local":
+		for t := range targets {
+			targets[t] = fs
+		}
+	case "server":
+		srv = fileserver.New(fs, fileserver.Config{CPUs: scalingCPUs, BaseNS: epoch})
+		pl := fileserver.NewPipeListener()
+		go func() { serveErr <- srv.Serve(pl) }()
+		// Dial sequentially: session ids assign in accept order and pin
+		// sessions to CPU id%CPUs, so this is what pins thread t's server
+		// session to CPU t.
+		for t := range targets {
+			conn, err := pl.Dial()
+			if err != nil {
+				return pt, fmt.Errorf("dial %d: %w", t, err)
+			}
+			cl, err := fileserver.Dial(conn)
+			if err != nil {
+				return pt, fmt.Errorf("dial %d: %w", t, err)
+			}
+			targets[t] = cl
+		}
+	default:
+		return pt, fmt.Errorf("unknown transport %q", transport)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	results := make([]workloads.FxmarkThreadResult, threads)
+	ctxs := make([]*sim.Ctx, threads)
+	for t := 0; t < threads; t++ {
+		ctxs[t] = sim.NewCtx(100+t, t)
+		ctxs[t].AdvanceTo(epoch)
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			results[t], errs[t] = workloads.FxmarkThread(ctxs[t], targets[t], t, c, threads, cfg)
+		}(t)
+	}
+	wg.Wait()
+	for t, err := range errs {
+		if err != nil {
+			return pt, fmt.Errorf("thread %d: %w", t, err)
+		}
+	}
+	if srv != nil {
+		srv.Shutdown()
+		if err := <-serveErr; err != nil {
+			return pt, fmt.Errorf("serve: %w", err)
+		}
+	}
+
+	for t := 0; t < threads; t++ {
+		pt.Ops += results[t].Ops
+		pt.Bytes += results[t].Bytes
+		if results[t].VirtualNS > pt.SpanNS {
+			pt.SpanNS = results[t].VirtualNS
+		}
+		pt.Counters.Add(ctxs[t].Counters)
+	}
+	if srv != nil {
+		// Through winefsd the file-system work (and so the lock waiting)
+		// happens on the server sessions, not the client threads.
+		st := srv.Stats()
+		pt.Counters.Add(&st.Counters)
+	}
+	pt.LockWaitNS = pt.Counters.LockWaitNS
+	if pt.SpanNS > 0 {
+		pt.OpsPerSec = float64(pt.Ops) / (float64(pt.SpanNS) / 1e9)
+	}
+	return pt, nil
+}
+
+// lockWaitFloorNS exempts tiny LockWaitNS values from the relative
+// tolerance: a single displaced lock booking shifts the total by a few
+// hundred virtual ns, which is a huge relative error on a near-zero
+// baseline but means nothing.
+const lockWaitFloorNS = 20000
+
+// checkScalingBaseline compares a finished sweep against a committed
+// scaling report: configuration, point set and every work counter must
+// match exactly; contention-derived timings get lockWaitTolerance slack.
+func checkScalingBaseline(rep scalingReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base scalingReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if rep.Bench != base.Bench || rep.CPUs != base.CPUs ||
+		rep.OpsPerThread != base.OpsPerThread || rep.Seed != base.Seed {
+		return fmt.Errorf("configuration mismatch: run (%s, %d cpus, %d ops, seed %d) vs baseline (%s, %d cpus, %d ops, seed %d)",
+			rep.Bench, rep.CPUs, rep.OpsPerThread, rep.Seed,
+			base.Bench, base.CPUs, base.OpsPerThread, base.Seed)
+	}
+	if len(rep.Points) != len(base.Points) {
+		return fmt.Errorf("point count mismatch: %d vs baseline %d", len(rep.Points), len(base.Points))
+	}
+	var bad []string
+	for i := range rep.Points {
+		got, want := rep.Points[i], base.Points[i]
+		id := fmt.Sprintf("%s/%s/%d", got.Case, got.Transport, got.Threads)
+		if got.Case != want.Case || got.Transport != want.Transport || got.Threads != want.Threads {
+			return fmt.Errorf("point %d is %s, baseline has %s/%s/%d", i, id, want.Case, want.Transport, want.Threads)
+		}
+		exact := func(name string, g, w int64) {
+			if g != w {
+				bad = append(bad, fmt.Sprintf("%s: %s = %d, baseline %d", id, name, g, w))
+			}
+		}
+		within := func(name string, g, w float64) {
+			if w == 0 && g == 0 {
+				return
+			}
+			if w == 0 || g < w*(1-lockWaitTolerance) || g > w*(1+lockWaitTolerance) {
+				bad = append(bad, fmt.Sprintf("%s: %s = %g, baseline %g (>%.0f%% off)", id, name, g, w, lockWaitTolerance*100))
+			}
+		}
+		exact("Ops", got.Ops, want.Ops)
+		exact("Bytes", got.Bytes, want.Bytes)
+		within("SpanNS", float64(got.SpanNS), float64(want.SpanNS))
+		within("OpsPerSec", got.OpsPerSec, want.OpsPerSec)
+		if got.LockWaitNS > lockWaitFloorNS || want.LockWaitNS > lockWaitFloorNS {
+			within("LockWaitNS", float64(got.LockWaitNS), float64(want.LockWaitNS))
+		}
+		gotFields, wantFields := got.Counters.Fields(), want.Counters.Fields()
+		for j, f := range gotFields {
+			switch f.Name {
+			case "LockWaitNS":
+				// Checked above, with tolerance.
+			case "AllocSteals", "AllocSplits":
+				// Placement counters: WHERE an allocation lands (local pool,
+				// remote steal, broken hugepage) depends on which group has
+				// the most free space at that instant, which shifts with
+				// host-order ties exactly like lock waits. The amounts
+				// allocated stay exact (Bytes and the byte counters above).
+				if f.Value > 16 || wantFields[j].Value > 16 {
+					within("Counters."+f.Name, float64(f.Value), float64(wantFields[j].Value))
+				}
+			default:
+				exact("Counters."+f.Name, f.Value, wantFields[j].Value)
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%d regressions:\n  %s", len(bad), strings.Join(bad, "\n  "))
+	}
+	return nil
+}

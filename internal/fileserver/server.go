@@ -33,6 +33,13 @@ type Config struct {
 	// spans the FS, MMU and device layers open underneath (journal commits,
 	// page faults, bulk zeroing). Nil disables tracing.
 	Tracer *trace.Tracer
+	// BaseNS is the virtual instant session clocks start at. A server over
+	// a file system that was populated before it started should pass the
+	// populating thread's final Now(): lock and device-port calendars
+	// already extend to that frontier, and a session starting at 0 would
+	// charge the entire setup history to its first lock acquisition as
+	// phantom wait time.
+	BaseNS int64
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +145,7 @@ func (s *Server) startSession(conn Conn) {
 		reqs:    make(chan request, s.cfg.Window),
 		done:    make(chan struct{}),
 	}
+	sess.ctx.AdvanceTo(s.cfg.BaseNS)
 	sess.ctx.Trace = s.cfg.Tracer.NewContext(sess.ctx.Thread)
 	s.sessions[id] = sess
 	s.wg.Add(1)

@@ -130,8 +130,8 @@ func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	}
 	fs := f.fs
 	n := f.node
-	fs.locks.Lock(ctx, n.Ino)
-	defer fs.locks.Unlock(ctx, n.Ino)
+	h := fs.locks.Lock(ctx, n.Ino)
+	defer h.Unlock(ctx)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 
@@ -341,8 +341,8 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 	ctx.Syscall(f.fs.model.SyscallNS)
 	fs := f.fs
 	n := f.node
-	fs.locks.Lock(ctx, n.Ino)
-	defer fs.locks.Unlock(ctx, n.Ino)
+	h := fs.locks.Lock(ctx, n.Ino)
+	defer h.Unlock(ctx)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if size < n.size {
@@ -384,8 +384,8 @@ func (f *File) Fallocate(ctx *sim.Ctx, off, length int64) error {
 	ctx.Syscall(f.fs.model.SyscallNS)
 	fs := f.fs
 	n := f.node
-	fs.locks.Lock(ctx, n.Ino)
-	defer fs.locks.Unlock(ctx, n.Ino)
+	h := fs.locks.Lock(ctx, n.Ino)
+	defer h.Unlock(ctx)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 

@@ -245,8 +245,8 @@ func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs.locks.Lock(ctx, parent.Ino)
-	defer fs.locks.Unlock(ctx, parent.Ino)
+	h := fs.locks.Lock(ctx, parent.Ino)
+	defer h.Unlock(ctx)
 	parent.mu.Lock()
 	if existing, ok := parent.children.Get(name); ok {
 		parent.mu.Unlock()
@@ -286,8 +286,8 @@ func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
 	if err != nil {
 		return err
 	}
-	fs.locks.Lock(ctx, parent.Ino)
-	defer fs.locks.Unlock(ctx, parent.Ino)
+	h := fs.locks.Lock(ctx, parent.Ino)
+	defer h.Unlock(ctx)
 	parent.mu.Lock()
 	if _, ok := parent.children.Get(name); ok {
 		parent.mu.Unlock()
@@ -309,8 +309,8 @@ func (fs *FS) Unlink(ctx *sim.Ctx, path string) error {
 	if err != nil {
 		return err
 	}
-	fs.locks.Lock(ctx, parent.Ino)
-	defer fs.locks.Unlock(ctx, parent.Ino)
+	h := fs.locks.Lock(ctx, parent.Ino)
+	defer h.Unlock(ctx)
 	parent.mu.Lock()
 	target, ok := parent.children.Get(name)
 	if !ok {
@@ -346,6 +346,7 @@ func (fs *FS) destroy(ctx *sim.Ctx, n *Node) {
 	fs.mu.Lock()
 	delete(fs.nodes, n.Ino)
 	fs.mu.Unlock()
+	fs.locks.Drop(n.Ino)
 }
 
 // Rmdir implements vfs.FS.
@@ -355,8 +356,8 @@ func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
 	if err != nil {
 		return err
 	}
-	fs.locks.Lock(ctx, parent.Ino)
-	defer fs.locks.Unlock(ctx, parent.Ino)
+	h := fs.locks.Lock(ctx, parent.Ino)
+	defer h.Unlock(ctx)
 	parent.mu.Lock()
 	target, ok := parent.children.Get(name)
 	if !ok {
@@ -397,15 +398,16 @@ func (fs *FS) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
 	if first.Ino > second.Ino {
 		first, second = second, first
 	}
-	fs.locks.Lock(ctx, first.Ino)
+	h1 := fs.locks.Lock(ctx, first.Ino)
+	var h2 *vfs.LockHandle
 	if second.Ino != first.Ino {
-		fs.locks.Lock(ctx, second.Ino)
+		h2 = fs.locks.Lock(ctx, second.Ino)
 	}
 	defer func() {
-		if second.Ino != first.Ino {
-			fs.locks.Unlock(ctx, second.Ino)
+		if h2 != nil {
+			h2.Unlock(ctx)
 		}
-		fs.locks.Unlock(ctx, first.Ino)
+		h1.Unlock(ctx)
 	}()
 
 	oldParent.mu.Lock()

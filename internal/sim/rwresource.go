@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// RWResource models a shared serialisation point that distinguishes shared
+// (reader) from exclusive (writer) occupations in virtual time — the VFS
+// inode rwsem. Readers overlap freely with other readers; writers exclude
+// everyone. Like Resource, contention is a function of virtual-time overlap
+// only: occupations are booked on calendars, and an acquiring thread's
+// clock jumps past conflicting bookings that contain its current instant,
+// with the jump attributed to Counters.LockWaitNS.
+//
+// Occupation durations are not known in advance (the caller does work
+// between acquire and release), so a host-level sync.RWMutex is held across
+// each occupation. That serialises conflicting *goroutines* so the calendar
+// stays consistent — by the time an acquirer books its start, every
+// conflicting occupation has already been booked — while conflict-free
+// goroutines (reader/reader) proceed in parallel on the host too. Host
+// scheduling never advances virtual clocks, so this does not distort the
+// simulated timeline; sync.RWMutex's writer preference also bounds writer
+// starvation at the host level.
+//
+// RWResource is safe for concurrent use by multiple goroutines.
+type RWResource struct {
+	host sync.RWMutex // held between acquire and release
+
+	mu sync.Mutex // guards the calendars
+	// wr and rd are merged unions of past exclusive and shared occupation
+	// intervals. Writers skip past both; readers skip past wr only.
+	wr     []span
+	rd     []span
+	wstart int64 // booked start of the in-progress exclusive occupation
+}
+
+// Lock begins an exclusive occupation: the thread's clock jumps to the
+// first instant not covered by any booked occupation (shared or exclusive),
+// and conflicting goroutines block at the host level until Unlock.
+func (r *RWResource) Lock(ctx *Ctx) {
+	r.host.Lock()
+	r.mu.Lock()
+	t := ctx.now
+	for {
+		t2 := skipBusy(r.wr, t)
+		t2 = skipBusy(r.rd, t2)
+		if t2 == t {
+			break
+		}
+		t = t2
+	}
+	r.wstart = t
+	r.mu.Unlock()
+	if waited := t - ctx.now; waited > 0 && ctx.Counters != nil {
+		ctx.Counters.LockWaitNS += waited
+	}
+	ctx.now = t
+}
+
+// Unlock ends an exclusive occupation, booking [lock instant, now) on the
+// exclusive calendar.
+func (r *RWResource) Unlock(ctx *Ctx) {
+	r.mu.Lock()
+	if ctx.now > r.wstart {
+		r.wr = insertUnion(r.wr, span{r.wstart, ctx.now})
+	}
+	r.mu.Unlock()
+	r.host.Unlock()
+}
+
+// RLock begins a shared occupation: the clock jumps past exclusive bookings
+// only (readers never wait for readers). The returned start must be handed
+// back to RUnlock — unlike the exclusive side, many shared occupations can
+// be in flight at once, so the resource cannot hold a single start field.
+func (r *RWResource) RLock(ctx *Ctx) (start int64) {
+	r.host.RLock()
+	r.mu.Lock()
+	t := ctx.now
+	for {
+		t2 := skipBusy(r.wr, t)
+		if t2 == t {
+			break
+		}
+		t = t2
+	}
+	r.mu.Unlock()
+	if waited := t - ctx.now; waited > 0 && ctx.Counters != nil {
+		ctx.Counters.LockWaitNS += waited
+	}
+	ctx.now = t
+	return t
+}
+
+// RUnlock ends a shared occupation started at start, booking it on the
+// shared calendar so later writers queue behind it.
+func (r *RWResource) RUnlock(ctx *Ctx, start int64) {
+	r.mu.Lock()
+	if ctx.now > start {
+		r.rd = insertUnion(r.rd, span{start, ctx.now})
+	}
+	r.mu.Unlock()
+	r.host.RUnlock()
+}
+
+// BusyUntil reports the end of the last booked interval on either calendar
+// (tests).
+func (r *RWResource) BusyUntil() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var max int64
+	if n := len(r.wr); n > 0 && r.wr[n-1].end > max {
+		max = r.wr[n-1].end
+	}
+	if n := len(r.rd); n > 0 && r.rd[n-1].end > max {
+		max = r.rd[n-1].end
+	}
+	return max
+}
+
+// skipBusy returns the end of the span containing t, or t if no span does.
+// spans must be sorted and disjoint.
+func skipBusy(spans []span, t int64) int64 {
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].end > t })
+	if i < len(spans) && spans[i].start <= t {
+		return spans[i].end
+	}
+	return t
+}
+
+// insertUnion inserts s into a sorted, disjoint span list, merging with any
+// overlapping or adjacent neighbours, and bounds the list length by
+// dropping the oldest intervals (clocks only move forward, so the distant
+// past is never consulted again).
+func insertUnion(spans []span, s span) []span {
+	// First span whose end reaches s.start: everything before it is
+	// strictly earlier and untouched.
+	lo := sort.Search(len(spans), func(i int) bool { return spans[i].end >= s.start })
+	hi := lo
+	for hi < len(spans) && spans[hi].start <= s.end {
+		if spans[hi].start < s.start {
+			s.start = spans[hi].start
+		}
+		if spans[hi].end > s.end {
+			s.end = spans[hi].end
+		}
+		hi++
+	}
+	out := append(spans[:lo], append([]span{s}, spans[hi:]...)...)
+	if len(out) > maxSpans {
+		out = out[len(out)-maxSpans:]
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package vfs
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Overlapping range writers serialise in virtual time; their waits land in
+// LockWaitNS.
+func TestLockRangeOverlappingSerialize(t *testing.T) {
+	lt := NewLockTable()
+	a := sim.NewCtx(1, 0)
+	b := sim.NewCtx(2, 1)
+
+	h := lt.LockRange(a, 7, 0, 4096)
+	a.Advance(1000)
+	h.Unlock(a) // [0,4096) held over [0,1000)
+
+	h = lt.LockRange(b, 7, 2048, 4096) // overlaps, arrives at 0
+	if b.Now() != 1000 {
+		t.Fatalf("overlapping range writer acquired at %d, want 1000", b.Now())
+	}
+	if b.Counters.LockWaitNS != 1000 {
+		t.Fatalf("LockWaitNS=%d, want 1000", b.Counters.LockWaitNS)
+	}
+	h.Unlock(b)
+}
+
+// Disjoint range writers on the same inode do not serialise.
+func TestLockRangeDisjointParallel(t *testing.T) {
+	lt := NewLockTable()
+	a := sim.NewCtx(1, 0)
+	b := sim.NewCtx(2, 1)
+
+	h := lt.LockRange(a, 7, 0, 4096)
+	a.Advance(1000)
+	h.Unlock(a)
+
+	h = lt.LockRange(b, 7, 4096, 4096) // adjacent but disjoint
+	if b.Now() != 0 || b.Counters.LockWaitNS != 0 {
+		t.Fatalf("disjoint range writer waited: now=%d wait=%d", b.Now(), b.Counters.LockWaitNS)
+	}
+	h.Unlock(b)
+}
+
+// A whole-inode exclusive lock excludes range writers in both directions.
+func TestLockExclusiveVsRange(t *testing.T) {
+	lt := NewLockTable()
+	w := sim.NewCtx(1, 0)
+	r := sim.NewCtx(2, 1)
+
+	h := lt.Lock(w, 7)
+	w.Advance(1000)
+	h.Unlock(w) // exclusive over [0,1000)
+
+	h = lt.LockRange(r, 7, 1<<20, 4096) // any range waits for the inode lock
+	if r.Now() != 1000 {
+		t.Fatalf("range writer acquired at %d under exclusive lock, want 1000", r.Now())
+	}
+	r.Advance(500)
+	h.Unlock(r) // range holder's shared occupation books [1000,1500)
+
+	w2 := sim.NewCtx(3, 2)
+	w2.Advance(1200)
+	h = lt.Lock(w2, 7)
+	if w2.Now() != 1500 {
+		t.Fatalf("exclusive lock acquired at %d under range writer, want 1500", w2.Now())
+	}
+	h.Unlock(w2)
+}
+
+// Shared readers overlap with each other and with range writers, but wait
+// for exclusive holders.
+func TestRLockSemantics(t *testing.T) {
+	lt := NewLockTable()
+	w := sim.NewCtx(1, 0)
+	h := lt.Lock(w, 7)
+	w.Advance(1000)
+	h.Unlock(w)
+
+	a := sim.NewCtx(2, 1)
+	ha := lt.RLock(a, 7)
+	if a.Now() != 1000 {
+		t.Fatalf("reader acquired at %d under exclusive lock, want 1000", a.Now())
+	}
+	a.Advance(800)
+
+	b := sim.NewCtx(3, 2)
+	b.Advance(1100)
+	hb := lt.RLock(b, 7) // inside a's read — readers share
+	if b.Now() != 1100 {
+		t.Fatalf("second reader waited: now=%d, want 1100", b.Now())
+	}
+	hb.Unlock(b)
+	ha.Unlock(a)
+}
+
+// Drop removes the entry while a holder exists; the holder's release is
+// harmless and a reused inode number starts with a fresh lock.
+func TestDropWhileHeld(t *testing.T) {
+	lt := NewLockTable()
+	ctx := sim.NewCtx(1, 0)
+	h := lt.Lock(ctx, 7)
+	ctx.Advance(5000)
+	lt.Drop(7)
+	if lt.Len() != 0 {
+		t.Fatalf("Len=%d after Drop, want 0", lt.Len())
+	}
+	// A fresh locker of the reused number must not see the old occupation —
+	// and must not block on the still-held old object.
+	fresh := sim.NewCtx(2, 1)
+	h2 := lt.Lock(fresh, 7)
+	if fresh.Now() != 0 {
+		t.Fatalf("reused ino inherited old lock state: now=%d", fresh.Now())
+	}
+	h2.Unlock(fresh)
+	h.Unlock(ctx) // stale holder releases the orphaned object
+	if lt.Len() != 1 {
+		t.Fatalf("Len=%d, want 1 (the reused entry)", lt.Len())
+	}
+}
+
+// The table must not grow across create/delete churn when Drop is called.
+func TestLockTableNoLeak(t *testing.T) {
+	lt := NewLockTable()
+	ctx := sim.NewCtx(1, 0)
+	for i := 0; i < 1000; i++ {
+		ino := uint64(100 + i)
+		h := lt.Lock(ctx, ino)
+		h.Unlock(ctx)
+		lt.Drop(ino)
+	}
+	if lt.Len() != 0 {
+		t.Fatalf("lock table leaked %d entries across churn", lt.Len())
+	}
+}
+
+// Host-level stress under -race: concurrent readers, range writers and
+// exclusive writers on one inode must neither race nor deadlock.
+func TestLockTableConcurrencyStress(t *testing.T) {
+	lt := NewLockTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := sim.NewCtx(10+g, g)
+			for i := 0; i < 200; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					h := lt.RLock(ctx, 7)
+					ctx.Advance(50)
+					h.Unlock(ctx)
+				case 1:
+					off := int64((g%4)*8192 + i%2*4096)
+					h := lt.LockRange(ctx, 7, off, 4096)
+					ctx.Advance(80)
+					h.Unlock(ctx)
+				default:
+					h := lt.Lock(ctx, 7)
+					ctx.Advance(30)
+					h.Unlock(ctx)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -192,46 +192,4 @@ func Components(path string) []string {
 	return strings.Split(path[1:], "/")
 }
 
-// LockTable provides per-inode virtual-time mutexes, standing in for the
-// VFS inode locks the paper relies on: "An inode can only be locked by one
-// logical CPU at a time" (§3.4).
-type LockTable struct {
-	locks map[uint64]*sim.Resource
-	guard chan struct{} // binary semaphore protecting the map itself
-}
-
-// NewLockTable returns an empty lock table.
-func NewLockTable() *LockTable {
-	return &LockTable{
-		locks: make(map[uint64]*sim.Resource),
-		guard: make(chan struct{}, 1),
-	}
-}
-
-func (lt *LockTable) resource(ino uint64) *sim.Resource {
-	lt.guard <- struct{}{}
-	r := lt.locks[ino]
-	if r == nil {
-		r = &sim.Resource{}
-		lt.locks[ino] = r
-	}
-	<-lt.guard
-	return r
-}
-
-// Lock acquires the inode's lock, advancing ctx past any contention.
-func (lt *LockTable) Lock(ctx *sim.Ctx, ino uint64) {
-	lt.resource(ino).Acquire(ctx)
-}
-
-// Unlock releases the inode's lock.
-func (lt *LockTable) Unlock(ctx *sim.Ctx, ino uint64) {
-	lt.resource(ino).Release(ctx)
-}
-
-// Drop removes the lock entry for a deleted inode.
-func (lt *LockTable) Drop(ino uint64) {
-	lt.guard <- struct{}{}
-	delete(lt.locks, ino)
-	<-lt.guard
-}
+// The per-inode reader/writer + byte-range lock table lives in locks.go.

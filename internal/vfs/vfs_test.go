@@ -89,29 +89,29 @@ func TestLockTableSerialisesSameInode(t *testing.T) {
 	lt := NewLockTable()
 	a := sim.NewCtx(1, 0)
 	b := sim.NewCtx(2, 1)
-	lt.Lock(a, 7)
+	ha := lt.Lock(a, 7)
 	a.Advance(100)
-	lt.Unlock(a, 7)
-	lt.Lock(b, 7)
+	ha.Unlock(a)
+	hb := lt.Lock(b, 7)
 	if b.Now() != 100 {
 		t.Fatalf("b entered critical section at %d, want 100", b.Now())
 	}
-	lt.Unlock(b, 7)
+	hb.Unlock(b)
 }
 
 func TestLockTableIndependentInodes(t *testing.T) {
 	lt := NewLockTable()
 	a := sim.NewCtx(1, 0)
 	b := sim.NewCtx(2, 1)
-	lt.Lock(a, 1)
+	ha := lt.Lock(a, 1)
 	a.Advance(1000)
 	// A different inode must not wait.
-	lt.Lock(b, 2)
+	hb := lt.Lock(b, 2)
 	if b.Now() != 0 {
 		t.Fatalf("independent inode waited until %d", b.Now())
 	}
-	lt.Unlock(b, 2)
-	lt.Unlock(a, 1)
+	hb.Unlock(b)
+	ha.Unlock(a)
 	lt.Drop(1)
 	lt.Drop(2)
 }

@@ -25,7 +25,10 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 		violations = append(violations, fmt.Sprintf(format, args...))
 	}
 
-	// Phase 1: per-group internal consistency, under each group's lock.
+	// Phase 1: per-group internal consistency. All group locks are held
+	// simultaneously (index order; group locks are never nested elsewhere)
+	// so phases 2-4 check one coherent instant — with one group at a time,
+	// blocks mid-flight between groups would read as overlaps or leaks.
 	type freeExt struct {
 		start, length int64
 		aligned       bool
@@ -35,6 +38,8 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 	var freeBlocks, alignedExtents int64
 	for _, g := range fs.alloc.groups {
 		g.mu.Lock()
+	}
+	for _, g := range fs.alloc.groups {
 		poolStart, poolEnd := fs.g.poolRange(g.cpu)
 
 		// Cached holeBlocks vs the sum over the by-start tree.
@@ -87,7 +92,9 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 		}
 		freeBlocks += g.freeBlocks()
 		alignedExtents += int64(len(g.aligned))
-		g.mu.Unlock()
+	}
+	for i := len(fs.alloc.groups) - 1; i >= 0; i-- {
+		fs.alloc.groups[i].mu.Unlock()
 	}
 
 	// Phase 2: global free-space disjointness. Every free extent — aligned
@@ -122,13 +129,7 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 	// free + used must equal the pool size; a mismatch is a leak (lost
 	// blocks) or a double-accounting (negative leak).
 	var used int64
-	fs.mu.RLock()
-	inodes := make([]*inode, 0, len(fs.inodes))
-	for _, ino := range fs.inodes {
-		inodes = append(inodes, ino)
-	}
-	fs.mu.RUnlock()
-	for _, ino := range inodes {
+	for _, ino := range fs.snapshotInodes() {
 		ino.mu.RLock()
 		for _, e := range ino.extents {
 			used += e.length
@@ -164,9 +165,7 @@ func (e *AuditError) Error() string {
 // sees it, merged.
 func (fs *FS) auditUsedExtents() []alloc.Extent {
 	var out []alloc.Extent
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	for _, ino := range fs.inodes {
+	for _, ino := range fs.snapshotInodes() {
 		ino.mu.RLock()
 		for _, e := range ino.extents {
 			out = append(out, alloc.Extent{Start: e.blk, Len: e.length})

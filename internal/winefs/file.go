@@ -67,6 +67,10 @@ func (ino *inode) nextExtentStart(fileBlk, max int64) int64 {
 func (f *File) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	ctx.Syscall(f.fs.model.SyscallNS)
 	ino := f.ino
+	// Shared inode lock: concurrent readers (and disjoint range writers)
+	// overlap in virtual time; only exclusive metadata ops are waited for.
+	h := f.fs.locks.RLock(ctx, ino.ino)
+	defer h.Unlock(ctx)
 	ino.mu.RLock()
 	defer ino.mu.RUnlock()
 	if off >= ino.size {
@@ -248,6 +252,30 @@ func (f *File) Append(ctx *sim.Ctx, p []byte) (int, error) {
 	return f.write(ctx, p, off)
 }
 
+// rangeWritableLocked reports whether [off, end) can be served as a pure
+// in-place overwrite under a byte-range lock: fully backed, within the
+// current size, and — in strict mode — every backing extent on the
+// data-journal path (copy-on-write rewrites the extent map, which is
+// metadata and therefore needs the exclusive inode lock). Caller holds
+// ino.mu.
+func (ino *inode) rangeWritableLocked(mode vfs.ConsistencyMode, off, end int64) bool {
+	if end > ino.size {
+		return false
+	}
+	endBlk := (end + BlockSize - 1) / BlockSize
+	for b := off / BlockSize; b < endBlk; {
+		_, run, ok := ino.findRun(b)
+		if !ok {
+			return false
+		}
+		if mode == vfs.Strict && !ino.extentAlignedAtLocked(b) {
+			return false
+		}
+		b += run
+	}
+	return true
+}
+
 func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	ctx.Syscall(f.fs.model.SyscallNS)
 	if err := f.fs.writable(); err != nil {
@@ -258,8 +286,23 @@ func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	}
 	fs := f.fs
 	ino := f.ino
-	fs.locks.Lock(ctx, ino.ino)
-	defer fs.locks.Unlock(ctx, ino.ino)
+
+	// Fast path: an overwrite of already-allocated bytes changes no
+	// metadata, so it only needs to exclude writers touching overlapping
+	// byte ranges — disjoint writers to the same file proceed in parallel
+	// in virtual time. Probe without the lock, then recheck with the range
+	// held (a concurrent truncate or CoW may have changed the layout).
+	ino.mu.RLock()
+	fast := ino.rangeWritableLocked(fs.mode, off, off+int64(len(p)))
+	ino.mu.RUnlock()
+	if fast {
+		if n, ok, err := f.writeRange(ctx, p, off); ok {
+			return n, err
+		}
+	}
+
+	h := fs.locks.Lock(ctx, ino.ino)
+	defer h.Unlock(ctx)
 	ino.mu.Lock()
 	defer ino.mu.Unlock()
 
@@ -345,6 +388,53 @@ func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 		f.dirtyBytes += n
 	}
 	return len(p), nil
+}
+
+// writeRange is the byte-range fast path: bytes [off, off+len(p)) are
+// overwritten in place while holding the inode shared plus the range
+// exclusively. ok=false means the layout changed between the caller's
+// probe and the lock (truncate, CoW) — the range has been released and the
+// caller must retry on the exclusive slow path.
+func (f *File) writeRange(ctx *sim.Ctx, p []byte, off int64) (n int, ok bool, err error) {
+	fs := f.fs
+	ino := f.ino
+	h := fs.locks.LockRange(ctx, ino.ino, off, int64(len(p)))
+	defer h.Unlock(ctx)
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	if !ino.rangeWritableLocked(fs.mode, off, off+int64(len(p))) {
+		return 0, false, nil
+	}
+	written := 0
+	for written < len(p) {
+		pos := off + int64(written)
+		blk := pos / BlockSize
+		in := pos % BlockSize
+		phys, run, found := ino.findRun(blk)
+		if !found {
+			return 0, false, nil // unreachable after the recheck
+		}
+		chunk := run*BlockSize - in
+		if chunk > int64(len(p)-written) {
+			chunk = int64(len(p) - written)
+		}
+		if fs.mode == vfs.Strict {
+			// Data journaling only: the recheck guarantees no block needs
+			// copy-on-write, so the extent map is never touched here.
+			fs.chargeDataJournal(ctx, chunk)
+		}
+		fs.dev.Write(ctx, p[written:written+int(chunk)], phys*BlockSize+in)
+		if fs.mode == vfs.Strict {
+			fs.dev.Flush(ctx, phys*BlockSize+in, chunk)
+		}
+		written += int(chunk)
+	}
+	if fs.mode == vfs.Strict {
+		fs.dev.Fence(ctx)
+	} else {
+		f.dirtyBytes += int64(len(p))
+	}
+	return len(p), true, nil
 }
 
 // writeData moves p into the file at off, applying the hybrid atomicity
@@ -595,8 +685,8 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 	}
 	fs := f.fs
 	ino := f.ino
-	fs.locks.Lock(ctx, ino.ino)
-	defer fs.locks.Unlock(ctx, ino.ino)
+	h := fs.locks.Lock(ctx, ino.ino)
+	defer h.Unlock(ctx)
 	ino.mu.Lock()
 	defer ino.mu.Unlock()
 
@@ -658,8 +748,8 @@ func (f *File) Fallocate(ctx *sim.Ctx, off, n int64) error {
 	}
 	fs := f.fs
 	ino := f.ino
-	fs.locks.Lock(ctx, ino.ino)
-	defer fs.locks.Unlock(ctx, ino.ino)
+	h := fs.locks.Lock(ctx, ino.ino)
+	defer h.Unlock(ctx)
 	ino.mu.Lock()
 	defer ino.mu.Unlock()
 
@@ -737,8 +827,8 @@ func (fs *FS) SetPathXattr(ctx *sim.Ctx, path, name string, value []byte) error 
 	if err != nil {
 		return err
 	}
-	fs.locks.Lock(ctx, ino.ino)
-	defer fs.locks.Unlock(ctx, ino.ino)
+	h := fs.locks.Lock(ctx, ino.ino)
+	defer h.Unlock(ctx)
 	ino.mu.Lock()
 	defer ino.mu.Unlock()
 	tx := fs.begin(ctx)
@@ -764,8 +854,8 @@ func (f *File) SetXattr(ctx *sim.Ctx, name string, value []byte) error {
 	}
 	fs := f.fs
 	ino := f.ino
-	fs.locks.Lock(ctx, ino.ino)
-	defer fs.locks.Unlock(ctx, ino.ino)
+	h := fs.locks.Lock(ctx, ino.ino)
+	defer h.Unlock(ctx)
 	ino.mu.Lock()
 	defer ino.mu.Unlock()
 	tx := fs.begin(ctx)
@@ -785,6 +875,8 @@ func (f *File) GetXattr(ctx *sim.Ctx, name string) ([]byte, bool) {
 	if name != vfs.XattrAligned {
 		return nil, false
 	}
+	h := f.fs.locks.RLock(ctx, f.ino.ino)
+	defer h.Unlock(ctx)
 	f.ino.mu.RLock()
 	defer f.ino.mu.RUnlock()
 	if f.ino.flags&flagAligned != 0 {
@@ -838,8 +930,8 @@ func (f *File) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
 	if err := fs.writable(); err != nil {
 		return mmu.FaultResult{}, err
 	}
-	fs.locks.Lock(ctx, ino.ino)
-	defer fs.locks.Unlock(ctx, ino.ino)
+	h := fs.locks.Lock(ctx, ino.ino)
+	defer h.Unlock(ctx)
 	ino.mu.Lock()
 	defer ino.mu.Unlock()
 

@@ -57,8 +57,9 @@ type FS struct {
 	nextTxID uint64
 	locks    *vfs.LockTable
 
-	mu     sync.RWMutex // protects the inode map and namespace topology
-	inodes map[uint64]*inode
+	// shards hold the DRAM inode map, sharded by owning per-CPU inode
+	// table (shard.go).
+	shards []*inodeShard
 
 	numaOn        bool
 	homeMu        sync.Mutex
@@ -208,7 +209,6 @@ func Mkfs(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 		mode:          opts.Mode,
 		g:             makeGeometry(dev.Size()/BlockSize, opts.CPUs, opts.InodesPerCPU),
 		locks:         vfs.NewLockTable(),
-		inodes:        make(map[uint64]*inode),
 		numaOn:        opts.NUMAAware && dev.Nodes() > 1,
 		homes:         make(map[int]int),
 		singleJournal: opts.AblateSingleJournal,
@@ -216,6 +216,7 @@ func Mkfs(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 	if fs.g.poolBlocks <= 0 {
 		return nil, fmt.Errorf("winefs: device too small (%d blocks)", fs.g.totalBlocks)
 	}
+	fs.shards = newShards(fs.g.cpus)
 	fs.alloc = newAllocator(fs)
 	fs.alloc.noAlignment = opts.AblateAlignment
 	fs.alloc.initEmpty()
@@ -231,7 +232,7 @@ func Mkfs(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 	fs.initInodeFree()
 	// Root directory: ino 1 (CPU 0, slot 0).
 	root := &inode{fs: fs, ino: 1, typ: typeDir, nlink: 2, dir: newDirIndex()}
-	fs.inodes[1] = root
+	fs.putInode(root)
 	fs.removeFreeIno(0, 0)
 	fs.persistInodeRaw(ctx, root)
 	fs.writeSuper(ctx, false)
@@ -464,12 +465,6 @@ func (m *mtx) abort() {
 
 // --- path resolution -------------------------------------------------------
 
-func (fs *FS) getInode(ino uint64) *inode {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.inodes[ino]
-}
-
 // resolve walks path to its inode, charging one DRAM index lookup per
 // component.
 func (fs *FS) resolve(ctx *sim.Ctx, path string) (*inode, error) {
@@ -609,8 +604,8 @@ func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs.locks.Lock(ctx, parent.ino)
-	defer fs.locks.Unlock(ctx, parent.ino)
+	h := fs.locks.Lock(ctx, parent.ino)
+	defer h.Unlock(ctx)
 
 	parent.mu.Lock()
 	if de, ok := parent.dir.tree.Get(name); ok {
@@ -655,9 +650,7 @@ func (fs *FS) Create(ctx *sim.Ctx, path string) (vfs.File, error) {
 	parent.mu.Unlock()
 	tx.commit()
 
-	fs.mu.Lock()
-	fs.inodes[inoNum] = child
-	fs.mu.Unlock()
+	fs.putInode(child)
 	return &File{fs: fs, ino: child}, nil
 }
 
@@ -684,8 +677,8 @@ func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
 	if err != nil {
 		return err
 	}
-	fs.locks.Lock(ctx, parent.ino)
-	defer fs.locks.Unlock(ctx, parent.ino)
+	h := fs.locks.Lock(ctx, parent.ino)
+	defer h.Unlock(ctx)
 
 	parent.mu.Lock()
 	if _, ok := parent.dir.tree.Get(name); ok {
@@ -724,9 +717,7 @@ func (fs *FS) Mkdir(ctx *sim.Ctx, path string) error {
 	parent.mu.Unlock()
 	tx.commit()
 
-	fs.mu.Lock()
-	fs.inodes[inoNum] = child
-	fs.mu.Unlock()
+	fs.putInode(child)
 	return nil
 }
 
@@ -740,8 +731,8 @@ func (fs *FS) Unlink(ctx *sim.Ctx, path string) error {
 	if err != nil {
 		return err
 	}
-	fs.locks.Lock(ctx, parent.ino)
-	defer fs.locks.Unlock(ctx, parent.ino)
+	h := fs.locks.Lock(ctx, parent.ino)
+	defer h.Unlock(ctx)
 
 	parent.mu.Lock()
 	de, ok := parent.dir.tree.Get(name)
@@ -756,8 +747,8 @@ func (fs *FS) Unlink(ctx *sim.Ctx, path string) error {
 	if target.typNow() == typeDir {
 		return vfs.ErrIsDir
 	}
-	fs.locks.Lock(ctx, target.ino)
-	defer fs.locks.Unlock(ctx, target.ino)
+	ht := fs.locks.Lock(ctx, target.ino)
+	defer ht.Unlock(ctx)
 
 	tx := fs.begin(ctx)
 	if err := fs.clearDirent(ctx, tx, de.addr); err != nil {
@@ -807,13 +798,12 @@ func (fs *FS) destroyInode(ctx *sim.Ctx, ino *inode) {
 	for _, blk := range indirect {
 		fs.alloc.free(ctx, alloc.Extent{Start: blk, Len: 1})
 	}
-	fs.mu.Lock()
-	delete(fs.inodes, ino.ino)
-	fs.mu.Unlock()
+	fs.delInode(ino.ino)
 	fs.freeIno(ino.ino)
-	// The lock-table entry is left in place: callers still hold the inode
-	// lock at this point, and a reused inode number simply inherits the
-	// (by then released) resource.
+	// Callers still hold the inode lock at this point (their handle pins
+	// the lock object); Drop means a reused inode number starts with a
+	// fresh lock instead of inheriting this one's calendar.
+	fs.locks.Drop(ino.ino)
 }
 
 // Rmdir implements vfs.FS.
@@ -826,8 +816,8 @@ func (fs *FS) Rmdir(ctx *sim.Ctx, path string) error {
 	if err != nil {
 		return err
 	}
-	fs.locks.Lock(ctx, parent.ino)
-	defer fs.locks.Unlock(ctx, parent.ino)
+	h := fs.locks.Lock(ctx, parent.ino)
+	defer h.Unlock(ctx)
 
 	parent.mu.Lock()
 	de, ok := parent.dir.tree.Get(name)
@@ -897,15 +887,16 @@ func (fs *FS) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
 	if first.ino > second.ino {
 		first, second = second, first
 	}
-	fs.locks.Lock(ctx, first.ino)
+	h1 := fs.locks.Lock(ctx, first.ino)
+	var h2 *vfs.LockHandle
 	if second.ino != first.ino {
-		fs.locks.Lock(ctx, second.ino)
+		h2 = fs.locks.Lock(ctx, second.ino)
 	}
 	defer func() {
-		if second.ino != first.ino {
-			fs.locks.Unlock(ctx, second.ino)
+		if h2 != nil {
+			h2.Unlock(ctx)
 		}
-		fs.locks.Unlock(ctx, first.ino)
+		h1.Unlock(ctx)
 	}()
 
 	oldParent.mu.Lock()
@@ -993,6 +984,8 @@ func (fs *FS) Stat(ctx *sim.Ctx, path string) (vfs.FileInfo, error) {
 	if err != nil {
 		return vfs.FileInfo{}, err
 	}
+	h := fs.locks.RLock(ctx, ino.ino)
+	defer h.Unlock(ctx)
 	ino.mu.RLock()
 	defer ino.mu.RUnlock()
 	return vfs.FileInfo{
@@ -1010,9 +1003,11 @@ func (fs *FS) ReadDir(ctx *sim.Ctx, path string) ([]vfs.DirEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if dir.typ != typeDir {
+	if dir.typNow() != typeDir {
 		return nil, vfs.ErrNotDir
 	}
+	h := fs.locks.RLock(ctx, dir.ino)
+	defer h.Unlock(ctx)
 	dir.mu.RLock()
 	defer dir.mu.RUnlock()
 	var out []vfs.DirEntry
@@ -1029,9 +1024,7 @@ func (fs *FS) ReadDir(ctx *sim.Ctx, path string) ([]vfs.DirEntry, error) {
 // StatFS implements vfs.FS.
 func (fs *FS) StatFS(ctx *sim.Ctx) vfs.StatFS {
 	freeBlocks, alignedExtents := fs.alloc.stats()
-	fs.mu.RLock()
-	files := int64(len(fs.inodes))
-	fs.mu.RUnlock()
+	files := int64(fs.inodeCount())
 	return vfs.StatFS{
 		TotalBlocks:   fs.g.poolBlocks * int64(fs.g.cpus),
 		FreeBlocks:    freeBlocks,

@@ -35,10 +35,10 @@ func Mount(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 		mode:   opts.Mode,
 		g:      makeGeometry(sb.totalBlocks, int(sb.cpus), sb.inodesPerCPU),
 		locks:  vfs.NewLockTable(),
-		inodes: make(map[uint64]*inode),
 		numaOn: opts.NUMAAware && dev.Nodes() > 1,
 		homes:  make(map[int]int),
 	}
+	fs.shards = newShards(fs.g.cpus)
 	fs.nextTxID = sb.nextTxID
 	fs.alloc = newAllocator(fs)
 	for c := 0; c < fs.g.cpus; c++ {
@@ -146,7 +146,7 @@ func (fs *FS) rebuildFromScan(ctx *sim.Ctx, rebuildFree bool) {
 					fs.alloc.markUsed(blk, 1)
 				}
 			}
-			fs.inodes[inoNum] = ino
+			fs.putInode(ino)
 		}
 		if cpuCost > maxCPUCost {
 			maxCPUCost = cpuCost
@@ -156,17 +156,17 @@ func (fs *FS) rebuildFromScan(ctx *sim.Ctx, rebuildFree bool) {
 	ctx.AdvanceTo(start + maxCPUCost)
 
 	// Second pass: rebuild directory indexes from dirent blocks.
-	for _, ino := range fs.inodes {
+	for _, ino := range fs.snapshotInodes() {
 		if ino.typ != typeDir {
 			continue
 		}
 		fs.loadDirIndex(ctx, ino)
 	}
-	if fs.inodes[1] == nil {
+	if fs.getInode(1) == nil {
 		// A formatted FS always has a root; restore a fresh one if the
 		// image predates any successful create (defensive).
 		root := &inode{fs: fs, ino: 1, typ: typeDir, nlink: 2, dir: newDirIndex()}
-		fs.inodes[1] = root
+		fs.putInode(root)
 		fs.removeFreeIno(0, 0)
 	}
 }
@@ -260,7 +260,7 @@ func (fs *FS) loadDirIndex(ctx *sim.Ctx, dir *inode) {
 					dir.dir.freeSlots = append(dir.dir.freeSlots, addr)
 					continue
 				}
-				if fs.inodes[ino] == nil {
+				if fs.getInode(ino) == nil {
 					// Dangling entry (target rolled back): treat as free.
 					dir.dir.freeSlots = append(dir.dir.freeSlots, addr)
 					continue
@@ -287,8 +287,15 @@ func (fs *FS) saveFreeState(ctx *sim.Ctx) {
 	}
 	u64(freeStateMagic)
 	u64(uint64(fs.g.cpus))
+	// Hold every group lock at once (acquired in index order; group locks
+	// are never nested elsewhere, so this cannot deadlock): a serialised
+	// state that mixes a group's pre-move view with its neighbour's
+	// post-move view would double-count or leak the moved blocks on the
+	// next clean mount.
 	for _, g := range fs.alloc.groups {
 		g.mu.Lock()
+	}
+	for _, g := range fs.alloc.groups {
 		u64(uint64(len(g.aligned)))
 		for _, b := range g.aligned {
 			u64(uint64(b))
@@ -304,7 +311,9 @@ func (fs *FS) saveFreeState(ctx *sim.Ctx) {
 			u64(uint64(h.s))
 			u64(uint64(h.l))
 		}
-		g.mu.Unlock()
+	}
+	for i := len(fs.alloc.groups) - 1; i >= 0; i-- {
+		fs.alloc.groups[i].mu.Unlock()
 	}
 	area := fs.g.unmountStart * BlockSize
 	limit := fs.g.unmountBlocks * BlockSize
@@ -385,7 +394,5 @@ func (fs *FS) loadFreeState(ctx *sim.Ctx) bool {
 // FilesCount reports the number of live inodes (tests / recovery
 // experiment).
 func (fs *FS) FilesCount() int {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return len(fs.inodes)
+	return fs.inodeCount()
 }

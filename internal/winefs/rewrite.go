@@ -85,8 +85,8 @@ func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
 	if fs.writable() != nil {
 		return false
 	}
-	fs.locks.Lock(ctx, ino.ino)
-	defer fs.locks.Unlock(ctx, ino.ino)
+	h := fs.locks.Lock(ctx, ino.ino)
+	defer h.Unlock(ctx)
 	ino.mu.Lock()
 	defer ino.mu.Unlock()
 	if ino.typ != typeFile || ino.size < mmu.HugePage {

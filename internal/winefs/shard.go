@@ -1,0 +1,88 @@
+package winefs
+
+import "sync"
+
+// The DRAM inode map is sharded by owning per-CPU inode table: inode
+// numbers are dense per CPU group (layout.go inoFor/cpuOfIno), so keying
+// shards by cpuOfIno gives namespace traffic on different CPU groups its
+// own map lock — the same reasoning that gives each group its own journal
+// and allocator. A single global map lock was the last global
+// serialisation point on the namespace hot path.
+type inodeShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*inode
+}
+
+func newShards(cpus int) []*inodeShard {
+	shards := make([]*inodeShard, cpus)
+	for i := range shards {
+		shards[i] = &inodeShard{m: make(map[uint64]*inode)}
+	}
+	return shards
+}
+
+func (fs *FS) shardOf(ino uint64) *inodeShard {
+	return fs.shards[fs.g.cpuOfIno(ino)]
+}
+
+func (fs *FS) getInode(ino uint64) *inode {
+	sh := fs.shardOf(ino)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.m[ino]
+}
+
+func (fs *FS) putInode(ino *inode) {
+	sh := fs.shardOf(ino.ino)
+	sh.mu.Lock()
+	sh.m[ino.ino] = ino
+	sh.mu.Unlock()
+}
+
+func (fs *FS) delInode(ino uint64) {
+	sh := fs.shardOf(ino)
+	sh.mu.Lock()
+	delete(sh.m, ino)
+	sh.mu.Unlock()
+}
+
+// snapshotInodes returns a coherent snapshot of every live inode: all
+// shard locks are held simultaneously (acquired in index order, so this
+// cannot deadlock against another snapshot), preventing a concurrent
+// create-on-shard-A/delete-on-shard-B from appearing half-applied. Audit's
+// tiling phase and the unmount serialisation depend on this — a torn
+// snapshot reads as a block leak.
+func (fs *FS) snapshotInodes() []*inode {
+	for _, sh := range fs.shards {
+		sh.mu.RLock()
+	}
+	var n int
+	for _, sh := range fs.shards {
+		n += len(sh.m)
+	}
+	out := make([]*inode, 0, n)
+	for _, sh := range fs.shards {
+		for _, ino := range sh.m {
+			out = append(out, ino)
+		}
+	}
+	for i := len(fs.shards) - 1; i >= 0; i-- {
+		fs.shards[i].mu.RUnlock()
+	}
+	return out
+}
+
+// inodeCount reports the number of live inodes, coherently across shards.
+func (fs *FS) inodeCount() int {
+	for _, sh := range fs.shards {
+		sh.mu.RLock()
+	}
+	var n int
+	for _, sh := range fs.shards {
+		n += len(sh.m)
+	}
+	for i := len(fs.shards) - 1; i >= 0; i-- {
+		fs.shards[i].mu.RUnlock()
+	}
+	return n
+}

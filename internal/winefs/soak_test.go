@@ -3,6 +3,7 @@ package winefs_test
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/geriatrix"
@@ -101,6 +102,11 @@ func TestSoakLifecycle(t *testing.T) {
 		}
 
 		// Phase 5: clean unmount + remount; continue on the new instance.
+		// saveFreeState serialises the allocator from a snapshot taken with
+		// every group locked at once; the free-extent list must round-trip
+		// through the unmount record exactly — a torn snapshot would leak
+		// or double-count blocks here.
+		freeBefore := rfs.FreeExtents()
 		if err := rfs.Unmount(rctx); err != nil {
 			t.Fatal(err)
 		}
@@ -108,6 +114,10 @@ func TestSoakLifecycle(t *testing.T) {
 		fs, err = winefs.Mount(cctx, dev, winefs.Options{CPUs: 4})
 		if err != nil {
 			t.Fatal(err)
+		}
+		if freeAfter := fs.FreeExtents(); !reflect.DeepEqual(freeBefore, freeAfter) {
+			t.Fatalf("cycle %d: free space changed across unmount/remount: %d extents before, %d after",
+				cycle, len(freeBefore), len(freeAfter))
 		}
 		ctx = cctx
 		// Re-bind the ager to the fresh instance: recreate its view by

@@ -1,0 +1,279 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// fxmark-style scalability microbenchmarks: each case stresses one sharing
+// level of the concurrency architecture, so throughput vs thread count
+// shows which layer serialises. The cases mirror fxmark's (ATC'16)
+// taxonomy on the operations WineFS cares about:
+//
+//	shared-read     N threads read random blocks of one shared file.
+//	                Shared inode locks — must scale to bandwidth.
+//	disjoint-write  N threads overwrite disjoint 2MiB regions of one
+//	                preallocated shared file. Byte-range locks — must
+//	                scale to bandwidth.
+//	overlap-write   N threads overwrite the same 4KiB of one file.
+//	                Conflicting ranges — must serialise.
+//	private-append  each thread appends to its own file. Per-CPU
+//	                journals and allocation groups — must scale.
+//	meta-contended  N threads create+unlink in one shared directory.
+//	                Exclusive parent-inode lock — serialises by design.
+//
+// Every thread must run with a distinct (id, CPU) ctx; with one thread per
+// CPU group the work performed — ops, bytes, journal commits — is exactly
+// reproducible, which is what lets BENCH_scaling.json gate on exact work
+// counters.
+
+// FxmarkCase names one scalability microbenchmark.
+type FxmarkCase string
+
+const (
+	FxSharedRead    FxmarkCase = "shared-read"
+	FxDisjointWrite FxmarkCase = "disjoint-write"
+	FxOverlapWrite  FxmarkCase = "overlap-write"
+	FxPrivateAppend FxmarkCase = "private-append"
+	FxMetaContended FxmarkCase = "meta-contended"
+)
+
+// FxmarkCases lists every case in report order.
+func FxmarkCases() []FxmarkCase {
+	return []FxmarkCase{FxSharedRead, FxDisjointWrite, FxOverlapWrite, FxPrivateAppend, FxMetaContended}
+}
+
+const (
+	// fxIO is the I/O unit.
+	fxIO = 4096
+	// fxRegion is each thread's slice of the shared file. 2MiB keeps the
+	// preallocation on the aligned-extent path, so strict-mode overwrites
+	// take the data-journal (in-place, range-locked) fast path rather
+	// than copy-on-write.
+	fxRegion = int64(2 << 20)
+)
+
+// FxmarkConfig sizes one thread's loop.
+type FxmarkConfig struct {
+	// Ops is the number of loop iterations per thread.
+	Ops  int
+	Seed uint64
+}
+
+func (c *FxmarkConfig) defaults() {
+	if c.Ops == 0 {
+		c.Ops = 100
+	}
+}
+
+// FxmarkThreadResult reports one thread's run.
+type FxmarkThreadResult struct {
+	// Ops counts completed file-system operations (syscalls).
+	Ops int64
+	// Bytes counts payload bytes read or written.
+	Bytes int64
+	// VirtualNS is the thread's virtual time from first to last op.
+	VirtualNS int64
+}
+
+// fxPattern fills p with the byte stream the shared file holds at absolute
+// offset off, so any reader can verify any block without knowing who wrote
+// it.
+func fxPattern(p []byte, off int64) {
+	for j := range p {
+		x := off + int64(j)
+		p[j] = byte(x*131>>4 + x + 7)
+	}
+}
+
+// FxmarkSetup prepares the namespace for one case, single-threaded: the
+// shared file is preallocated and patterned region by region, the shared
+// directory pre-grown so the measured loops never allocate dirent blocks
+// (keeping run-phase work counters independent of thread interleaving).
+func FxmarkSetup(ctx *sim.Ctx, fs vfs.FS, c FxmarkCase, threads int, cfg FxmarkConfig) error {
+	cfg.defaults()
+	if err := fs.Mkdir(ctx, "/fx"); err != nil && err != vfs.ErrExist {
+		return fmt.Errorf("fxmark setup: mkdir /fx: %w", err)
+	}
+	switch c {
+	case FxSharedRead, FxDisjointWrite, FxOverlapWrite:
+		f, err := fs.Create(ctx, "/fx/shared")
+		if err != nil {
+			return fmt.Errorf("fxmark setup: create shared: %w", err)
+		}
+		size := int64(threads) * fxRegion
+		if err := f.Fallocate(ctx, 0, size); err != nil {
+			return fmt.Errorf("fxmark setup: fallocate: %w", err)
+		}
+		buf := make([]byte, fxRegion)
+		for off := int64(0); off < size; off += fxRegion {
+			fxPattern(buf, off)
+			if _, err := f.WriteAt(ctx, buf, off); err != nil {
+				return fmt.Errorf("fxmark setup: pattern at %d: %w", off, err)
+			}
+		}
+		if err := f.Close(ctx); err != nil {
+			return err
+		}
+	case FxMetaContended:
+		if err := fs.Mkdir(ctx, "/fx/meta"); err != nil && err != vfs.ErrExist {
+			return fmt.Errorf("fxmark setup: mkdir /fx/meta: %w", err)
+		}
+		// Seed the directory's free dirent slots so the measured
+		// create/unlink churn (at most `threads` live entries) never grows
+		// the directory mid-run.
+		for i := 0; i < 2*threads; i++ {
+			name := fmt.Sprintf("/fx/meta/seed%04d", i)
+			f, err := fs.Create(ctx, name)
+			if err != nil {
+				return fmt.Errorf("fxmark setup: seed create: %w", err)
+			}
+			if err := f.Close(ctx); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 2*threads; i++ {
+			if err := fs.Unlink(ctx, fmt.Sprintf("/fx/meta/seed%04d", i)); err != nil {
+				return fmt.Errorf("fxmark setup: seed unlink: %w", err)
+			}
+		}
+	case FxPrivateAppend:
+		// Threads create their own files.
+	}
+	return nil
+}
+
+// FxmarkThread runs one thread's loop. Threads for a run share fs and run
+// concurrently, each with its own ctx.
+func FxmarkThread(ctx *sim.Ctx, fs vfs.FS, thread int, c FxmarkCase, threads int, cfg FxmarkConfig) (FxmarkThreadResult, error) {
+	cfg.defaults()
+	var res FxmarkThreadResult
+	start := ctx.Now()
+	rng := sim.NewRand(cfg.Seed + uint64(thread)*2654435761 + 11)
+
+	switch c {
+	case FxSharedRead:
+		f, err := fs.Open(ctx, "/fx/shared")
+		if err != nil {
+			return res, fmt.Errorf("fxmark %s: open: %w", c, err)
+		}
+		res.Ops++
+		size := int64(threads) * fxRegion
+		buf := make([]byte, fxIO)
+		want := make([]byte, fxIO)
+		for i := 0; i < cfg.Ops; i++ {
+			off := rng.Int63n(size/fxIO) * fxIO
+			n, err := f.ReadAt(ctx, buf, off)
+			if err != nil || n != fxIO {
+				return res, fmt.Errorf("fxmark %s: read at %d: %d bytes, %w", c, off, n, err)
+			}
+			res.Ops++
+			res.Bytes += int64(n)
+			fxPattern(want, off)
+			if !bytes.Equal(buf, want) {
+				return res, fmt.Errorf("fxmark %s: corrupt read at %d", c, off)
+			}
+		}
+		res.Ops++ // close
+		if err := f.Close(ctx); err != nil {
+			return res, err
+		}
+
+	case FxDisjointWrite, FxOverlapWrite:
+		f, err := fs.Open(ctx, "/fx/shared")
+		if err != nil {
+			return res, fmt.Errorf("fxmark %s: open: %w", c, err)
+		}
+		res.Ops++
+		base := int64(thread) * fxRegion
+		if c == FxOverlapWrite {
+			base = 0 // every thread hammers the same 4KiB
+		}
+		buf := make([]byte, fxIO)
+		for i := 0; i < cfg.Ops; i++ {
+			off := base
+			if c == FxDisjointWrite {
+				off = base + int64(i)*fxIO%fxRegion
+			}
+			fxPattern(buf, off)
+			n, err := f.WriteAt(ctx, buf, off)
+			if err != nil || n != fxIO {
+				return res, fmt.Errorf("fxmark %s: write at %d: %d bytes, %w", c, off, n, err)
+			}
+			res.Ops++
+			res.Bytes += int64(n)
+			if c == FxDisjointWrite && i%16 == 15 {
+				// Read back our own region: nobody else writes it, so the
+				// pattern must round-trip even mid-run.
+				rbuf := make([]byte, fxIO)
+				if n, err := f.ReadAt(ctx, rbuf, off); err != nil || n != fxIO {
+					return res, fmt.Errorf("fxmark %s: verify read at %d: %w", c, off, err)
+				}
+				res.Ops++
+				res.Bytes += fxIO
+				if !bytes.Equal(rbuf, buf) {
+					return res, fmt.Errorf("fxmark %s: corrupt readback at %d", c, off)
+				}
+			}
+		}
+		res.Ops++
+		if err := f.Close(ctx); err != nil {
+			return res, err
+		}
+
+	case FxPrivateAppend:
+		name := fmt.Sprintf("/fx/p%03d", thread)
+		f, err := fs.Create(ctx, name)
+		if err != nil {
+			return res, fmt.Errorf("fxmark %s: create: %w", c, err)
+		}
+		res.Ops++
+		buf := make([]byte, fxIO)
+		for i := 0; i < cfg.Ops; i++ {
+			fxPattern(buf, int64(thread)<<32+int64(i)*fxIO)
+			n, err := f.Append(ctx, buf)
+			if err != nil || n != fxIO {
+				return res, fmt.Errorf("fxmark %s: append %d: %w", c, i, err)
+			}
+			res.Ops++
+			res.Bytes += int64(n)
+			if i%8 == 7 {
+				if err := f.Fsync(ctx); err != nil {
+					return res, fmt.Errorf("fxmark %s: fsync: %w", c, err)
+				}
+				res.Ops++
+			}
+		}
+		res.Ops++
+		if err := f.Close(ctx); err != nil {
+			return res, err
+		}
+
+	case FxMetaContended:
+		for i := 0; i < cfg.Ops; i++ {
+			name := fmt.Sprintf("/fx/meta/t%02d_%05d", thread, i)
+			f, err := fs.Create(ctx, name)
+			if err != nil {
+				return res, fmt.Errorf("fxmark %s: create %s: %w", c, name, err)
+			}
+			res.Ops++
+			if err := f.Close(ctx); err != nil {
+				return res, err
+			}
+			res.Ops++
+			if err := fs.Unlink(ctx, name); err != nil {
+				return res, fmt.Errorf("fxmark %s: unlink %s: %w", c, name, err)
+			}
+			res.Ops++
+		}
+
+	default:
+		return res, fmt.Errorf("fxmark: unknown case %q", c)
+	}
+
+	res.VirtualNS = ctx.Now() - start
+	return res, nil
+}

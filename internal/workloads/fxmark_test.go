@@ -1,0 +1,89 @@
+package workloads_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+	"repro/internal/workloads"
+)
+
+// runFxmark boots a fresh strict-mode FS, runs one fxmark case at the
+// given thread count (thread t pinned to CPU t, clocks aligned to the
+// setup frontier), and returns the slowest thread's virtual span.
+func runFxmark(t *testing.T, c workloads.FxmarkCase, threads int) int64 {
+	t.Helper()
+	const cpus = 8
+	dev := pmem.New(1 << 30)
+	setup := sim.NewCtx(1, 0)
+	fs, err := winefs.Mkfs(setup, dev, winefs.Options{CPUs: cpus, Mode: vfs.Strict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workloads.FxmarkConfig{Ops: 64, Seed: 7}
+	if err := workloads.FxmarkSetup(setup, fs, c, threads, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	spans := make([]int64, threads)
+	errs := make([]error, threads)
+	for w := 0; w < threads; w++ {
+		ctx := sim.NewCtx(100+w, w%cpus)
+		ctx.AdvanceTo(setup.Now())
+		wg.Add(1)
+		go func(w int, ctx *sim.Ctx) {
+			defer wg.Done()
+			res, err := workloads.FxmarkThread(ctx, fs, w, c, threads, cfg)
+			spans[w], errs[w] = res.VirtualNS, err
+		}(w, ctx)
+	}
+	wg.Wait()
+	var span int64
+	for w := 0; w < threads; w++ {
+		if errs[w] != nil {
+			t.Fatalf("%s thread %d: %v", c, w, errs[w])
+		}
+		if spans[w] > span {
+			span = spans[w]
+		}
+	}
+	return span
+}
+
+// TestFxmarkScalingShape is the acceptance guard for the concurrency
+// architecture, in test form: with 4 threads, shared reads and
+// disjoint-range writes must run concurrently in virtual time (span well
+// under 4x a single thread's), while overlapping writes to the same bytes
+// must serialise (span growing with thread count like the single-thread
+// span does). The committed BENCH_scaling.json tracks exact numbers; this
+// test only pins the qualitative shape so `go test` catches a
+// whole-inode-serialisation regression without the bench harness.
+func TestFxmarkScalingShape(t *testing.T) {
+	const threads = 4
+	for _, tc := range []struct {
+		c workloads.FxmarkCase
+		// maxRatio bounds span(threads)/span(1) for scaling cases;
+		// minRatio floors it for serialising cases.
+		maxRatio, minRatio float64
+	}{
+		{c: workloads.FxSharedRead, maxRatio: 2.0},
+		{c: workloads.FxDisjointWrite, maxRatio: 3.0},
+		{c: workloads.FxPrivateAppend, maxRatio: 3.0},
+		{c: workloads.FxOverlapWrite, minRatio: 3.0},
+	} {
+		one := runFxmark(t, tc.c, 1)
+		many := runFxmark(t, tc.c, threads)
+		ratio := float64(many) / float64(one)
+		if tc.maxRatio > 0 && ratio > tc.maxRatio {
+			t.Errorf("%s: span(%d)/span(1) = %.2f, want <= %.1f (threads are serialising)",
+				tc.c, threads, ratio, tc.maxRatio)
+		}
+		if tc.minRatio > 0 && ratio < tc.minRatio {
+			t.Errorf("%s: span(%d)/span(1) = %.2f, want >= %.1f (conflicting writes overlapped in virtual time)",
+				tc.c, threads, ratio, tc.minRatio)
+		}
+	}
+}
