@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet bench bench-json bench-scaling fault-campaign serve-smoke
+.PHONY: all build test check race vet bench bench-json bench-scaling bench-cache cache-race fault-campaign serve-smoke
 
 all: build
 
@@ -41,12 +41,27 @@ bench-json:
 bench-scaling:
 	$(GO) run ./cmd/winebench -scaling -check-against BENCH_scaling.json
 
+# Client page-cache effectiveness sweep: the CachedMix workload uncached
+# vs cached (internal/pagecache), hard-gated on the cached re-read phase
+# being ≥5x cheaper per read, and regression-checked against the committed
+# BENCH_cache.json (work counters and cache hit/miss counts exact, virtual
+# timings within tolerance). Refresh the baseline with
+# `go run ./cmd/winebench -cache -quick -clients 4 -json BENCH_cache.json`.
+bench-cache:
+	$(GO) run ./cmd/winebench -cache -quick -clients 4 -check-against BENCH_cache.json
+
+# The page-cache + lease coherence suite under the race detector,
+# including the 8-concurrent-session storm (TestCacheRace8Sessions).
+cache-race:
+	$(GO) test -race -run 'TestCache|TestLease|TestRevoke|TestTwoSession|TestHit|TestDirty|TestLRU|TestCanonical|TestDenied|TestClose' ./internal/pagecache/ ./internal/fileserver/
+
 # Boots winefsd on loopback TCP, drives a multi-client workload through
 # fileserver.Client, and verifies the stats endpoint (end-to-end server
 # smoke; also part of CI).
 serve-smoke:
 	$(GO) run ./cmd/winefsd -smoke
 
-# The ≥100-run media-fault campaign plus every poison/torn-write test.
+# The ≥100-run media-fault campaign plus every poison/torn-write test,
+# including the page-cache revoke-flush EIO path.
 fault-campaign:
-	$(GO) test -v -run 'TestFaultCampaign|TestRepair|TestDegraded|TestPoisoned|TestWraparound|TestTorn' ./internal/crashmonkey/ ./internal/winefs/ ./internal/pmem/
+	$(GO) test -v -run 'TestFaultCampaign|TestRepair|TestDegraded|TestPoisoned|TestWraparound|TestTorn' ./internal/crashmonkey/ ./internal/winefs/ ./internal/pmem/ ./internal/pagecache/

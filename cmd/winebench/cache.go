@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/fileserver"
+	"repro/internal/pagecache"
+	"repro/internal/perf"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+	"repro/internal/workloads"
+)
+
+// winebench -cache: the client-cache effectiveness sweep. The CachedMix
+// workload (populate, re-read rounds, in-place rewrite) runs twice on
+// identical fresh servers — once with bare fileserver clients, once with
+// each client wrapped in internal/pagecache — and the re-read phase's
+// virtual cost per read is compared. The acceptance gate is hard-coded:
+// the cached configuration must serve re-reads at least cacheMinSpeedup
+// times cheaper, on top of whatever the committed BENCH_cache.json
+// baseline pins.
+
+// cacheMinSpeedup is the required uncached/cached per-read cost ratio.
+const cacheMinSpeedup = 5.0
+
+// cacheVariant is one configuration's aggregate over all clients.
+type cacheVariant struct {
+	// Exactly reproducible work numbers.
+	Reads        int64
+	ReadBytes    int64
+	BytesWritten int64
+	ServerOps    int64
+	// Contention-derived virtual timings (tolerance-checked).
+	ReadNS        int64
+	PopulateNS    int64
+	RewriteNS     int64
+	ReadNSPerRead float64
+	// Counters merges the client threads' perf counters; the cache hit and
+	// miss counts in it are exactly reproducible.
+	HitRatio float64
+	Counters perf.Counters
+}
+
+// cacheReport is the machine-readable BENCH_cache.json schema.
+type cacheReport struct {
+	Bench       string // report schema tag, "cache/v1"
+	Clients     int
+	Files       int
+	FileKB      int
+	Rounds      int
+	CPUs        int
+	Seed        uint64
+	Uncached    cacheVariant
+	Cached      cacheVariant
+	ReadSpeedup float64 // uncached per-read cost / cached per-read cost
+}
+
+// runCacheBench runs both variants, prints the comparison, enforces the
+// speedup gate and optionally writes/checks the JSON report.
+func runCacheBench(clients, cpus int, quick bool, seed uint64, jsonOut, baseline string) error {
+	cfg := workloads.CachedMixConfig{Files: 24, FileKB: 8, Rounds: 3, Seed: seed}
+	if quick {
+		cfg.Files = 12
+	}
+	rep := cacheReport{
+		Bench: "cache/v1", Clients: clients, Files: cfg.Files, FileKB: cfg.FileKB,
+		Rounds: cfg.Rounds, CPUs: cpus, Seed: seed,
+	}
+	var err error
+	if rep.Uncached, err = runCacheVariant(false, clients, cpus, cfg); err != nil {
+		return fmt.Errorf("uncached: %w", err)
+	}
+	if rep.Cached, err = runCacheVariant(true, clients, cpus, cfg); err != nil {
+		return fmt.Errorf("cached: %w", err)
+	}
+	if rep.Cached.ReadNSPerRead > 0 {
+		rep.ReadSpeedup = rep.Uncached.ReadNSPerRead / rep.Cached.ReadNSPerRead
+	}
+
+	t := &experiments.Table{
+		Title: fmt.Sprintf("Client page cache: %d clients x %d files x %dKiB, %d re-read rounds",
+			clients, cfg.Files, cfg.FileKB, cfg.Rounds),
+		Header: []string{"metric", "uncached", "cached"},
+	}
+	row := func(name string, f func(v *cacheVariant) string) {
+		t.Rows = append(t.Rows, []string{name, f(&rep.Uncached), f(&rep.Cached)})
+	}
+	row("re-reads", func(v *cacheVariant) string { return fmt.Sprintf("%d", v.Reads) })
+	row("read cost", func(v *cacheVariant) string { return fmt.Sprintf("%.0fns/read", v.ReadNSPerRead) })
+	row("cache hit ratio", func(v *cacheVariant) string { return fmtHitRatio(&v.Counters) })
+	row("server ops", func(v *cacheVariant) string { return fmt.Sprintf("%d", v.ServerOps) })
+	row("flushed", func(v *cacheVariant) string { return fmt.Sprintf("%dB", v.Counters.CacheFlushBytes) })
+	t.Rows = append(t.Rows, []string{"re-read speedup", fmt.Sprintf("%.1fx", rep.ReadSpeedup), ""})
+	t.Print(os.Stdout)
+
+	if rep.ReadSpeedup < cacheMinSpeedup {
+		return fmt.Errorf("re-read speedup %.2fx below required %.1fx", rep.ReadSpeedup, cacheMinSpeedup)
+	}
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+		fmt.Printf("wrote cache report to %s\n", jsonOut)
+	}
+	if baseline != "" {
+		if err := checkCacheBaseline(rep, baseline); err != nil {
+			return fmt.Errorf("baseline %s: %w", baseline, err)
+		}
+		fmt.Printf("baseline check OK against %s\n", baseline)
+	}
+	return nil
+}
+
+// runCacheVariant boots a fresh strict-mode server over the in-memory
+// transport and fans out `clients` concurrent CachedMix clients, cached or
+// not.
+func runCacheVariant(cached bool, clients, cpus int, cfg workloads.CachedMixConfig) (cacheVariant, error) {
+	var v cacheVariant
+	dev := pmem.New(1 << 30)
+	ctx := sim.NewCtx(1, 0)
+	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: cpus, Mode: vfs.Strict})
+	if err != nil {
+		return v, fmt.Errorf("mkfs: %w", err)
+	}
+	srv := fileserver.New(fs, fileserver.Config{CPUs: cpus})
+	pl := fileserver.NewPipeListener()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(pl) }()
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	results := make([]workloads.CachedMixResult, clients)
+	ctxs := make([]*sim.Ctx, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := pl.Dial()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cl, err := fileserver.Dial(conn)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var target vfs.FS = cl
+			if cached {
+				target = pagecache.New(cl, pagecache.Config{})
+			}
+			ctxs[i] = sim.NewCtx(5000+i, i%cpus)
+			results[i], errs[i] = workloads.CachedMixClient(ctxs[i], target, i, cfg)
+			if errs[i] == nil {
+				errs[i] = target.Unmount(ctxs[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return v, fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+	srv.Shutdown()
+	if err := <-serveErr; err != nil {
+		return v, fmt.Errorf("serve: %w", err)
+	}
+
+	for i, r := range results {
+		v.Reads += r.Reads
+		v.ReadBytes += r.ReadBytes
+		v.BytesWritten += r.BytesWritten
+		if r.ReadNS > v.ReadNS {
+			v.ReadNS = r.ReadNS
+		}
+		if r.PopulateNS > v.PopulateNS {
+			v.PopulateNS = r.PopulateNS
+		}
+		if r.RewriteNS > v.RewriteNS {
+			v.RewriteNS = r.RewriteNS
+		}
+		v.Counters.Add(ctxs[i].Counters)
+	}
+	if v.Reads > 0 {
+		// Per-read cost uses the summed (not makespan) read time: clients
+		// are independent, so the mean per-read cost is what the cache
+		// changes.
+		var sumNS int64
+		for _, r := range results {
+			sumNS += r.ReadNS
+		}
+		v.ReadNSPerRead = float64(sumNS) / float64(v.Reads)
+	}
+	hits, misses := v.Counters.CacheHits, v.Counters.CacheMisses
+	if hits+misses > 0 {
+		v.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	v.ServerOps = srv.Stats().Ops
+	return v, nil
+}
+
+// fmtHitRatio renders a counter set's cache hit ratio for human tables;
+// "-" when the run had no cache activity at all.
+func fmtHitRatio(c *perf.Counters) string {
+	total := c.CacheHits + c.CacheMisses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(c.CacheHits)/float64(total))
+}
+
+// checkCacheBaseline compares a finished sweep against the committed
+// BENCH_cache.json: configuration and work counters exact, virtual
+// timings within lockWaitTolerance.
+func checkCacheBaseline(rep cacheReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base cacheReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if rep.Bench != base.Bench || rep.Clients != base.Clients || rep.Files != base.Files ||
+		rep.FileKB != base.FileKB || rep.Rounds != base.Rounds || rep.CPUs != base.CPUs ||
+		rep.Seed != base.Seed {
+		return fmt.Errorf("configuration mismatch: run (%s %d clients x %d files x %dKiB x %d rounds, %d cpus, seed %d) vs baseline (%s %d x %d x %d x %d, %d cpus, seed %d)",
+			rep.Bench, rep.Clients, rep.Files, rep.FileKB, rep.Rounds, rep.CPUs, rep.Seed,
+			base.Bench, base.Clients, base.Files, base.FileKB, base.Rounds, base.CPUs, base.Seed)
+	}
+	var bad []string
+	exact := func(name string, got, want int64) {
+		if got != want {
+			bad = append(bad, fmt.Sprintf("%s = %d, baseline %d", name, got, want))
+		}
+	}
+	within := func(name string, got, want float64) {
+		if want == 0 && got == 0 {
+			return
+		}
+		if want == 0 || got < want*(1-lockWaitTolerance) || got > want*(1+lockWaitTolerance) {
+			bad = append(bad, fmt.Sprintf("%s = %g, baseline %g (>%.0f%% off)", name, got, want, lockWaitTolerance*100))
+		}
+	}
+	variant := func(name string, got, want *cacheVariant) {
+		exact(name+".Reads", got.Reads, want.Reads)
+		exact(name+".ReadBytes", got.ReadBytes, want.ReadBytes)
+		exact(name+".BytesWritten", got.BytesWritten, want.BytesWritten)
+		exact(name+".ServerOps", got.ServerOps, want.ServerOps)
+		within(name+".ReadNS", float64(got.ReadNS), float64(want.ReadNS))
+		within(name+".PopulateNS", float64(got.PopulateNS), float64(want.PopulateNS))
+		within(name+".RewriteNS", float64(got.RewriteNS), float64(want.RewriteNS))
+		within(name+".ReadNSPerRead", got.ReadNSPerRead, want.ReadNSPerRead)
+		gotFields, wantFields := got.Counters.Fields(), want.Counters.Fields()
+		for i, f := range gotFields {
+			if f.Name == "LockWaitNS" {
+				within(name+".Counters.LockWaitNS", float64(f.Value), float64(wantFields[i].Value))
+				continue
+			}
+			exact(name+".Counters."+f.Name, f.Value, wantFields[i].Value)
+		}
+	}
+	variant("Uncached", &rep.Uncached, &base.Uncached)
+	variant("Cached", &rep.Cached, &base.Cached)
+	within("ReadSpeedup", rep.ReadSpeedup, base.ReadSpeedup)
+	if len(bad) > 0 {
+		return fmt.Errorf("%d regressions:\n  %s", len(bad), strings.Join(bad, "\n  "))
+	}
+	return nil
+}

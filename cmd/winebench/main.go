@@ -7,6 +7,7 @@
 //	winebench -server [-clients N] [-server-ops N]
 //	          [-json FILE] [-trace FILE] [-metrics-out FILE]
 //	winebench -scaling [-scaling-ops N] [-json FILE] [-check-against FILE]
+//	winebench -cache [-clients N] [-json FILE] [-check-against FILE]
 //
 // -run selects experiments (comma-separated from: fig1 fig2 fig3 fig4 fig6
 // fig7 table2 fig8 fig9 fig10 recovery defrag hpc crashmonkey; default all).
@@ -30,6 +31,16 @@
 // -json writes the committable BENCH_scaling.json report; -check-against
 // regression-checks a run against one (work counters exact, contention
 // timings with tolerance).
+//
+// -cache runs the client page-cache effectiveness sweep instead: the
+// CachedMix workload (populate, re-read, rewrite-in-place) runs once with
+// bare clients and once with every client wrapped in internal/pagecache,
+// and the re-read phase's virtual cost per read is compared. The run
+// fails unless the cached configuration is at least 5x cheaper per
+// re-read. -json writes the committable BENCH_cache.json report;
+// -check-against regression-checks a run against one. In -server mode the
+// -cached flag wraps each client in the page cache too (incompatible with
+// -check-against, since the committed server baseline is uncached).
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fileserver"
 	"repro/internal/metrics"
+	"repro/internal/pagecache"
 	"repro/internal/perf"
 	"repro/internal/pmem"
 	"repro/internal/sim"
@@ -61,6 +73,8 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment list")
 	server := flag.Bool("server", false, "run the serving-throughput baseline and exit")
 	scaling := flag.Bool("scaling", false, "run the fxmark-style scalability suite and exit")
+	cache := flag.Bool("cache", false, "run the client page-cache effectiveness sweep and exit")
+	cached := flag.Bool("cached", false, "-server: wrap every client in the internal/pagecache client cache")
 	scalingOps := flag.Int("scaling-ops", 0, "loop iterations per thread in -scaling mode (0 = 200, 64 with -quick)")
 	clients := flag.Int("clients", 8, "concurrent clients in -server mode")
 	serverOps := flag.Int("server-ops", 0, "loop iterations per client in -server mode (0 = 200, 50 with -quick)")
@@ -70,6 +84,13 @@ func main() {
 	baseline := flag.String("check-against", "", "-server: compare the run against this BENCH report and fail on regression")
 	flag.Parse()
 
+	if *cache {
+		if err := runCacheBench(*clients, *cpus, *quick, *seed, *jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "winebench: cache: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *scaling {
 		if err := runScalingBench(*scalingOps, *quick, *seed, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: scaling: %v\n", err)
@@ -79,7 +100,7 @@ func main() {
 	}
 	if *server {
 		out := benchOutputs{JSON: *jsonOut, Trace: *traceOut, Metrics: *metricsOut, Baseline: *baseline}
-		if err := runServerBench(*clients, *cpus, *size, *serverOps, *quick, *seed, out); err != nil {
+		if err := runServerBench(*clients, *cpus, *size, *serverOps, *quick, *cached, *seed, out); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: server: %v\n", err)
 			os.Exit(1)
 		}
@@ -342,13 +363,20 @@ type benchReport struct {
 	OpsPerSec float64
 	Latency   perf.LatencySummary
 	Counters  perf.Counters
+	// ClientCounters merges the client threads' perf counters; with -cached
+	// this is where the page-cache hit/miss/flush activity lands. It is not
+	// baseline-checked.
+	ClientCounters perf.Counters
 }
 
 // runServerBench is winebench -server: the serving-throughput baseline.
 // It boots one server over the in-memory transport, fans out `clients`
 // concurrent ServerMix clients, and reports virtual ops/s plus the merged
 // latency digest — the numbers ROADMAP's serving milestone tracks.
-func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uint64, out benchOutputs) error {
+func runServerBench(clients, cpus int, size int64, ops int, quick, cached bool, seed uint64, out benchOutputs) error {
+	if cached && out.Baseline != "" {
+		return fmt.Errorf("-cached changes the op mix seen by the server; it cannot be combined with -check-against")
+	}
 	if ops <= 0 {
 		ops = 200
 		if quick {
@@ -381,6 +409,7 @@ func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uin
 	var wg sync.WaitGroup
 	errs := make([]error, clients)
 	results := make([]workloads.ServerMixResult, clients)
+	ctxs := make([]*sim.Ctx, clients)
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -395,11 +424,16 @@ func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uin
 				errs[i] = err
 				return
 			}
+			var target vfs.FS = cl
+			if cached {
+				target = pagecache.New(cl, pagecache.Config{})
+			}
 			cctx := sim.NewCtx(5000+i, i%cpus)
-			results[i], errs[i] = workloads.ServerMixClient(cctx, cl, i,
+			ctxs[i] = cctx
+			results[i], errs[i] = workloads.ServerMixClient(cctx, target, i,
 				workloads.ServerMixConfig{Ops: ops, Seed: seed})
 			if errs[i] == nil {
-				errs[i] = cl.Unmount(cctx)
+				errs[i] = target.Unmount(cctx)
 			}
 		}(i)
 	}
@@ -422,12 +456,14 @@ func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uin
 
 	var lat perf.Histogram
 	var totalOps, spanNS int64
-	for _, r := range results {
+	var clientCounters perf.Counters
+	for i, r := range results {
 		lat.Merge(&r.Lat)
 		totalOps += r.Ops
 		if r.VirtualNS > spanNS {
 			spanNS = r.VirtualNS
 		}
+		clientCounters.Add(ctxs[i].Counters)
 	}
 	opsPerSec := 0.0
 	if spanNS > 0 {
@@ -450,6 +486,7 @@ func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uin
 		[]string{"latency p99", fmt.Sprintf("%dns", sum.P99NS)},
 		[]string{"latency max", fmt.Sprintf("%dns", sum.MaxNS)},
 		[]string{"sessions", fmt.Sprintf("%d", st.TotalSessions)},
+		[]string{"cache hit ratio", fmtHitRatio(&clientCounters)},
 	)
 	t.Print(os.Stdout)
 
@@ -462,9 +499,10 @@ func runServerBench(clients, cpus int, size int64, ops int, quick bool, seed uin
 		ClientOps:    totalOps,
 		ServerOps:    st.Ops,
 		SpanNS:       spanNS,
-		OpsPerSec:    opsPerSec,
-		Latency:      sum,
-		Counters:     st.Counters,
+		OpsPerSec:      opsPerSec,
+		Latency:        sum,
+		Counters:       st.Counters,
+		ClientCounters: clientCounters,
 	}
 	if out.JSON != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

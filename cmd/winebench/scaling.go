@@ -90,15 +90,23 @@ func runScalingBench(ops int, quick bool, seed uint64, jsonOut, baseline string)
 		for _, n := range scalingThreadCounts() {
 			t.Header = append(t.Header, fmt.Sprintf("%d", n))
 		}
+		t.Header = append(t.Header, "hit%")
 		for _, c := range workloads.FxmarkCases() {
 			row := []string{string(c)}
+			// The trailing hit% column aggregates the client page-cache hit
+			// ratio over the case's points; plain fileserver clients take no
+			// leases, so it renders "-" unless a cache sits in the stack.
+			var caseCounters perf.Counters
 			for _, n := range scalingThreadCounts() {
-				for _, pt := range rep.Points {
+				for i := range rep.Points {
+					pt := &rep.Points[i]
 					if pt.Case == string(c) && pt.Transport == transport && pt.Threads == n {
 						row = append(row, fmt.Sprintf("%.1f", pt.OpsPerSec/1e3))
+						caseCounters.Add(&pt.Counters)
 					}
 				}
 			}
+			row = append(row, fmtHitRatio(&caseCounters))
 			t.Rows = append(t.Rows, row)
 		}
 		t.Print(os.Stdout)

@@ -32,6 +32,12 @@ type Client struct {
 	pending map[uint64]chan respFrame
 	nextID  uint64
 	closed  bool
+
+	// onRevoke, when set, runs for every server lease-revoke push before
+	// the client acks it. The page cache installs its flush-and-invalidate
+	// here.
+	revokeMu sync.Mutex
+	onRevoke func(ino uint64)
 }
 
 type respFrame struct {
@@ -78,6 +84,14 @@ func (c *Client) readLoop() {
 			c.mu.Unlock()
 			return
 		}
+		if code == statusRevoke {
+			// Server push, not a response: the id field carries the
+			// revoked ino. Handle on a fresh goroutine — the handler
+			// flushes dirty pages through this very connection, so it must
+			// not block the demultiplexer.
+			go c.handleRevoke(id)
+			continue
+		}
 		c.mu.Lock()
 		ch := c.pending[id]
 		delete(c.pending, id)
@@ -86,6 +100,31 @@ func (c *Client) readLoop() {
 			ch <- respFrame{st: status(code), payload: payload}
 		}
 	}
+}
+
+// SetRevokeHandler installs the callback run when the server revokes a
+// lease. The handler must flush and drop every cached page and attribute
+// for the ino before returning; the client acks the revoke only after it
+// returns, and the server holds the conflicting request until that ack.
+func (c *Client) SetRevokeHandler(h func(ino uint64)) {
+	c.revokeMu.Lock()
+	c.onRevoke = h
+	c.revokeMu.Unlock()
+}
+
+// handleRevoke runs the installed revoke handler (if any) and acks.
+func (c *Client) handleRevoke(ino uint64) {
+	c.revokeMu.Lock()
+	h := c.onRevoke
+	c.revokeMu.Unlock()
+	if h != nil {
+		h(ino)
+	}
+	var e enc
+	e.u64(ino)
+	// Best effort: if the connection died the server's teardown drops the
+	// lease anyway.
+	c.call(nil, opLeaseAck, e.b)
 }
 
 // call issues one request and blocks for its response. ctx (nil for the
@@ -391,6 +430,39 @@ func (f *remoteFile) Fallocate(ctx *sim.Ctx, off, n int64) error {
 	}
 	f.setSize(d.i64())
 	return nil
+}
+
+// Lease asks the server for a cache lease on this handle's file: shared
+// for write=false, exclusive for write=true. It reports whether the lease
+// was granted; a refusal (the server bounds revoke retries rather than
+// livelock) just means the caller must run uncached. pagecache.Cache is
+// the intended caller, via its Leasable interface.
+func (f *remoteFile) Lease(ctx *sim.Ctx, write bool) (bool, error) {
+	mode := leaseRead
+	if write {
+		mode = leaseWrite
+	}
+	var e enc
+	e.u64(f.handle)
+	e.u8(mode)
+	d, err := f.c.call(ctx, opLease, e.b)
+	if err != nil {
+		return false, err
+	}
+	granted := d.u8() != 0
+	if !d.ok() {
+		return false, ErrBadRequest
+	}
+	return granted, nil
+}
+
+// Unlease voluntarily releases any lease held through this handle.
+func (f *remoteFile) Unlease(ctx *sim.Ctx) error {
+	var e enc
+	e.u64(f.handle)
+	e.u8(leaseNone)
+	_, err := f.c.call(ctx, opLease, e.b)
+	return err
 }
 
 // Fsync implements vfs.File.

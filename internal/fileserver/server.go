@@ -3,6 +3,7 @@ package fileserver
 import (
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/perf"
 	"repro/internal/sim"
@@ -40,6 +41,12 @@ type Config struct {
 	// charge the entire setup history to its first lock acquisition as
 	// phantom wait time.
 	BaseNS int64
+	// RevokeTimeout bounds (in wall-clock time — it is a liveness guard,
+	// not part of the simulation) how long a conflicting request waits for
+	// a lease holder to flush and ack a revoke. On expiry the holder's read
+	// side is shut — the graceful-drain path — its leases are force-dropped
+	// and the request proceeds. Default 5s.
+	RevokeTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -48,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Window <= 0 {
 		c.Window = 32
+	}
+	if c.RevokeTimeout <= 0 {
+		c.RevokeTimeout = 5 * time.Second
 	}
 	return c
 }
@@ -84,6 +94,11 @@ type Server struct {
 	doneLat      perf.Histogram
 	doneOps      int64
 
+	// leaseMu guards the per-ino lease table and every session's
+	// revokeWaiters (lease.go).
+	leaseMu sync.Mutex
+	leases  map[uint64]*fileLease
+
 	wg sync.WaitGroup
 }
 
@@ -93,6 +108,7 @@ func New(fs vfs.FS, cfg Config) *Server {
 		fs:       fs,
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[uint64]*session),
+		leases:   make(map[uint64]*fileLease),
 	}
 }
 
@@ -137,13 +153,14 @@ func (s *Server) startSession(conn Conn) {
 	s.nextSess++
 	s.total++
 	sess := &session{
-		id:      id,
-		srv:     s,
-		conn:    conn,
-		ctx:     sim.NewCtx(sessionThreadBase+int(id), int(id)%s.cfg.CPUs),
-		handles: make(map[uint64]vfs.File),
-		reqs:    make(chan request, s.cfg.Window),
-		done:    make(chan struct{}),
+		id:            id,
+		srv:           s,
+		conn:          conn,
+		ctx:           sim.NewCtx(sessionThreadBase+int(id), int(id)%s.cfg.CPUs),
+		handles:       make(map[uint64]vfs.File),
+		reqs:          make(chan request, s.cfg.Window),
+		done:          make(chan struct{}),
+		revokeWaiters: make(map[uint64][]chan struct{}),
 	}
 	sess.ctx.AdvanceTo(s.cfg.BaseNS)
 	sess.ctx.Trace = s.cfg.Tracer.NewContext(sess.ctx.Thread)
@@ -221,6 +238,14 @@ type session struct {
 	reqs chan request
 	done chan struct{} // closed by the worker on exit
 
+	// wmu serialises frame writes to conn: the worker's responses and
+	// other sessions' lease-revoke pushes (pushRevoke) share the write
+	// side.
+	wmu sync.Mutex
+	// revokeWaiters holds, per ino, the channels of requests blocked on
+	// this session acking a lease revoke. Guarded by srv.leaseMu.
+	revokeWaiters map[uint64][]chan struct{}
+
 	// statsMu guards the snapshot the server's Stats() reads while the
 	// worker is live.
 	statsMu      sync.Mutex
@@ -242,12 +267,42 @@ func (sess *session) reader() {
 		if err != nil {
 			return
 		}
+		if op(code) == opLeaseAck {
+			// Acks are handled here, out of band: queued behind the worker
+			// they could never be processed while the worker itself waits in
+			// revokeConflicting, wedging a pair of cross-revoking sessions
+			// until the timeout drains one (DESIGN.md §9). leaseAcked only
+			// touches leaseMu state, so the reader may call it directly.
+			sess.ackLease(id, payload)
+			continue
+		}
 		select {
 		case sess.reqs <- request{id: id, op: op(code), payload: payload}:
 		case <-sess.done:
 			return
 		}
 	}
+}
+
+// ackLease processes an opLeaseAck frame on the reader goroutine: record
+// the ack, wake the waiters, reply with zero cost.
+func (sess *session) ackLease(id uint64, payload []byte) {
+	d := dec{b: payload}
+	ino := d.u64()
+	st := statusOK
+	if !d.ok() {
+		st = statusBadRequest
+	} else {
+		sess.srv.leaseAcked(sess, ino)
+	}
+	var out enc
+	out.u64(0)
+	if st != statusOK {
+		out.str("bad leaseack payload")
+	}
+	sess.wmu.Lock()
+	writeFrame(sess.conn, id, uint8(st), out.b)
+	sess.wmu.Unlock()
 }
 
 // worker processes requests in arrival order and writes every response.
@@ -272,7 +327,9 @@ func (sess *session) worker() {
 		} else {
 			out.str(resp2msg(resp))
 		}
+		sess.wmu.Lock()
 		err := writeFrame(sess.conn, req.id, uint8(st), out.b)
+		sess.wmu.Unlock()
 
 		sess.statsMu.Lock()
 		sess.snapCounters = *sess.ctx.Counters
@@ -299,6 +356,9 @@ func resp2msg(resp []byte) string { return string(resp) }
 // orphaned for the next client.
 func (sess *session) teardown() {
 	close(sess.done)
+	// Leases die with the session: drop them all and wake any request
+	// blocked on a revoke this session will never ack.
+	sess.srv.dropSessionLeases(sess)
 	cleanup := sim.NewCtx(cleanupThreadBase+int(sess.id), sess.ctx.CPU)
 	cleanup.AdvanceTo(sess.ctx.Now())
 	for _, f := range sess.handles {
@@ -369,6 +429,10 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if err != nil {
 			return fail(err)
 		}
+		// A conflicting open forces the current write-lease holder to
+		// flush: anything this session reads through the new handle must
+		// reflect every write the holder's cache buffered.
+		sess.srv.revokeConflicting(sess, f.Ino(), false)
 		h := sess.nextHandle
 		sess.nextHandle++
 		sess.handles[h] = f
@@ -416,6 +480,13 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if err != nil {
 			return fail(err)
 		}
+		// A write-lease holder may have buffered size-extending writes;
+		// flush them so the stat reports the coherent size.
+		if sess.srv.revokeConflicting(sess, fi.Ino, false) > 0 {
+			if fi2, err2 := fs.Stat(ctx, path); err2 == nil {
+				fi = fi2
+			}
+		}
 		var e enc
 		e.u64(fi.Ino)
 		e.i64(fi.Size)
@@ -459,6 +530,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if f == nil {
 			return statusBadHandle, nil, false
 		}
+		sess.srv.revokeConflicting(sess, f.Ino(), false)
 		buf := make([]byte, n)
 		got, err := f.ReadAt(ctx, buf, off)
 		if err != nil {
@@ -482,6 +554,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if f == nil {
 			return statusBadHandle, nil, false
 		}
+		sess.srv.revokeConflicting(sess, f.Ino(), true)
 		var n int
 		var err error
 		if req.op == opWrite {
@@ -506,6 +579,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if f == nil {
 			return statusBadHandle, nil, false
 		}
+		sess.srv.revokeConflicting(sess, f.Ino(), true)
 		if err := f.Truncate(ctx, size); err != nil {
 			return fail(err)
 		}
@@ -522,6 +596,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if f == nil {
 			return statusBadHandle, nil, false
 		}
+		sess.srv.revokeConflicting(sess, f.Ino(), true)
 		if err := f.Fallocate(ctx, off, n); err != nil {
 			return fail(err)
 		}
@@ -586,6 +661,33 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		e.u8(b2u8(ok))
 		e.bytes(val)
 		return statusOK, e.b, false
+
+	case opLease:
+		h, mode := d.u64(), d.u8()
+		f := sess.handles[h]
+		if !d.ok() || mode > leaseWrite {
+			return statusBadRequest, nil, false
+		}
+		if f == nil {
+			return statusBadHandle, nil, false
+		}
+		granted := true
+		if mode == leaseNone {
+			sess.srv.releaseLease(sess, f.Ino())
+		} else {
+			granted = sess.srv.acquireLease(sess, f.Ino(), mode == leaseWrite)
+		}
+		var e enc
+		e.u8(b2u8(granted))
+		return statusOK, e.b, false
+
+	case opLeaseAck:
+		ino := d.u64()
+		if !d.ok() {
+			return statusBadRequest, nil, false
+		}
+		sess.srv.leaseAcked(sess, ino)
+		return statusOK, nil, false
 
 	case opDetach:
 		return statusOK, nil, true

@@ -29,7 +29,8 @@ import (
 
 // ProtoVersion is bumped on any incompatible wire change; the handshake
 // rejects mismatched clients instead of misparsing their frames.
-const ProtoVersion = 1
+// Version 2 added the lease protocol (opLease/opLeaseAck/statusRevoke).
+const ProtoVersion = 2
 
 // maxFrame bounds a single frame so a corrupt or hostile length prefix
 // cannot make the peer allocate unbounded memory.
@@ -63,6 +64,16 @@ const (
 	opSetXattr
 	opGetXattr
 	opDetach
+	// opLease acquires or releases a cache lease on an open handle:
+	// payload is handle u64 | mode u8 (leaseNone releases). The response
+	// carries granted u8 — the server may refuse (mode stays whatever it
+	// was) rather than wait forever on an unresponsive conflicting holder.
+	opLease
+	// opLeaseAck is the client's reply to a statusRevoke push: payload is
+	// the revoked ino u64. It confirms dirty state has been flushed and
+	// every cached page for the ino dropped, letting the blocked
+	// conflicting request proceed.
+	opLeaseAck
 )
 
 // opNames names each opcode for traces and logs; index is the op value.
@@ -72,7 +83,8 @@ var opNames = [...]string{
 	opReadDir: "readdir", opStatFS: "statfs", opRead: "read", opWrite: "write",
 	opAppend: "append", opTruncate: "truncate", opFallocate: "fallocate",
 	opFsync: "fsync", opCloseHandle: "close", opSetXattr: "setxattr",
-	opGetXattr: "getxattr", opDetach: "detach",
+	opGetXattr: "getxattr", opDetach: "detach", opLease: "lease",
+	opLeaseAck: "leaseack",
 }
 
 func (o op) String() string {
@@ -103,6 +115,19 @@ const (
 	statusBadRequest
 	statusShutdown
 	statusError // anything unmapped; message travels in the payload
+)
+
+// statusRevoke is not a response status: it marks a server-initiated push
+// frame revoking the session's lease on the ino carried in the frame's id
+// field. It sits far above the response range so a client demultiplexer
+// can tell pushes from responses by the code byte alone.
+const statusRevoke uint8 = 240
+
+// Lease modes carried by opLease.
+const (
+	leaseNone  uint8 = 0 // release
+	leaseRead  uint8 = 1 // shared: cached reads stay coherent
+	leaseWrite uint8 = 2 // exclusive: write-back caching allowed
 )
 
 // wireErrs pairs every mapped sentinel with its status code. Order matters

@@ -41,6 +41,16 @@ type Counters struct {
 	CoWCopies      int64 // copy-on-write block copies
 	GCWork         int64 // log-cleaning/garbage-collection block moves
 	Rewrites       int64 // files reactively rewritten for alignment
+
+	// Client page-cache events (internal/pagecache).
+	CacheHits       int64 // data/attr requests served from the client cache
+	CacheMisses     int64 // data/attr requests that went to the server
+	CacheHitBytes   int64 // bytes served from cached pages
+	CacheMissBytes  int64 // bytes fetched from the server on misses
+	CacheFlushes    int64 // write-back flush batches
+	CacheFlushBytes int64 // dirty bytes written back to the server
+	CacheEvictions  int64 // pages dropped by LRU pressure
+	CacheRevokes    int64 // leases revoked because of a conflicting access
 }
 
 // Reset zeroes every counter.
