@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet bench bench-json bench-scaling bench-cache cache-race fault-campaign serve-smoke
+.PHONY: all build test check race vet bench bench-json bench-scaling bench-cache bench-replicated cache-race cluster-race fault-campaign cluster-campaign serve-smoke
 
 all: build
 
@@ -50,10 +50,26 @@ bench-scaling:
 bench-cache:
 	$(GO) run ./cmd/winebench -cache -quick -clients 4 -check-against BENCH_cache.json
 
+# Replication overhead on the ServerMix baseline: the same fan-out runs
+# plain and against a synchronous 2-replica cluster, hard-gated at ≤15%
+# span overhead and on the replicas ending byte-identical to the primary,
+# then regression-checked against the committed BENCH_replicated.json
+# (op counts and resyncs exact, record stream and spans within tolerance).
+# Refresh the baseline with
+# `go run ./cmd/winebench -replicated -clients 8 -json BENCH_replicated.json`.
+bench-replicated:
+	$(GO) run ./cmd/winebench -replicated -clients 8 -check-against BENCH_replicated.json
+
 # The page-cache + lease coherence suite under the race detector,
 # including the 8-concurrent-session storm (TestCacheRace8Sessions).
 cache-race:
 	$(GO) test -race -run 'TestCache|TestLease|TestRevoke|TestTwoSession|TestHit|TestDirty|TestLRU|TestCanonical|TestDenied|TestClose' ./internal/pagecache/ ./internal/fileserver/
+
+# Replication + failover under the race detector: the cluster engine's
+# own tests (journal streaming, degraded mode, transparent failover,
+# lease re-establishment) plus the campaign smoke slice.
+cluster-race:
+	$(GO) test -race -timeout 20m -run 'TestCluster|TestFailover|TestRecord|TestReplica|TestErrServerGone|TestLocalClose|TestShutdownCtx' ./internal/cluster/ ./internal/fileserver/ ./internal/crashmonkey/
 
 # Boots winefsd on loopback TCP, drives a multi-client workload through
 # fileserver.Client, and verifies the stats endpoint (end-to-end server
@@ -65,3 +81,9 @@ serve-smoke:
 # including the page-cache revoke-flush EIO path.
 fault-campaign:
 	$(GO) test -v -run 'TestFaultCampaign|TestRepair|TestDegraded|TestPoisoned|TestWraparound|TestTorn' ./internal/crashmonkey/ ./internal/winefs/ ./internal/pmem/ ./internal/pagecache/
+
+# The 120-run replicated-cluster fault campaign: partition, replica-lag,
+# torn-stream and mid-failover crashes, asserting no panic → no silent
+# divergence → convergence (repair/resync where needed).
+cluster-campaign:
+	$(GO) test -v -run 'TestClusterCampaign' ./internal/crashmonkey/

@@ -72,6 +72,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	run := flag.String("run", "all", "comma-separated experiment list")
 	server := flag.Bool("server", false, "run the serving-throughput baseline and exit")
+	replicated := flag.Bool("replicated", false, "run the replication-overhead benchmark and exit")
 	scaling := flag.Bool("scaling", false, "run the fxmark-style scalability suite and exit")
 	cache := flag.Bool("cache", false, "run the client page-cache effectiveness sweep and exit")
 	cached := flag.Bool("cached", false, "-server: wrap every client in the internal/pagecache client cache")
@@ -94,6 +95,13 @@ func main() {
 	if *scaling {
 		if err := runScalingBench(*scalingOps, *quick, *seed, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replicated {
+		if err := runReplicatedBench(*clients, *cpus, *size, *serverOps, *quick, *seed, *jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "winebench: replicated: %v\n", err)
 			os.Exit(1)
 		}
 		return

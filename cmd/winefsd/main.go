@@ -6,6 +6,16 @@
 //
 //	winefsd [-img wine.img] [-size 1g] [-cpus 8] [-relaxed]
 //	        [-addr 127.0.0.1:7070] [-stats 127.0.0.1:7071] [-window 32]
+//	        [-replicas host:port,...] [-replica-of primary] [-epoch 1]
+//
+// Replication: a primary started with -replicas streams its committed
+// write log to each listed replica daemon; replicas are winefsd processes
+// started with -replica-of, which serve the replication protocol on -addr
+// instead of the client protocol. -epoch sets the primary epoch announced
+// to clients and replicas (bump it when restarting a promoted replica as
+// the new primary so stale primaries are fenced). -sync-repl makes every
+// acknowledged write wait for replica durability; without it the stream
+// is asynchronous and lag shows up in /metrics as cluster_replica_lag.
 //
 // With -img the image (created by mkfs) is loaded, mounted and saved back
 // on clean shutdown; without it a fresh volatile device of -size bytes is
@@ -27,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,7 +50,9 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fileserver"
 	"repro/internal/metrics"
 	"repro/internal/perf"
@@ -106,6 +119,16 @@ func buildStats(srv *fileserver.Server) statsPage {
 	return p
 }
 
+// replStatsSource adapts a primary's replicator to the cluster metrics
+// collector (winefsd has no Cluster object; epoch and failover counters
+// live in the replicator itself).
+type replStatsSource struct{ r *cluster.Replicator }
+
+func (s replStatsSource) Stats() cluster.Stats {
+	st := s.r.Stats()
+	return cluster.Stats{Epoch: st.Epoch, Repl: st}
+}
+
 // newRegistry builds the winefsd metric registry: one collector that samples
 // the server at scrape time. It reads through the same Stats() path as the
 // /stats JSON page, so there is no second bookkeeping that could drift from
@@ -136,13 +159,17 @@ func newRegistry(srv *fileserver.Server) *metrics.Registry {
 
 // serveStats starts the HTTP stats endpoint on addr, serving /stats (JSON)
 // and /metrics (Prometheus text); it returns the bound address (addr may
-// carry port 0).
-func serveStats(srv *fileserver.Server, addr string) (string, error) {
+// carry port 0). Extra collectors (the replication stats of a primary)
+// join the same registry and scrape path.
+func serveStats(srv *fileserver.Server, addr string, extra ...metrics.Collector) (string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	reg := newRegistry(srv)
+	for _, c := range extra {
+		reg.Register(c)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -191,7 +218,23 @@ func main() {
 	traceOut := flag.String("trace", "", "stream request spans as JSON Lines to this file")
 	slow := flag.Int64("slow", 0, "log requests slower than this many virtual ns to stderr")
 	smoke := flag.Bool("smoke", false, "run the loopback smoke test and exit")
+	replicas := flag.String("replicas", "", "comma-separated replica addresses to stream the write log to")
+	replicaOf := flag.String("replica-of", "", "run as a replica of this primary: apply its stream on -addr instead of serving clients")
+	epoch := flag.Uint64("epoch", 1, "primary epoch announced to clients and replicas (bump after promoting a replica)")
+	syncRepl := flag.Bool("sync-repl", false, "acknowledged writes wait for replica durability")
 	flag.Parse()
+
+	if *replicaOf != "" && *replicas != "" {
+		fmt.Fprintln(os.Stderr, "winefsd: -replica-of and -replicas are mutually exclusive")
+		os.Exit(2)
+	}
+	if *replicaOf != "" {
+		if err := runReplica(*addr, *img, *size, *replicaOf); err != nil {
+			fmt.Fprintf(os.Stderr, "winefsd: replica: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *smoke {
 		if err := runSmoke(*cpus); err != nil {
@@ -241,14 +284,45 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := fileserver.New(fs, fileserver.Config{CPUs: *cpus, Window: *window, Tracer: tracer})
+	// Replication: a primary streams its write log to each -replicas
+	// address. Attach before serving so no client write escapes the log.
+	var repl *cluster.Replicator
+	scfg := fileserver.Config{CPUs: *cpus, Window: *window, Tracer: tracer, Epoch: *epoch}
+	if *replicas != "" {
+		repl = cluster.NewReplicator(fs, cluster.ReplicatorConfig{
+			Epoch: *epoch,
+			Sync:  *syncRepl,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "winefsd: repl: "+format+"\n", args...)
+			},
+		})
+		for _, raddr := range strings.Split(*replicas, ",") {
+			raddr = strings.TrimSpace(raddr)
+			if raddr == "" {
+				continue
+			}
+			target := raddr
+			repl.AddReplica(target, func() (fileserver.Conn, error) {
+				return fileserver.DialTCP(target)
+			})
+		}
+		repl.Attach()
+		scfg.PostMutate = repl.PostMutate
+		fmt.Printf("winefsd: replicating to %s (epoch %d, sync=%v)\n", *replicas, *epoch, *syncRepl)
+	}
+
+	srv := fileserver.New(fs, scfg)
 	l, err := fileserver.ListenTCP(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "winefsd: listen: %v\n", err)
 		os.Exit(1)
 	}
 	if *stats != "" {
-		bound, serr := serveStats(srv, *stats)
+		var extra []metrics.Collector
+		if repl != nil {
+			extra = append(extra, cluster.MetricsCollector(replStatsSource{repl}))
+		}
+		bound, serr := serveStats(srv, *stats, extra...)
 		if serr != nil {
 			fmt.Fprintf(os.Stderr, "winefsd: stats listen: %v\n", serr)
 			os.Exit(1)
@@ -266,7 +340,16 @@ func main() {
 		defer close(shutdownDone)
 		<-sig
 		fmt.Println("winefsd: draining...")
-		srv.Shutdown()
+		// Bounded drain: a wedged client must not hold the process hostage
+		// past the lease grace period.
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := srv.ShutdownCtx(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "winefsd: drain: %v\n", err)
+		}
+		cancel()
+		if repl != nil {
+			repl.Close()
+		}
 		closeTracer()
 		uctx := sim.NewCtx(2, 0)
 		if err := fs.Unmount(uctx); err != nil {
@@ -287,6 +370,61 @@ func main() {
 		os.Exit(1)
 	}
 	<-shutdownDone
+}
+
+// runReplica runs the daemon as a passive replica: it serves the
+// replication protocol on addr, applying the primary's stream (with CRC
+// checking, epoch fencing and resync) to its local device. With -img the
+// applied image is saved on shutdown, ready to be promoted by restarting
+// winefsd against it as a primary with a bumped -epoch.
+func runReplica(addr, img, size, primary string) error {
+	var dev *pmem.Device
+	var err error
+	if img != "" {
+		if dev, err = pmem.Load(img); err != nil {
+			// A replica may start from nothing: a missing image is a fresh
+			// device that the first resync baselines.
+			bytes, perr := parseSize(size)
+			if perr != nil {
+				return fmt.Errorf("bad size: %w", perr)
+			}
+			dev = pmem.New(bytes)
+		}
+	} else {
+		bytes, perr := parseSize(size)
+		if perr != nil {
+			return fmt.Errorf("bad size: %w", perr)
+		}
+		dev = pmem.New(bytes)
+	}
+
+	rep := cluster.NewReplica(addr, dev, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "winefsd: "+format+"\n", args...)
+	})
+	lst, err := fileserver.ListenTCP(addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("winefsd: replica shutting down...")
+		lst.Close()
+	}()
+	fmt.Printf("winefsd: replica of %s, applying on %s\n", primary, lst.Addr())
+	rep.Serve(lst)
+
+	st := rep.Stats()
+	fmt.Printf("winefsd: replica applied seq %d (%d records, %d bad, %d resyncs)\n",
+		st.AppliedSeq, st.RecordsApplied, st.BadRecords, st.Resyncs)
+	if img != "" {
+		if err := dev.Save(img); err != nil {
+			return fmt.Errorf("save %s: %w", img, err)
+		}
+		fmt.Printf("winefsd: saved %s\n", img)
+	}
+	return nil
 }
 
 // runSmoke boots a full server + stats endpoint on loopback ports, drives

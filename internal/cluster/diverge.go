@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/winefs"
+)
+
+// The divergence checker is the cluster's truth oracle: it decides whether
+// a replica's image really is the primary's, first byte-for-byte (the
+// replication stream promises a physical mirror), then — for images that
+// differ physically, e.g. after independent recovery — logically, by
+// mounting clones of both and walking the namespace with exact content
+// comparison, cross-checked by winefs.Audit on each side.
+
+// Diff is one diverging byte range.
+type Diff struct {
+	Off int64
+	Len int64
+}
+
+// maxDiffs caps reported ranges; divergence is a yes/no with examples, not
+// an exhaustive delta.
+const maxDiffs = 16
+
+// CompareDevices byte-compares two device images chunk by chunk (unbacked
+// chunks read as zero on both sides). It returns the first maxDiffs
+// diverging ranges; empty means the images are identical.
+func CompareDevices(a, b *pmem.Device) []Diff {
+	if a.Size() != b.Size() {
+		return []Diff{{Off: 0, Len: a.Size()}}
+	}
+	ia, ib := a.Snapshot(), b.Snapshot()
+	chunks := map[int64]struct{}{}
+	ia.ForEachChunk(func(off int64, _ []byte) { chunks[off] = struct{}{} })
+	ib.ForEachChunk(func(off int64, _ []byte) { chunks[off] = struct{}{} })
+	offs := make([]int64, 0, len(chunks))
+	for off := range chunks {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+
+	var diffs []Diff
+	bufA := make([]byte, pmem.ChunkSize)
+	bufB := make([]byte, pmem.ChunkSize)
+	for _, off := range offs {
+		if len(diffs) >= maxDiffs {
+			break
+		}
+		a.ReadAt(bufA, off)
+		b.ReadAt(bufB, off)
+		if bytes.Equal(bufA, bufB) {
+			continue
+		}
+		// Narrow to the diverging span inside the chunk.
+		lo := 0
+		for lo < len(bufA) && bufA[lo] == bufB[lo] {
+			lo++
+		}
+		hi := len(bufA)
+		for hi > lo && bufA[hi-1] == bufB[hi-1] {
+			hi--
+		}
+		diffs = append(diffs, Diff{Off: off + int64(lo), Len: int64(hi - lo)})
+	}
+	return diffs
+}
+
+// LogicalReport is the outcome of a logical comparison.
+type LogicalReport struct {
+	// Equal: both clones mounted, audited clean, and hold identical trees.
+	Equal bool
+	// Diffs lists human-readable mismatches (capped).
+	Diffs []string
+	// AuditErrs holds Audit failures per side ("a: ...", "b: ...").
+	AuditErrs []string
+}
+
+func (lr *LogicalReport) diff(format string, args ...any) {
+	if len(lr.Diffs) < maxDiffs {
+		lr.Diffs = append(lr.Diffs, fmt.Sprintf(format, args...))
+	}
+	lr.Equal = false
+}
+
+// CompareLogical clones both devices (the originals are untouched), mounts
+// each clone through the recovery path, runs winefs.Audit on both, and
+// walks the namespaces comparing entries and file contents exactly.
+func CompareLogical(ctx *sim.Ctx, a, b *pmem.Device, opts winefs.Options) *LogicalReport {
+	rep := &LogicalReport{Equal: true}
+	fa, err := mountClone(ctx, a, opts)
+	if err != nil {
+		rep.diff("a: mount failed: %v", err)
+		return rep
+	}
+	defer fa.Unmount(ctx)
+	fb, err := mountClone(ctx, b, opts)
+	if err != nil {
+		rep.diff("b: mount failed: %v", err)
+		return rep
+	}
+	defer fb.Unmount(ctx)
+	if err := fa.Audit(ctx); err != nil {
+		rep.AuditErrs = append(rep.AuditErrs, fmt.Sprintf("a: %v", err))
+		rep.Equal = false
+	}
+	if err := fb.Audit(ctx); err != nil {
+		rep.AuditErrs = append(rep.AuditErrs, fmt.Sprintf("b: %v", err))
+		rep.Equal = false
+	}
+	compareTree(ctx, rep, fa, fb, "/")
+	return rep
+}
+
+// mountClone mounts a snapshot copy of dev so recovery cannot disturb the
+// original image.
+func mountClone(ctx *sim.Ctx, dev *pmem.Device, opts winefs.Options) (*winefs.FS, error) {
+	clone := pmem.New(dev.Size())
+	clone.Restore(dev.Snapshot())
+	return winefs.Mount(ctx, clone, opts)
+}
+
+// compareTree recursively compares one directory across both mounts.
+func compareTree(ctx *sim.Ctx, rep *LogicalReport, fa, fb vfs.FS, dir string) {
+	if len(rep.Diffs) >= maxDiffs {
+		return
+	}
+	ea, errA := fa.ReadDir(ctx, dir)
+	eb, errB := fb.ReadDir(ctx, dir)
+	if (errA == nil) != (errB == nil) {
+		rep.diff("%s: readdir a=%v b=%v", dir, errA, errB)
+		return
+	}
+	if errA != nil {
+		return
+	}
+	names := map[string][2]bool{}
+	for _, e := range ea {
+		v := names[e.Name]
+		v[0] = true
+		names[e.Name] = v
+	}
+	for _, e := range eb {
+		v := names[e.Name]
+		v[1] = true
+		names[e.Name] = v
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		v := names[n]
+		path := dir + n
+		if dir != "/" {
+			path = dir + "/" + n
+		}
+		if !v[0] || !v[1] {
+			rep.diff("%s: present a=%v b=%v", path, v[0], v[1])
+			continue
+		}
+		sa, errA := fa.Stat(ctx, path)
+		sb, errB := fb.Stat(ctx, path)
+		if errA != nil || errB != nil {
+			rep.diff("%s: stat a=%v b=%v", path, errA, errB)
+			continue
+		}
+		if sa.IsDir != sb.IsDir {
+			rep.diff("%s: isdir a=%v b=%v", path, sa.IsDir, sb.IsDir)
+			continue
+		}
+		if sa.IsDir {
+			compareTree(ctx, rep, fa, fb, path)
+			continue
+		}
+		if sa.Size != sb.Size {
+			rep.diff("%s: size a=%d b=%d", path, sa.Size, sb.Size)
+			continue
+		}
+		if !compareContent(ctx, fa, fb, path, sa.Size) {
+			rep.diff("%s: content differs", path)
+		}
+	}
+}
+
+// compareContent reads both files in chunks and compares exactly.
+func compareContent(ctx *sim.Ctx, fa, fb vfs.FS, path string, size int64) bool {
+	ha, errA := fa.Open(ctx, path)
+	hb, errB := fb.Open(ctx, path)
+	if errA != nil || errB != nil {
+		return errA == nil && errB == nil
+	}
+	defer ha.Close(ctx)
+	defer hb.Close(ctx)
+	const chunk = 64 << 10
+	bufA := make([]byte, chunk)
+	bufB := make([]byte, chunk)
+	for off := int64(0); off < size; off += chunk {
+		n := size - off
+		if n > chunk {
+			n = chunk
+		}
+		na, errA := ha.ReadAt(ctx, bufA[:n], off)
+		nb, errB := hb.ReadAt(ctx, bufB[:n], off)
+		if errA != nil || errB != nil || na != nb || !bytes.Equal(bufA[:na], bufB[:nb]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConvergeOutcome names the repair-ladder rung that produced convergence.
+type ConvergeOutcome string
+
+const (
+	// ConvergedClean: the images were already byte-identical.
+	ConvergedClean ConvergeOutcome = "clean"
+	// ConvergedLogical: bytes differed (divergence detected) but the
+	// mounted trees matched — benign physical skew, e.g. independent
+	// journal replay.
+	ConvergedLogical ConvergeOutcome = "logical"
+	// ConvergedRepair: winefs.Repair on the replica restored a clean,
+	// logically matching image.
+	ConvergedRepair ConvergeOutcome = "repair"
+	// ConvergedResync: only restoring the primary's snapshot converged
+	// the replica (real divergence, repaired by resync).
+	ConvergedResync ConvergeOutcome = "resync"
+)
+
+// ConvergeReport describes how a replica reached the primary's image.
+type ConvergeReport struct {
+	Outcome ConvergeOutcome
+	// Detected is true when any rung below "clean" ran — the divergence
+	// was seen, not silently absorbed.
+	Detected bool
+	ByteDiffs int
+	Log       []string
+}
+
+// Converge runs the campaign's repair ladder against a replica device:
+// byte-compare → logical compare → winefs.Repair + logical compare →
+// resync from the primary image. It always converges (the last rung is a
+// copy), and the report says how loudly the road there was.
+func Converge(ctx *sim.Ctx, primary, replica *pmem.Device, opts winefs.Options) *ConvergeReport {
+	rep := &ConvergeReport{}
+	diffs := CompareDevices(primary, replica)
+	rep.ByteDiffs = len(diffs)
+	if len(diffs) == 0 {
+		rep.Outcome = ConvergedClean
+		return rep
+	}
+	rep.Detected = true
+	rep.Log = append(rep.Log, fmt.Sprintf("byte divergence: %d ranges, first at %d (+%d)", len(diffs), diffs[0].Off, diffs[0].Len))
+
+	if lr := CompareLogical(ctx, primary, replica, opts); lr.Equal {
+		rep.Outcome = ConvergedLogical
+		return rep
+	}
+
+	if _, err := winefs.Repair(replica); err == nil {
+		if lr := CompareLogical(ctx, primary, replica, opts); lr.Equal {
+			rep.Outcome = ConvergedRepair
+			rep.Log = append(rep.Log, "repair converged the replica")
+			return rep
+		}
+	} else {
+		rep.Log = append(rep.Log, fmt.Sprintf("repair failed: %v", err))
+	}
+
+	replica.Restore(primary.Snapshot())
+	rep.Outcome = ConvergedResync
+	rep.Log = append(rep.Log, "resynced replica from primary image")
+	return rep
+}

@@ -1,0 +1,79 @@
+package cluster
+
+// Minimal payload encoder/decoder for the replication control frames,
+// mirroring fileserver's unexported enc/dec: little-endian, length-prefixed
+// strings, and a sticky out-of-bounds flag checked once via ok().
+
+type frameEnc struct{ b []byte }
+
+func (e *frameEnc) u8(v uint8) { e.b = append(e.b, v) }
+
+func (e *frameEnc) u32(v uint32) {
+	var b [4]byte
+	le32(b[:], v)
+	e.b = append(e.b, b[:]...)
+}
+
+func (e *frameEnc) u64(v uint64) {
+	var b [8]byte
+	le64(b[:], v)
+	e.b = append(e.b, b[:]...)
+}
+
+func (e *frameEnc) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *frameEnc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type frameDec struct {
+	b   []byte
+	pos int
+	bad bool
+}
+
+func newFrameDec(b []byte) *frameDec { return &frameDec{b: b} }
+
+func (d *frameDec) take(n int) []byte {
+	if d.bad || n < 0 || d.pos+n > len(d.b) {
+		d.bad = true
+		return nil
+	}
+	p := d.b[d.pos : d.pos+n]
+	d.pos += n
+	return p
+}
+
+func (d *frameDec) u8() uint8 {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *frameDec) u32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return rd32(p)
+}
+
+func (d *frameDec) u64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return rd64(p)
+}
+
+func (d *frameDec) i64() int64 { return int64(d.u64()) }
+
+func (d *frameDec) str() string {
+	n := d.u32()
+	return string(d.take(int(n)))
+}
+
+func (d *frameDec) ok() bool { return !d.bad }

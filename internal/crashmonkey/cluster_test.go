@@ -1,0 +1,69 @@
+package crashmonkey
+
+import "testing"
+
+// TestClusterCampaign runs the full replicated-winefsd fault campaign: 120
+// seeded runs rotated across partition, replica-lag, torn-stream and
+// mid-failover scenarios. The ladder per run: no panic → no silent
+// divergence → convergence (with repair/resync where needed).
+func TestClusterCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster campaign is long; skipped with -short")
+	}
+	res := RunClusterCampaign(ClusterCampaignConfig{
+		Runs: 120,
+		Seed: 0xC10C4,
+		Logf: nil, // the campaign narrates enough via failures
+	})
+	t.Logf("campaign: %s", res)
+	t.Logf("scenario runs: %v", res.ScenarioRuns)
+	t.Logf("lag observed in %d replica-lag runs", res.LagObserved)
+
+	if !res.OK() {
+		for i, f := range res.Failures {
+			if i >= 10 {
+				t.Errorf("... and %d more failures", len(res.Failures)-i)
+				break
+			}
+			t.Errorf("failure: %s", f)
+		}
+		t.Fatalf("%d/%d runs broke the ladder", len(res.Failures), res.Runs)
+	}
+	if res.SilentDivergences != 0 {
+		t.Fatalf("%d silent divergences — the campaign's core invariant", res.SilentDivergences)
+	}
+	// The faults must actually bite: partitions leave the dead primary
+	// ahead of the replicas (detected divergence), and torn streams must
+	// produce CRC-caught bad records that resync repairs.
+	if res.DivergencesDetected == 0 {
+		t.Fatal("campaign detected zero divergences — partition scenario is not biting")
+	}
+	if res.BadRecords == 0 {
+		t.Fatal("campaign saw zero bad records — torn-stream scenario is not biting")
+	}
+	if res.Resyncs == 0 {
+		t.Fatal("campaign performed zero resyncs")
+	}
+	if res.Failovers == 0 {
+		t.Fatal("campaign performed zero failovers")
+	}
+}
+
+// TestClusterCampaignSmoke is the tier-1-friendly slice: one run of every
+// scenario, still asserting the full ladder.
+func TestClusterCampaignSmoke(t *testing.T) {
+	res := RunClusterCampaign(ClusterCampaignConfig{
+		Runs: 4,
+		Seed: 0x5A0E,
+	})
+	t.Logf("smoke: %s", res)
+	if !res.OK() {
+		for _, f := range res.Failures {
+			t.Errorf("failure: %s", f)
+		}
+		t.Fatalf("%d/%d smoke runs broke the ladder", len(res.Failures), res.Runs)
+	}
+	if res.SilentDivergences != 0 {
+		t.Fatalf("%d silent divergences", res.SilentDivergences)
+	}
+}

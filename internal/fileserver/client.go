@@ -22,16 +22,18 @@ import (
 // served numbers. (Network latency itself is not modelled; the transports
 // are a rendezvous.)
 type Client struct {
-	conn Conn
-	name string
-	mode vfs.ConsistencyMode
+	conn  Conn
+	name  string
+	mode  vfs.ConsistencyMode
+	epoch uint64
 
 	wmu sync.Mutex // serialises frame writes
 
-	mu      sync.Mutex
-	pending map[uint64]chan respFrame
-	nextID  uint64
-	closed  bool
+	mu         sync.Mutex
+	pending    map[uint64]chan respFrame
+	nextID     uint64
+	closed     bool
+	localClose bool // the client itself closed the conn (Close/Unmount)
 
 	// onRevoke, when set, runs for every server lease-revoke push before
 	// the client acks it. The page cache installs its flush-and-invalidate
@@ -62,6 +64,9 @@ func Dial(conn Conn) (*Client, error) {
 	d.u32() // server protocol version (equal or the handshake would have failed)
 	c.name = d.str()
 	c.mode = vfs.ConsistencyMode(d.u8())
+	d.u32() // server CPUs
+	d.u32() // server window
+	c.epoch = d.u64()
 	if !d.ok() {
 		conn.Close()
 		return nil, ErrBadRequest
@@ -69,11 +74,30 @@ func Dial(conn Conn) (*Client, error) {
 	return c, nil
 }
 
+// ServerEpoch reports the primary epoch the server announced at handshake.
+// Failover clients use it to fence: a server whose epoch is below the
+// highest one the client has seen is a stale primary and must not be
+// trusted with writes.
+func (c *Client) ServerEpoch() uint64 { return c.epoch }
+
+// transportErr picks the right sentinel for a dead transport: ErrConnClosed
+// if this client closed the connection itself, ErrServerGone if the far
+// side vanished underneath it.
+func (c *Client) transportErr() error {
+	c.mu.Lock()
+	local := c.localClose
+	c.mu.Unlock()
+	if local {
+		return ErrConnClosed
+	}
+	return ErrServerGone
+}
+
 // readLoop demultiplexes responses to their waiting callers. On transport
 // death every waiter is woken with ErrConnClosed.
 func (c *Client) readLoop() {
 	for {
-		id, code, payload, err := readFrame(c.conn)
+		id, code, payload, err := ReadFrame(c.conn)
 		if err != nil {
 			c.mu.Lock()
 			c.closed = true
@@ -135,7 +159,7 @@ func (c *Client) call(ctx *sim.Ctx, o op, payload []byte) (*dec, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrConnClosed
+		return nil, c.transportErr()
 	}
 	id := c.nextID
 	c.nextID++
@@ -143,18 +167,18 @@ func (c *Client) call(ctx *sim.Ctx, o op, payload []byte) (*dec, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := writeFrame(c.conn, id, uint8(o), payload)
+	err := WriteFrame(c.conn, id, uint8(o), payload)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, ErrConnClosed
+		return nil, c.transportErr()
 	}
 
 	f, ok := <-ch
 	if !ok {
-		return nil, ErrConnClosed
+		return nil, c.transportErr()
 	}
 	d := newDec(f.payload)
 	cost := d.u64()
@@ -301,7 +325,12 @@ func (c *Client) Unmount(ctx *sim.Ctx) error {
 }
 
 // Close tears the connection down without the detach round trip.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.localClose = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
 
 // remoteFile is an open handle on a served file. Safe for concurrent use;
 // the cached size is refreshed from every size-changing response.

@@ -115,7 +115,7 @@ func (sess *session) pushRevoke(ino uint64) {
 	sess.wmu.Lock()
 	defer sess.wmu.Unlock()
 	// Push frames have no request id; the id field carries the ino.
-	writeFrame(sess.conn, ino, statusRevoke, nil)
+	WriteFrame(sess.conn, ino, statusRevoke, nil)
 }
 
 // leaseAcked handles an opLeaseAck from sess: its lease on ino is gone and

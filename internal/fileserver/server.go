@@ -1,6 +1,7 @@
 package fileserver
 
 import (
+	"context"
 	"strconv"
 	"sync"
 	"time"
@@ -45,8 +46,19 @@ type Config struct {
 	// not part of the simulation) how long a conflicting request waits for
 	// a lease holder to flush and ack a revoke. On expiry the holder's read
 	// side is shut — the graceful-drain path — its leases are force-dropped
-	// and the request proceeds. Default 5s.
+	// and the request proceeds. Default 5s. ShutdownCtx reuses it as the
+	// grace period before live connections are severed.
 	RevokeTimeout time.Duration
+	// Epoch is the primary-epoch number announced in the hello response.
+	// Standalone servers leave it 0; internal/cluster bumps it on every
+	// failover so clients can fence stale primaries.
+	Epoch uint64
+	// PostMutate, when non-nil, runs on the session worker after any
+	// request that wrote to persistent media (detected by the session's
+	// PMWriteBytes delta), inside the request's cost window. The cluster
+	// replicator hooks synchronous-replication waits and virtual
+	// replication cost in here.
+	PostMutate func(ctx *sim.Ctx, bytes int64)
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +188,16 @@ func (s *Server) startSession(conn Conn) {
 // answered, handles are closed, and Shutdown returns once every session is
 // gone. Safe to call more than once.
 func (s *Server) Shutdown() {
+	s.ShutdownCtx(context.Background())
+}
+
+// ShutdownCtx is Shutdown with a cancellation bound: the graceful drain is
+// given until ctx is cancelled — or RevokeTimeout, whichever is sooner — to
+// finish; after that every surviving connection is severed outright so a
+// wedged session (e.g. a replica stream that stopped reading) cannot block
+// shutdown forever. Returns ctx.Err() if the deadline forced the cut, nil
+// if the drain finished in time.
+func (s *Server) ShutdownCtx(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	ls := s.listeners
@@ -191,7 +213,32 @@ func (s *Server) Shutdown() {
 	for _, sess := range live {
 		closeRead(sess.conn)
 	}
-	s.wg.Wait()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	grace := time.NewTimer(s.cfg.RevokeTimeout)
+	defer grace.Stop()
+	var err error
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		err = ctx.Err()
+	case <-grace.C:
+		err = context.DeadlineExceeded
+	}
+	// Grace expired: sever what is left. Closing the conn unblocks both
+	// goroutines of each surviving session, so the final Wait is bounded.
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	<-drained
+	return err
 }
 
 // Stats aggregates accounting across finished and live sessions.
@@ -263,7 +310,7 @@ type session struct {
 func (sess *session) reader() {
 	defer close(sess.reqs)
 	for {
-		id, code, payload, err := readFrame(sess.conn)
+		id, code, payload, err := ReadFrame(sess.conn)
 		if err != nil {
 			return
 		}
@@ -301,7 +348,7 @@ func (sess *session) ackLease(id uint64, payload []byte) {
 		out.str("bad leaseack payload")
 	}
 	sess.wmu.Lock()
-	writeFrame(sess.conn, id, uint8(st), out.b)
+	WriteFrame(sess.conn, id, uint8(st), out.b)
 	sess.wmu.Unlock()
 }
 
@@ -311,7 +358,15 @@ func (sess *session) worker() {
 	for req := range sess.reqs {
 		start := sess.ctx.Now()
 		sp := sess.ctx.StartSpan("rpc." + req.op.String())
+		pmw := sess.ctx.Counters.PMWriteBytes
 		st, resp, stop := sess.dispatch(req)
+		if pm := sess.srv.cfg.PostMutate; pm != nil {
+			if delta := sess.ctx.Counters.PMWriteBytes - pmw; delta > 0 {
+				// The replication hook runs inside the cost window so the
+				// client is charged for synchronous replication time.
+				pm(sess.ctx, delta)
+			}
+		}
 		if sp != nil {
 			sp.SetAttr("session", strconv.FormatUint(sess.id, 10))
 			sp.SetAttr("req", strconv.FormatUint(req.id, 10))
@@ -328,7 +383,7 @@ func (sess *session) worker() {
 			out.str(resp2msg(resp))
 		}
 		sess.wmu.Lock()
-		err := writeFrame(sess.conn, req.id, uint8(st), out.b)
+		err := WriteFrame(sess.conn, req.id, uint8(st), out.b)
 		sess.wmu.Unlock()
 
 		sess.statsMu.Lock()
@@ -412,6 +467,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		e.u8(uint8(fs.Mode()))
 		e.u32(uint32(sess.srv.cfg.CPUs))
 		e.u32(uint32(sess.srv.cfg.Window))
+		e.u64(sess.srv.cfg.Epoch)
 		return statusOK, e.b, false
 
 	case opOpen, opCreate:

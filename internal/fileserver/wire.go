@@ -30,7 +30,9 @@ import (
 // ProtoVersion is bumped on any incompatible wire change; the handshake
 // rejects mismatched clients instead of misparsing their frames.
 // Version 2 added the lease protocol (opLease/opLeaseAck/statusRevoke).
-const ProtoVersion = 2
+// Version 3 appended the server epoch to the hello response so failover
+// clients can fence stale primaries.
+const ProtoVersion = 3
 
 // maxFrame bounds a single frame so a corrupt or hostile length prefix
 // cannot make the peer allocate unbounded memory.
@@ -154,6 +156,13 @@ var (
 	// ErrConnClosed reports that the transport died (or was shut down)
 	// before the response arrived.
 	ErrConnClosed = errors.New("fileserver: connection closed")
+	// ErrServerGone reports that the server side dropped the transport
+	// while the client still wanted it — a crash or kill, as opposed to a
+	// close the client initiated itself. It wraps ErrConnClosed so
+	// existing errors.Is(err, ErrConnClosed) checks keep matching;
+	// failover logic matches ErrServerGone specifically to tell a dead
+	// primary from a local protocol bug.
+	ErrServerGone = fmt.Errorf("fileserver: server gone: %w", ErrConnClosed)
 	// ErrNotSupported is returned for operations that have no remote
 	// equivalent (Mmap needs an address space the client doesn't share).
 	ErrNotSupported = errors.New("fileserver: operation not supported on a remote mount")
@@ -206,9 +215,11 @@ func errFor(st status, msg string) error {
 	return fmt.Errorf("fileserver: remote: %s", msg)
 }
 
-// writeFrame assembles and writes one frame with a single Write call (the
+// WriteFrame assembles and writes one frame with a single Write call (the
 // pipe transport is synchronous, so frame assembly must not interleave).
-func writeFrame(w io.Writer, id uint64, code uint8, payload []byte) error {
+// Exported so internal/cluster can reuse the framing for its replication
+// stream instead of inventing a second length-prefixed protocol.
+func WriteFrame(w io.Writer, id uint64, code uint8, payload []byte) error {
 	buf := make([]byte, 13+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:], uint32(9+len(payload)))
 	binary.LittleEndian.PutUint64(buf[4:], id)
@@ -218,9 +229,9 @@ func writeFrame(w io.Writer, id uint64, code uint8, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame; any transport error (including EOF) is
+// ReadFrame reads one frame; any transport error (including EOF) is
 // returned verbatim for the caller to treat as session death.
-func readFrame(r io.Reader) (id uint64, code uint8, payload []byte, err error) {
+func ReadFrame(r io.Reader) (id uint64, code uint8, payload []byte, err error) {
 	var hdr [13]byte
 	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
 		return 0, 0, nil, err

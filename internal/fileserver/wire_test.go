@@ -13,12 +13,12 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payload := []byte("hello, wire")
-	if err := writeFrame(&buf, 42, uint8(opRead), payload); err != nil {
-		t.Fatalf("writeFrame: %v", err)
+	if err := WriteFrame(&buf, 42, uint8(opRead), payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
 	}
-	id, code, got, err := readFrame(&buf)
+	id, code, got, err := ReadFrame(&buf)
 	if err != nil {
-		t.Fatalf("readFrame: %v", err)
+		t.Fatalf("ReadFrame: %v", err)
 	}
 	if id != 42 || op(code) != opRead || !bytes.Equal(got, payload) {
 		t.Fatalf("round trip = (%d, %d, %q)", id, code, got)
@@ -28,11 +28,11 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameRejectsHostileLength(t *testing.T) {
 	// A corrupt length prefix must not cause a giant allocation.
 	buf := bytes.NewBuffer([]byte{0xff, 0xff, 0xff, 0xff})
-	if _, _, _, err := readFrame(buf); err == nil {
+	if _, _, _, err := ReadFrame(buf); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 	buf = bytes.NewBuffer([]byte{1, 0, 0, 0})
-	if _, _, _, err := readFrame(buf); err == nil {
+	if _, _, _, err := ReadFrame(buf); err == nil {
 		t.Fatal("undersized frame accepted")
 	}
 }

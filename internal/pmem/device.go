@@ -15,7 +15,9 @@ package pmem
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -38,6 +40,15 @@ type Device struct {
 	mu     sync.RWMutex
 	chunks map[int64][]byte
 
+	// snapMu makes Snapshot/Restore atomic with respect to content
+	// mutations: mutators hold it shared for the duration of their byte
+	// copies, Snapshot/Restore hold it exclusively. Without it a snapshot
+	// taken while another goroutine streams a write (the replication
+	// resync path snapshots a live primary) could capture a half-applied
+	// store. Mutators release it before invoking the write observer, so an
+	// observer may take locks that a snapshot caller holds.
+	snapMu sync.RWMutex
+
 	// port is the per-NUMA-node device port: reads and writes share one
 	// calendar (mixed read/write traffic interferes on Optane, which is
 	// what makes background defragmentation steal 25-40%% of foreground
@@ -55,6 +66,41 @@ type Device struct {
 	// allocated so fault-free devices pay nothing. See fault.go.
 	faultOnce sync.Once
 	fault     *faultState
+
+	// obs, when set, sees every content mutation (WriteAt/ZeroRange/
+	// DiscardRange) after it lands. internal/cluster taps this to stream a
+	// primary's writes to replicas. Restore is exempt: it rewrites the
+	// device wholesale (crash-image injection), which is not a store.
+	obs atomic.Pointer[observerBox]
+}
+
+// WriteObserver sees every device content mutation. Callbacks run on the
+// mutating goroutine after the store landed, outside the device locks; an
+// implementation must copy data if it keeps it.
+type WriteObserver interface {
+	ObserveWrite(off int64, data []byte)
+	ObserveZero(off, n int64)
+	ObserveDiscard(off, n int64)
+}
+
+// observerBox wraps the interface so it fits an atomic.Pointer.
+type observerBox struct{ obs WriteObserver }
+
+// SetWriteObserver installs (or, with nil, removes) the device's write
+// observer. Only one observer is supported; installing replaces.
+func (d *Device) SetWriteObserver(obs WriteObserver) {
+	if obs == nil {
+		d.obs.Store(nil)
+		return
+	}
+	d.obs.Store(&observerBox{obs: obs})
+}
+
+func (d *Device) observer() WriteObserver {
+	if b := d.obs.Load(); b != nil {
+		return b.obs
+	}
+	return nil
 }
 
 // Config controls device construction.
@@ -203,11 +249,19 @@ func (d *Device) ReadAt(buf []byte, off int64) {
 func (d *Device) WriteAt(data []byte, off int64) {
 	d.checkRange(off, int64(len(data)))
 	d.record(off, data)
+	d.snapMu.RLock()
 	for _, seg := range d.tearStore(off, data) {
 		d.writeRaw(seg.Data, seg.Off)
 		// A store re-arms every line it fully overwrites (hardware clears
 		// poison on a full-line write).
 		d.clearPoisonCovered(seg.Off, int64(len(seg.Data)))
+	}
+	d.snapMu.RUnlock()
+	// The observer sees the intended store, not the torn segments: a
+	// replica receives what the CPU issued, while the local media may have
+	// kept only part of it — exactly the asymmetry a crash can create.
+	if obs := d.observer(); obs != nil {
+		obs.ObserveWrite(off, data)
 	}
 }
 
@@ -233,10 +287,12 @@ func (d *Device) writeRaw(data []byte, off int64) {
 // ZeroRange zero-fills [off, off+n) without charging virtual time.
 func (d *Device) ZeroRange(off, n int64) {
 	d.checkRange(off, n)
+	origOff, origN := off, n
 	if d.isTracing() {
 		d.record(off, make([]byte, n))
 	}
 	d.clearPoisonCovered(off, n)
+	d.snapMu.RLock()
 	for n > 0 {
 		base := off / ChunkSize * ChunkSize
 		in := off - base
@@ -258,6 +314,10 @@ func (d *Device) ZeroRange(off, n int64) {
 		off += m
 		n -= m
 	}
+	d.snapMu.RUnlock()
+	if obs := d.observer(); obs != nil {
+		obs.ObserveZero(origOff, origN)
+	}
 }
 
 // DiscardRange tells the device the contents of [off, off+n) no longer
@@ -271,11 +331,16 @@ func (d *Device) DiscardRange(off, n int64) {
 	if first >= last {
 		return
 	}
+	d.snapMu.RLock()
 	d.mu.Lock()
 	for base := first; base < last; base += ChunkSize {
 		delete(d.chunks, base)
 	}
 	d.mu.Unlock()
+	d.snapMu.RUnlock()
+	if obs := d.observer(); obs != nil {
+		obs.ObserveDiscard(off, n)
+	}
 }
 
 // HostBytes reports how much host memory currently backs the device.
@@ -478,6 +543,8 @@ func (d *Device) record(off int64, data []byte) {
 // Snapshot captures the device's current contents. Intended for the small
 // devices used in crash tests.
 func (d *Device) Snapshot() *Image {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	img := &Image{size: d.size, chunks: make(map[int64][]byte, len(d.chunks))}
@@ -494,6 +561,8 @@ func (d *Device) Restore(img *Image) {
 	if img.size != d.size {
 		panic("pmem: restoring snapshot of different size")
 	}
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
 	d.mu.Lock()
 	d.chunks = make(map[int64][]byte, len(img.chunks))
 	for base, c := range img.chunks {
@@ -531,6 +600,24 @@ func (img *Image) Apply(stores []Store) {
 			rest = rest[n:]
 			pos += n
 		}
+	}
+}
+
+// Size returns the imaged device's capacity in bytes.
+func (img *Image) Size() int64 { return img.size }
+
+// ForEachChunk visits every backed chunk in ascending offset order. Unbacked
+// regions (which read as zero) are skipped — a consumer reconstructing the
+// image should start from a zeroed device. The data slice is the image's own
+// backing store; callers must not retain or mutate it.
+func (img *Image) ForEachChunk(f func(off int64, data []byte)) {
+	offs := make([]int64, 0, len(img.chunks))
+	for base := range img.chunks {
+		offs = append(offs, base)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for _, base := range offs {
+		f(base, img.chunks[base])
 	}
 }
 

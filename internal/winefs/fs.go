@@ -76,6 +76,10 @@ type FS struct {
 	degradedFlag    atomic.Bool
 	degradedMu      sync.Mutex
 	degradedReasons []string
+
+	// commitHook, when set, fires for every resolved journal transaction
+	// (repl.go); internal/cluster uses it as a replication commit barrier.
+	commitHook atomic.Pointer[CommitHook]
 }
 
 // degrade switches the file system to read-only mode, recording why. It is

@@ -246,6 +246,7 @@ func (tx *txn) commit(ctx *sim.Ctx) {
 	j.fs.dev.Fence(ctx)
 	ctx.Counters.JournalCommits++
 	ctx.Counters.JournalNS += ctx.Now() - t0
+	j.fs.notifyCommit(tx.id)
 	j.res.Release(ctx)
 	ctx.EndSpan(sp)
 }
@@ -269,6 +270,7 @@ func (tx *txn) abort(ctx *sim.Ctx) {
 	tx.flushEntries(ctx)
 	j.fs.dev.Fence(ctx)
 	ctx.Counters.JournalAborts++
+	j.fs.notifyCommit(tx.id)
 	j.res.Release(ctx)
 }
 
