@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet bench bench-json bench-scaling bench-cache bench-replicated cache-race cluster-race fault-campaign cluster-campaign serve-smoke
+.PHONY: all build test check race vet bench bench-json bench-scaling bench-cache bench-replicated bench-mmap cache-race mmap-race cluster-race fault-campaign cluster-campaign serve-smoke
 
 all: build
 
@@ -50,6 +50,16 @@ bench-scaling:
 bench-cache:
 	$(GO) run ./cmd/winebench -cache -quick -clients 4 -check-against BENCH_cache.json
 
+# Zero-copy mapped-read sweep: a 32MiB file mapped through internal/vmm
+# on unaged vs Geriatrix-aged images for WineFS and ext4-DAX, hard-gated
+# on ≥90% unaged hugepage coverage and on aged ext4-DAX mapped reads
+# costing ≥3x the unaged ones, then regression-checked against the
+# committed BENCH_mmap.json (work and fault counters exact, virtual
+# timings within tolerance). Refresh the baseline with
+# `go run ./cmd/winebench -mmap -json BENCH_mmap.json`.
+bench-mmap:
+	$(GO) run ./cmd/winebench -mmap -check-against BENCH_mmap.json
+
 # Replication overhead on the ServerMix baseline: the same fan-out runs
 # plain and against a synchronous 2-replica cluster, hard-gated at ≤15%
 # span overhead and on the replicas ending byte-identical to the primary,
@@ -64,6 +74,13 @@ bench-replicated:
 # including the 8-concurrent-session storm (TestCacheRace8Sessions).
 cache-race:
 	$(GO) test -race -run 'TestCache|TestLease|TestRevoke|TestTwoSession|TestHit|TestDirty|TestLRU|TestCanonical|TestDenied|TestClose' ./internal/pagecache/ ./internal/fileserver/
+
+# The mmap subsystem under the race detector: the 8-thread shared-mapping
+# storm with concurrent truncation (TestMmapRace8Threads), the
+# truncate/unlink/punch invalidation tests, the vmm unit tests and the
+# mapping/lease coherence tests on both the client cache and the server.
+mmap-race:
+	$(GO) test -race -run 'TestMmap|TestServerMapRevokesClientLease|TestRemoteMapNotSupported|TestReadOnlyMapping|TestPrivateMapping|TestShared|TestSync|TestCloseFlushes|TestWindowed|TestMapPath|TestMapRequires' ./internal/vmm/ ./internal/winefs/ ./internal/pagecache/ ./internal/fileserver/
 
 # Replication + failover under the race detector: the cluster engine's
 # own tests (journal streaming, degraded mode, transparent failover,

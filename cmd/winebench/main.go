@@ -8,6 +8,7 @@
 //	          [-json FILE] [-trace FILE] [-metrics-out FILE]
 //	winebench -scaling [-scaling-ops N] [-json FILE] [-check-against FILE]
 //	winebench -cache [-clients N] [-json FILE] [-check-against FILE]
+//	winebench -mmap [-quick] [-json FILE] [-check-against FILE]
 //
 // -run selects experiments (comma-separated from: fig1 fig2 fig3 fig4 fig6
 // fig7 table2 fig8 fig9 fig10 recovery defrag hpc crashmonkey; default all).
@@ -38,6 +39,16 @@
 // and the re-read phase's virtual cost per read is compared. The run
 // fails unless the cached configuration is at least 5x cheaper per
 // re-read. -json writes the committable BENCH_cache.json report;
+//
+// -mmap runs the zero-copy mapped-read sweep instead: a 32MiB file is
+// mapped through internal/vmm on a freshly filled (unaged) image and on a
+// Geriatrix-aged image at the same utilisation, for both WineFS and
+// ext4-DAX, and the per-access cost plus hugepage coverage are compared.
+// The run fails unless unaged hugepage coverage is at least 90% and aged
+// ext4-DAX mapped reads cost at least 3x the unaged ones (the paper's
+// Figure 1 aging gap at the mmap API). -json writes the committable
+// BENCH_mmap.json report; -check-against regression-checks a run.
+//
 // -check-against regression-checks a run against one. In -server mode the
 // -cached flag wraps each client in the page cache too (incompatible with
 // -check-against, since the committed server baseline is uncached).
@@ -75,6 +86,7 @@ func main() {
 	replicated := flag.Bool("replicated", false, "run the replication-overhead benchmark and exit")
 	scaling := flag.Bool("scaling", false, "run the fxmark-style scalability suite and exit")
 	cache := flag.Bool("cache", false, "run the client page-cache effectiveness sweep and exit")
+	mmap := flag.Bool("mmap", false, "run the zero-copy mapped-read sweep (unaged vs aged) and exit")
 	cached := flag.Bool("cached", false, "-server: wrap every client in the internal/pagecache client cache")
 	scalingOps := flag.Int("scaling-ops", 0, "loop iterations per thread in -scaling mode (0 = 200, 64 with -quick)")
 	clients := flag.Int("clients", 8, "concurrent clients in -server mode")
@@ -85,6 +97,13 @@ func main() {
 	baseline := flag.String("check-against", "", "-server: compare the run against this BENCH report and fail on regression")
 	flag.Parse()
 
+	if *mmap {
+		if err := runMmapBench(*cpus, *quick, *seed, *jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "winebench: mmap: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cache {
 		if err := runCacheBench(*clients, *cpus, *quick, *seed, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: cache: %v\n", err)

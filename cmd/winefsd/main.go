@@ -152,6 +152,10 @@ func newRegistry(srv *fileserver.Server) *metrics.Registry {
 			metrics.SummaryFamily("winefsd_request_latency_ns",
 				"Per-request server-side latency in virtual nanoseconds.", st.Lat.Summary()),
 		}
+		// Canonical vmm_* names for the mapping subsystem (maps, hugepage
+		// vs base-page faults, promotions, msyncs, CoW breaks) alongside
+		// the prefixed full dump below.
+		fams = append(fams, metrics.VMMFamilies(&st.Counters)...)
 		return append(fams, metrics.CountersFamilies("winefsd_perf", &st.Counters)...)
 	}))
 	return reg
@@ -535,6 +539,13 @@ func runSmoke(cpus int) error {
 		}
 		if v != float64(f.Value) {
 			return fmt.Errorf("metrics %s = %v, /stats says %d", name, v, f.Value)
+		}
+	}
+	// The mapping subsystem's canonical families must be on the page even
+	// when idle (zero-valued counters still export).
+	for _, name := range []string{"vmm_maps_total", "vmm_huge_faults_total", "vmm_cow_breaks_total"} {
+		if _, ok := prom[name]; !ok {
+			return fmt.Errorf("metrics missing %s", name)
 		}
 	}
 	if got := prom["winefsd_ops_total"]; got != float64(page.Ops) {

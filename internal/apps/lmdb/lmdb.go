@@ -21,9 +21,9 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/mmu"
 	"repro/internal/sim"
 	"repro/internal/vfs"
+	"repro/internal/vmm"
 )
 
 const (
@@ -42,7 +42,7 @@ var ErrFull = errors.New("lmdb: map full")
 type DB struct {
 	fs   vfs.FS
 	file vfs.File
-	m    *mmu.Mapping
+	m    *vmm.Mapping
 
 	mapSize  int64
 	nextPage int64 // bump page allocator (CoW append)
@@ -88,7 +88,13 @@ func Open(ctx *sim.Ctx, fs vfs.FS, opts Options) (*DB, error) {
 	if err := f.Truncate(ctx, opts.MapSize); err != nil {
 		return nil, err
 	}
-	m, err := f.Mmap(ctx, opts.MapSize)
+	// One shared full-file mapping, LMDB WRITEMAP-style: stores land in
+	// the map directly and the meta page is msync'd at commit.
+	m, err := vmm.Map(ctx, f, opts.MapSize, vmm.Config{
+		Mode:        vmm.ModeShared,
+		Sync:        vmm.SyncLazy,
+		MapFullFile: true,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +109,7 @@ func Open(ctx *sim.Ctx, fs vfs.FS, opts Options) (*DB, error) {
 
 // Mapping exposes the underlying mapping (experiments read fault counters
 // from the ctx used to drive it).
-func (db *DB) Mapping() *mmu.Mapping { return db.m }
+func (db *DB) Mapping() *vmm.Mapping { return db.m }
 
 func (db *DB) writeMeta(ctx *sim.Ctx, txnID uint64) error {
 	var meta [32]byte
@@ -111,8 +117,13 @@ func (db *DB) writeMeta(ctx *sim.Ctx, txnID uint64) error {
 	binary.LittleEndian.PutUint64(meta[8:], txnID)
 	binary.LittleEndian.PutUint64(meta[16:], uint64(db.root))
 	binary.LittleEndian.PutUint64(meta[24:], uint64(db.nextPage))
-	// Alternate between the two meta pages like LMDB.
-	return db.m.Write(ctx, meta[:], int64(txnID%2)*PageSize)
+	// Alternate between the two meta pages like LMDB, and msync the one
+	// just written: the commit is durable when the meta page is.
+	metaOff := int64(txnID%2) * PageSize
+	if err := db.m.Write(ctx, meta[:], metaOff); err != nil {
+		return err
+	}
+	return db.m.Msync(ctx, metaOff, PageSize)
 }
 
 // allocPage bumps the CoW frontier.

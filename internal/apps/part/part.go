@@ -16,9 +16,9 @@ import (
 	"encoding/binary"
 	"errors"
 
-	"repro/internal/mmu"
 	"repro/internal/sim"
 	"repro/internal/vfs"
+	"repro/internal/vmm"
 )
 
 // Node kinds.
@@ -44,7 +44,7 @@ var ErrFull = errors.New("part: pool full")
 
 // Tree is a P-ART over a memory-mapped pool file.
 type Tree struct {
-	m    *mmu.Mapping
+	m    *vmm.Mapping
 	size int64
 	bump int64
 	root int64 // offset of root node, 0 = empty
@@ -60,20 +60,24 @@ func New(ctx *sim.Ctx, fs vfs.FS, path string, poolSize int64) (*Tree, error) {
 	if err := f.Fallocate(ctx, 0, poolSize); err != nil {
 		return nil, err
 	}
-	m, err := f.Mmap(ctx, poolSize)
-	if err != nil {
-		return nil, err
-	}
 	// §5.4: "P-ART ... pre-faults this region during initialization to
-	// avoid page faults in the critical path."
-	if err := m.Prefault(ctx); err != nil {
+	// avoid page faults in the critical path." — Preload prefaults the
+	// whole pool at map time; stores flush as they land (the tree's
+	// persistence story is clwb-per-store, not batched msync).
+	m, err := vmm.Map(ctx, f, poolSize, vmm.Config{
+		Mode:        vmm.ModeShared,
+		Sync:        vmm.SyncImmediate,
+		MapFullFile: true,
+		Preload:     true,
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &Tree{m: m, size: poolSize, bump: 64}, nil
 }
 
 // Mapping exposes the pool mapping.
-func (t *Tree) Mapping() *mmu.Mapping { return t.m }
+func (t *Tree) Mapping() *vmm.Mapping { return t.m }
 
 func (t *Tree) alloc(n int64) (int64, error) {
 	// Cache-line align nodes.

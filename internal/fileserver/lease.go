@@ -161,6 +161,12 @@ func (s *Server) removeHolderLocked(sess *session, ino uint64) {
 // new conflicting lease in between the revoke and the grant) and then
 // refuses rather than livelock; a refused client simply runs uncached.
 func (s *Server) acquireLease(sess *session, ino uint64, write bool) bool {
+	// A locally mapped inode is never leased: DAX stores through the
+	// mapping would go stale in any client cache. Refused clients serve
+	// the file uncached, which is coherent by construction.
+	if s.mapped != nil && s.mapped.MappedCount(ino) > 0 {
+		return false
+	}
 	for tries := 0; tries < 8; tries++ {
 		s.revokeConflicting(sess, ino, write)
 		s.leaseMu.Lock()

@@ -111,17 +111,32 @@ type Server struct {
 	leaseMu sync.Mutex
 	leases  map[uint64]*fileLease
 
+	// mapped, when the exported FS tracks memory mappings, gates lease
+	// grants: a locally mapped inode is never leased (DAX stores bypass
+	// the lease protocol entirely), so those clients run uncached.
+	mapped vfs.MapTracker
+
 	wg sync.WaitGroup
 }
 
 // New returns a server exporting fs.
 func New(fs vfs.FS, cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		fs:       fs,
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[uint64]*session),
 		leases:   make(map[uint64]*fileLease),
 	}
+	if mt, ok := fs.(vfs.MapTracker); ok {
+		s.mapped = mt
+	}
+	if mn, ok := fs.(vfs.MapNotifier); ok {
+		// The reverse direction: a mapping attaching locally revokes any
+		// leases already out on the inode, exactly like a conflicting
+		// writer.
+		mn.SetMapHook(func(ino uint64) { s.revokeConflicting(nil, ino, true) })
+	}
+	return s
 }
 
 // FS returns the exported file system.

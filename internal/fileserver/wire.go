@@ -165,7 +165,9 @@ var (
 	ErrServerGone = fmt.Errorf("fileserver: server gone: %w", ErrConnClosed)
 	// ErrNotSupported is returned for operations that have no remote
 	// equivalent (Mmap needs an address space the client doesn't share).
-	ErrNotSupported = errors.New("fileserver: operation not supported on a remote mount")
+	// It wraps vfs.ErrNotSupported so callers probing with errors.Is see
+	// the same typed failure from local and remote mounts.
+	ErrNotSupported = fmt.Errorf("fileserver: operation not supported on a remote mount: %w", vfs.ErrNotSupported)
 	// ErrBadHandle reports a request naming a handle the session never
 	// opened (or already closed).
 	ErrBadHandle = errors.New("fileserver: bad file handle")

@@ -1,6 +1,7 @@
 package fsbase
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/alloc"
@@ -372,6 +373,14 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 		}
 		n.extents = keep
 		n.gen++
+		if len(freed) > 0 {
+			// Shoot down live mapping translations before the freed
+			// blocks can be reused; faults past the new EOF now get
+			// vfs.ErrMapFault instead of a recycled extent.
+			for _, m := range n.mappings {
+				m.Invalidate()
+			}
+		}
 		fs.hooks.Free(ctx, freed)
 	}
 	n.size = size
@@ -513,6 +522,12 @@ func (f *File) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
 			fs.dev.Zero(ctx, phys, BlockSize)
 		}
 		return mmu.FaultResult{Phys: phys}, nil
+	}
+	// SIGBUS rule: demand allocation only backs pages inside the current
+	// size; past the page-rounded EOF the access is a typed fault error
+	// (the file may have been truncated under the mapping).
+	if pageOff >= (n.size+BlockSize-1)/BlockSize*BlockSize {
+		return mmu.FaultResult{}, fmt.Errorf("%s: fault at %d beyond eof %d: %w", fs.Name(), pageOff, n.size, vfs.ErrMapFault)
 	}
 	// Sparse hole: demand-allocate one base page.
 	exts2, err := fs.hooks.Alloc(ctx, 1, AllocHint{Node: n, FileBlk: pageOff / BlockSize, Goal: -1})

@@ -120,6 +120,10 @@ type Node struct {
 	gen     uint64
 	mmapGen uint64
 	mmapExt []mmu.Extent
+	// mappings are the live memory mappings over this node; layout
+	// changes (truncate, delete) shoot their translations down before
+	// freed blocks can be reused.
+	mappings []*mmu.Mapping
 
 	dirty int64 // bytes written since last fsync
 
@@ -341,7 +345,15 @@ func (fs *FS) destroy(ctx *sim.Ctx, n *Node) {
 	n.extents = nil
 	n.size = 0
 	n.gen++
+	maps := n.mappings
+	n.mappings = nil
 	n.mu.Unlock()
+	// Unlink-under-mmap: shoot down live translations before the blocks
+	// return to the allocator; later faults see size 0 and report
+	// vfs.ErrMapFault.
+	for _, m := range maps {
+		m.Invalidate()
+	}
 	fs.hooks.Free(ctx, ex)
 	fs.mu.Lock()
 	delete(fs.nodes, n.Ino)

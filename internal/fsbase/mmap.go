@@ -1,0 +1,69 @@
+package fsbase
+
+import (
+	"repro/internal/mmu"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// vfs.Mapper over the shared base: every fsbase-derived file system
+// (ext4-DAX, xfs-DAX, NOVA, PMFS, SplitFS, Strata) gets the zero-copy
+// mapping subsystem (internal/vmm) through these five methods. The fault
+// handler itself is File.Fault in file.go.
+
+// MapSpace implements vfs.Mapper.
+func (f *File) MapSpace() *mmu.AddressSpace { return f.fs.as }
+
+// MapSyscallNS implements vfs.Mapper.
+func (f *File) MapSyscallNS() int64 { return f.fs.model.SyscallNS }
+
+// AttachMapping implements vfs.Mapper.
+func (f *File) AttachMapping(m *mmu.Mapping) {
+	f.node.mu.Lock()
+	f.node.mappings = append(f.node.mappings, m)
+	f.node.mu.Unlock()
+}
+
+// DetachMapping implements vfs.Mapper.
+func (f *File) DetachMapping(m *mmu.Mapping) {
+	f.node.mu.Lock()
+	for i, mm := range f.node.mappings {
+		if mm == m {
+			f.node.mappings = append(f.node.mappings[:i], f.node.mappings[i+1:]...)
+			break
+		}
+	}
+	f.node.mu.Unlock()
+}
+
+// MsyncRange implements vfs.Mapper: DAX stores already sit in PM, so
+// durability for [off, off+n) is clwb over the backed lines plus one
+// sfence. Holes have nothing to flush.
+func (f *File) MsyncRange(ctx *sim.Ctx, off, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	fs := f.fs
+	node := f.node
+	startBlk := off / BlockSize
+	endBlk := (off + n + BlockSize - 1) / BlockSize
+	node.mu.RLock()
+	for _, e := range node.extents {
+		lo, hi := e.FileBlk, e.FileBlk+e.Len
+		if lo < startBlk {
+			lo = startBlk
+		}
+		if hi > endBlk {
+			hi = endBlk
+		}
+		if lo >= hi {
+			continue
+		}
+		fs.dev.Flush(ctx, (e.Blk+lo-e.FileBlk)*BlockSize, (hi-lo)*BlockSize)
+	}
+	node.mu.RUnlock()
+	fs.dev.Fence(ctx)
+	return nil
+}
+
+var _ vfs.Mapper = (*File)(nil)

@@ -175,6 +175,28 @@ func CountersFamilies(prefix string, c *perf.Counters) []Family {
 	return out
 }
 
+// VMMFamilies renders just the zero-copy mapping subsystem's counters
+// (the perf.Counters VMM* fields) as canonically named vmm_* families:
+// vmm_maps_total, vmm_huge_faults_total, vmm_cow_breaks_total, … — the
+// stable names dashboards alert on, independent of whatever prefix the
+// embedding server uses for the full counter dump.
+func VMMFamilies(c *perf.Counters) []Family {
+	fields := c.Fields()
+	out := make([]Family, 0, 9)
+	for _, f := range fields {
+		if !strings.HasPrefix(f.Name, "VMM") {
+			continue
+		}
+		out = append(out, Family{
+			Name:    SnakeCase(f.Name) + "_total",
+			Help:    "Zero-copy mapping subsystem: perf.Counters." + f.Name + ".",
+			Type:    "counter",
+			Samples: []Sample{{Value: float64(f.Value)}},
+		})
+	}
+	return out
+}
+
 // SummaryFamily renders a latency digest as a Prometheus summary with
 // quantile labels plus _sum and _count samples. Latencies are virtual
 // nanoseconds.

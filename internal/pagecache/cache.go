@@ -109,8 +109,12 @@ type Stats struct {
 	WriteThroughBytes  int64 // bytes written synchronously (appends, unleased writes)
 	Evictions, Revokes int64
 	FlushErrors        int64
-	Pages, DirtyPages  int
-	AttrEntries        int
+	// MapBypasses counts memory mappings attached through cached handles:
+	// each one flushed and dropped the ino's pages and released its lease
+	// (DAX stores bypass the lease protocol, so the cache must step aside).
+	MapBypasses       int64
+	Pages, DirtyPages int
+	AttrEntries       int
 }
 
 // maxAttrs bounds the attribute map; overflowing clears it (attribute
@@ -136,7 +140,10 @@ type Cache struct {
 	dirtyTotal int
 	attrs      map[string]vfs.FileInfo
 	attrsByIno map[uint64]map[string]struct{}
-	stats      Stats
+	// mapped counts live memory mappings per ino (mmap.go): while
+	// non-zero the ino is served pass-through and new opens don't lease.
+	mapped map[uint64]int
+	stats  Stats
 }
 
 var _ vfs.FS = (*Cache)(nil)
@@ -154,6 +161,7 @@ func New(inner vfs.FS, cfg Config) *Cache {
 		lru:        list.New(),
 		attrs:      make(map[string]vfs.FileInfo),
 		attrsByIno: make(map[uint64]map[string]struct{}),
+		mapped:     make(map[uint64]int),
 	}
 	if rs, ok := inner.(RevokeSource); ok {
 		rs.SetRevokeHandler(c.revoked)
@@ -258,6 +266,15 @@ func (c *Cache) openLike(ctx *sim.Ctx, path string, create bool) (vfs.File, erro
 	}
 	lf, ok := f.(Leasable)
 	if !ok {
+		return f, nil
+	}
+	// A live local mapping pins the ino in bypass: no lease, no caching,
+	// every access passes through (coherent with DAX stores by
+	// construction).
+	c.mu.Lock()
+	bypass := c.mapped[f.Ino()] > 0
+	c.mu.Unlock()
+	if bypass {
 		return f, nil
 	}
 	granted, lerr := lf.Lease(ctx, false)

@@ -1,0 +1,111 @@
+package pagecache
+
+import (
+	"repro/internal/mmu"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// vfs.Mapper delegation: a cached handle can be memory-mapped iff the
+// inner file can (a local FS under the cache — remote mounts aren't
+// Mappers and vmm.Map reports ErrNotSupported). The coherence rule is
+// "Mmap bypasses the lease": attaching a mapping flushes and drops every
+// cached page for the ino, releases the client lease, and pins the ino
+// in pass-through until the last mapping detaches. Stores through the
+// mapping hit PM directly, so the only coherent cache is no cache.
+
+func (f *cachedFile) innerMapper() vfs.Mapper {
+	m, _ := f.inner.(vfs.Mapper)
+	return m
+}
+
+// Fault implements mmu.FaultHandler by delegation.
+func (f *cachedFile) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
+	if m := f.innerMapper(); m != nil {
+		return m.Fault(ctx, pageOff)
+	}
+	return mmu.FaultResult{}, vfs.ErrNotSupported
+}
+
+// MapSpace implements vfs.Mapper; nil when the inner file cannot map.
+func (f *cachedFile) MapSpace() *mmu.AddressSpace {
+	if m := f.innerMapper(); m != nil {
+		return m.MapSpace()
+	}
+	return nil
+}
+
+// MapSyscallNS implements vfs.Mapper.
+func (f *cachedFile) MapSyscallNS() int64 {
+	if m := f.innerMapper(); m != nil {
+		return m.MapSyscallNS()
+	}
+	return 0
+}
+
+// AttachMapping implements vfs.Mapper: step the cache aside, then attach
+// on the inner file.
+func (f *cachedFile) AttachMapping(m *mmu.Mapping) {
+	im := f.innerMapper()
+	if im == nil {
+		return
+	}
+	f.c.mapAttach(f)
+	im.AttachMapping(m)
+}
+
+// DetachMapping implements vfs.Mapper.
+func (f *cachedFile) DetachMapping(m *mmu.Mapping) {
+	im := f.innerMapper()
+	if im == nil {
+		return
+	}
+	im.DetachMapping(m)
+	f.c.mapDetach(f.st.ino)
+}
+
+// MsyncRange implements vfs.Mapper by delegation (the cache holds no
+// pages for a mapped ino, so there is nothing of its own to flush).
+func (f *cachedFile) MsyncRange(ctx *sim.Ctx, off, n int64) error {
+	if m := f.innerMapper(); m != nil {
+		return m.MsyncRange(ctx, off, n)
+	}
+	return vfs.ErrNotSupported
+}
+
+// mapAttach enforces the bypass rule for one new mapping over f's ino:
+// flush dirty pages, drop the rest, release the lease, and pin bypass.
+func (c *Cache) mapAttach(f *cachedFile) {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	c.mu.Lock()
+	st := f.st
+	wasLeased := st.mode != modeNone
+	st.mode = modeNone
+	batch := c.collectDirtyLocked(st)
+	c.attrDropInoLocked(st.ino)
+	c.mapped[st.ino]++
+	c.stats.MapBypasses++
+	c.mu.Unlock()
+	// writeBack records failures as the ino's sticky flushErr; the pages
+	// are dropped regardless — the mapping is about to become the only
+	// truth for those bytes.
+	c.writeBack(c.flushCtx, batch)
+	c.mu.Lock()
+	c.dropPagesLocked(st)
+	c.mu.Unlock()
+	if wasLeased {
+		f.lf.Unlease(c.flushCtx)
+	}
+}
+
+// mapDetach drops one mapping's pin on the ino.
+func (c *Cache) mapDetach(ino uint64) {
+	c.mu.Lock()
+	if c.mapped[ino] > 1 {
+		c.mapped[ino]--
+	} else {
+		delete(c.mapped, ino)
+	}
+	c.mu.Unlock()
+}

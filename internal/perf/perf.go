@@ -51,6 +51,17 @@ type Counters struct {
 	CacheFlushBytes int64 // dirty bytes written back to the server
 	CacheEvictions  int64 // pages dropped by LRU pressure
 	CacheRevokes    int64 // leases revoked because of a conflicting access
+
+	// Zero-copy mapping subsystem (internal/vmm) events.
+	VMMMaps         int64 // mappings established (vmm.Map)
+	VMMUnmaps       int64 // mappings torn down (vmm.Mapping.Close)
+	VMMHugeFaults   int64 // mapping faults satisfied with a 2MiB hugepage
+	VMMBaseFaults   int64 // mapping faults satisfied with a 4KiB base page
+	VMMPromotions   int64 // chunks refaulted huge after previously faulting base
+	VMMMsyncs       int64 // msync calls that reached the backing store
+	VMMMsyncBytes   int64 // bytes made durable by msync
+	VMMCowBreaks    int64 // private-mapping pages copied on first store
+	VMMWindowRemaps int64 // window slides on mappings larger than the address budget
 }
 
 // Reset zeroes every counter.

@@ -28,6 +28,16 @@ var (
 	// request. Implementations return it instead of corrupt bytes and
 	// never panic on media faults.
 	ErrIO = errors.New("vfs: input/output error")
+	// ErrNotSupported is the ENOTSUP analogue: the operation is valid but
+	// this file/file system cannot provide it (e.g. mmap of a remote
+	// mount, which shares no address space with the server).
+	ErrNotSupported = errors.New("vfs: operation not supported")
+	// ErrMapFault is the SIGBUS analogue: an access through a memory
+	// mapping touched a page beyond the file's current end (the file was
+	// truncated, punched, or unlinked under the mapping, or the mapping
+	// was sparse past EOF). It is a per-access error, never a stale
+	// translation.
+	ErrMapFault = errors.New("vfs: mapped access beyond end of file (SIGBUS)")
 )
 
 // ConsistencyMode states the crash guarantees a mounted file system
@@ -119,6 +129,54 @@ type File interface {
 	SetXattr(ctx *sim.Ctx, name string, value []byte) error
 	GetXattr(ctx *sim.Ctx, name string) ([]byte, bool)
 	Close(ctx *sim.Ctx) error
+}
+
+// Mapper is the optional File extension backing the zero-copy mapping
+// subsystem (internal/vmm). A file that implements it can serve page
+// faults directly from its extent tree: vmm carves a window out of
+// MapSpace, installs the file as the fault handler, and charges
+// fault/TLB/page-walk costs per access instead of per-syscall copies.
+// Files that cannot be mapped (remote mounts, failover proxies) simply
+// don't implement it and vmm.Map returns ErrNotSupported.
+type Mapper interface {
+	mmu.FaultHandler
+	// MapSpace returns the address space mappings over this file live in;
+	// nil means the file cannot be memory-mapped.
+	MapSpace() *mmu.AddressSpace
+	// AttachMapping registers a live mapping so layout changes (truncate,
+	// punch, unlink, reactive rewriting) can shoot down its translations.
+	AttachMapping(m *mmu.Mapping)
+	// DetachMapping unregisters a mapping at munmap.
+	DetachMapping(m *mmu.Mapping)
+	// MsyncRange makes stores issued through a mapping to [off, off+n)
+	// durable under the file system's rules (clwb per line + sfence; in
+	// strict mode the fault-time metadata was already journaled, so no
+	// further journal barrier is needed — see DESIGN.md §11).
+	MsyncRange(ctx *sim.Ctx, off, n int64) error
+	// MapSyscallNS is the kernel-entry cost charged per mmap/munmap/msync.
+	MapSyscallNS() int64
+}
+
+// HolePuncher is the optional fallocate(FALLOC_FL_PUNCH_HOLE) extension:
+// deallocate [off, off+n), leaving a hole that reads back as zeros.
+type HolePuncher interface {
+	PunchHole(ctx *sim.Ctx, off, n int64) error
+}
+
+// MapTracker reports how many live mappings cover an inode. The file
+// server consults it before granting client leases: a locally mapped
+// file must not be cached remotely (stores through the mapping bypass
+// any lease protocol), so lease requests on mapped inodes are refused
+// and those clients run uncached.
+type MapTracker interface {
+	MappedCount(ino uint64) int
+}
+
+// MapNotifier lets a server register a hook that fires when a mapping
+// attaches to an inode, so leases already granted on it can be revoked
+// (the reverse direction of MapTracker's refusal).
+type MapNotifier interface {
+	SetMapHook(hook func(ino uint64))
 }
 
 // XattrAligned is the extended attribute WineFS uses to persist a file's

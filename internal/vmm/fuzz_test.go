@@ -1,0 +1,57 @@
+package vmm
+
+import (
+	"testing"
+
+	"repro/internal/mmu"
+)
+
+// FuzzWindowBounds checks the window-placement arithmetic for every
+// (access offset, mapping length, address budget) combination: the chosen
+// window must be hugepage-aligned, contain the faulting offset, stay
+// inside the mapping, and never exceed the budget (except in full-file
+// mode, where the window is the whole mapping by construction).
+func FuzzWindowBounds(f *testing.F) {
+	f.Add(int64(0), int64(1<<20), int64(64<<20), false)
+	f.Add(int64(63<<20), int64(256<<20), int64(64<<20), false)
+	f.Add(int64(200<<20), int64(256<<20), int64(64<<20), false)
+	f.Add(int64(5), int64(256<<20), int64(2<<20), true)
+	f.Add(int64(1<<30), int64(1<<30+1), int64(2<<20), false)
+	f.Fuzz(func(t *testing.T, off, length, budget int64, mapFull bool) {
+		// Constrain to the domain Map() establishes before any window is
+		// computed: positive length, hugepage-multiple budget, offset
+		// inside the mapping.
+		if length <= 0 || length > 1<<40 {
+			t.Skip()
+		}
+		if budget <= 0 || budget > 1<<40 {
+			t.Skip()
+		}
+		budget = alignUp(budget, mmu.HugePage)
+		if off < 0 || off >= length {
+			t.Skip()
+		}
+
+		base, n := windowBounds(off, length, budget, mapFull)
+
+		if base%mmu.HugePage != 0 {
+			t.Fatalf("window base %d not hugepage-aligned (off=%d len=%d budget=%d)", base, off, length, budget)
+		}
+		if n <= 0 {
+			t.Fatalf("empty window n=%d (off=%d len=%d budget=%d)", n, off, length, budget)
+		}
+		if off < base || off >= base+n {
+			t.Fatalf("window [%d,%d) misses off %d (len=%d, budget=%d)", base, base+n, off, length, budget)
+		}
+		if base+n > length {
+			t.Fatalf("window [%d,%d) past mapping length %d (off=%d, budget=%d)", base, base+n, length, off, budget)
+		}
+		full := mapFull || length <= budget
+		if !full && n > budget {
+			t.Fatalf("windowed mapping exceeded budget: n=%d budget=%d (off=%d len=%d)", n, budget, off, length)
+		}
+		if full && (base != 0 || n != length) {
+			t.Fatalf("full-file mapping got window [%d,%d), want [0,%d)", base, base+n, length)
+		}
+	})
+}

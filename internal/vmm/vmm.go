@@ -1,0 +1,591 @@
+// Package vmm is the zero-copy memory-mapping subsystem: it turns a
+// vfs.File into a window of directly addressable persistent memory, the
+// DAX mmap path of the paper (§2.2). A mapping is backed by internal/mmu
+// page tables — 2MiB hugepages wherever the backing extent satisfies
+// HugeEligible, 4KiB base pages otherwise — so applications pay
+// fault/TLB/page-walk/LLC costs per access instead of a syscall plus a
+// kernel copy per read/write.
+//
+// The file system under the mapping only has to implement vfs.Mapper
+// (winefs and every fsbase-derived FS do); remote mounts don't, and
+// Map returns ErrNotSupported for them. Modes follow POSIX mmap:
+// read-only, shared (stores go straight to PM; Msync makes them
+// durable), and private copy-on-write (first store copies the page to a
+// DRAM shadow; the file is never modified). Files larger than the
+// address budget are mapped through a sliding 2MiB-aligned window.
+package vmm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mmu"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Typed mapping errors.
+var (
+	// ErrNotSupported: the file cannot be memory-mapped (no vfs.Mapper —
+	// e.g. a remote mount or failover proxy). Wraps vfs.ErrNotSupported
+	// so errors.Is works against either.
+	ErrNotSupported = fmt.Errorf("vmm: file does not support memory mapping: %w", vfs.ErrNotSupported)
+	// ErrReadOnlyMapping is the SIGSEGV analogue: a store through a
+	// mapping created with ModeReadOnly.
+	ErrReadOnlyMapping = errors.New("vmm: store to read-only mapping (SIGSEGV)")
+	// ErrClosed: access through a mapping after Close (use-after-munmap).
+	ErrClosed = errors.New("vmm: mapping closed (use after munmap)")
+)
+
+// Mode selects the POSIX mapping semantics.
+type Mode int
+
+const (
+	// ModeReadOnly: PROT_READ. Stores return ErrReadOnlyMapping.
+	ModeReadOnly Mode = iota
+	// ModeShared: MAP_SHARED. Stores go directly to the file's PM pages;
+	// Msync (or the Sync policy) makes them durable.
+	ModeShared
+	// ModePrivate: MAP_PRIVATE. The first store to a page copies it to a
+	// DRAM shadow (a CoW break); the backing file is never modified and
+	// Msync is a no-op on private dirty pages.
+	ModePrivate
+)
+
+// SyncPolicy says when stores through a shared mapping become durable.
+type SyncPolicy int
+
+const (
+	// SyncLazy: only explicit Msync/Close flush (MAP_SHARED + msync).
+	SyncLazy SyncPolicy = iota
+	// SyncImmediate: every store is flushed to PM as it lands (the
+	// eADR/clwb-per-store discipline); Msync then has nothing to do.
+	SyncImmediate
+	// SyncPeriodic: an implicit msync of all dirty pages fires every
+	// SyncEveryBytes of stores (a background flusher).
+	SyncPeriodic
+)
+
+// DefaultAddressBudget bounds how much of a file is mapped at once when
+// MapFullFile is unset; larger files slide a window (64MiB keeps page
+// tables and TLB pressure bounded the way a 47-bit VA budget would).
+const DefaultAddressBudget = 64 << 20
+
+// defaultSyncEvery is the SyncPeriodic flush threshold.
+const defaultSyncEvery = 1 << 20
+
+// Config tunes a mapping.
+type Config struct {
+	// Mode selects read-only / shared / private semantics.
+	Mode Mode
+	// Sync is the durability policy for ModeShared stores.
+	Sync SyncPolicy
+	// MapFullFile maps the whole file in one window regardless of
+	// AddressBudget (LMDB-style: one contiguous map, no remaps).
+	MapFullFile bool
+	// Preload prefaults every page of the window at map time instead of
+	// taking demand faults on first touch.
+	Preload bool
+	// AddressBudget caps the window size in bytes (rounded up to 2MiB);
+	// zero means DefaultAddressBudget.
+	AddressBudget int64
+	// SyncEveryBytes is the SyncPeriodic threshold; zero means 1MiB.
+	SyncEveryBytes int64
+}
+
+// Mapping is a live memory mapping over a file. All methods are safe for
+// concurrent use by multiple sim threads.
+type Mapping struct {
+	f   vfs.File
+	b   vfs.Mapper
+	cfg Config
+	// length is the mapped span of the file, fixed at Map time.
+	length int64
+	own    bool // close f when the mapping closes (MapPath)
+
+	mu     sync.Mutex // guards win, closed, unsynced
+	closed bool
+	win    *window
+	// unsynced counts ModeShared store bytes since the last durability
+	// point (drives SyncPeriodic).
+	unsynced int64
+
+	// dirtyMu guards dirty: file page index -> dirty since last msync.
+	dirtyMu sync.Mutex
+	dirty   map[int64]struct{}
+
+	// privMu guards priv: file page index -> DRAM shadow (ModePrivate).
+	privMu sync.Mutex
+	priv   map[int64][]byte
+
+	// statMu guards chunkKind: file 2MiB-chunk index -> last fault kind
+	// (kindBase/kindHuge), for promotion accounting and coverage.
+	statMu    sync.Mutex
+	chunkKind map[int64]uint8
+}
+
+const (
+	kindBase = 1
+	kindHuge = 2
+)
+
+// window is one mapped slice of the file: [base, base+m.Len()).
+type window struct {
+	base int64 // file offset of the window start, 2MiB-aligned
+	m    *mmu.Mapping
+}
+
+// Map establishes a mapping over the first length bytes of f (length<=0
+// maps the current size). The file must implement vfs.Mapper; otherwise
+// ErrNotSupported is returned, which is what remote mounts yield.
+func Map(ctx *sim.Ctx, f vfs.File, length int64, cfg Config) (*Mapping, error) {
+	b, ok := f.(vfs.Mapper)
+	if !ok || b.MapSpace() == nil {
+		return nil, ErrNotSupported
+	}
+	if length <= 0 {
+		length = f.Size()
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("vmm: cannot map empty file: %w", mmu.ErrOutOfRange)
+	}
+	if cfg.AddressBudget <= 0 {
+		cfg.AddressBudget = DefaultAddressBudget
+	}
+	// Round the budget up to a hugepage so window bases stay 2MiB-aligned
+	// (HugeEligible needs file-offset alignment to hold through windows).
+	cfg.AddressBudget = alignUp(cfg.AddressBudget, mmu.HugePage)
+	if cfg.SyncEveryBytes <= 0 {
+		cfg.SyncEveryBytes = defaultSyncEvery
+	}
+	ctx.Syscall(b.MapSyscallNS())
+	ctx.Counters.VMMMaps++
+	v := &Mapping{
+		f:         f,
+		b:         b,
+		cfg:       cfg,
+		length:    length,
+		dirty:     make(map[int64]struct{}),
+		priv:      make(map[int64][]byte),
+		chunkKind: make(map[int64]uint8),
+	}
+	v.mu.Lock()
+	_, err := v.windowForLocked(ctx, 0)
+	v.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MapPath opens path on fsys and maps it; the file handle is owned by
+// the mapping and closed with it.
+func MapPath(ctx *sim.Ctx, fsys vfs.FS, path string, length int64, cfg Config) (*Mapping, error) {
+	f, err := fsys.Open(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Map(ctx, f, length, cfg)
+	if err != nil {
+		f.Close(ctx)
+		return nil, err
+	}
+	m.own = true
+	return m, nil
+}
+
+// Len returns the mapped length.
+func (v *Mapping) Len() int64 { return v.length }
+
+// windowBounds computes the window [base, base+n) that serves an access
+// at off into a mapping of the given length under budget bytes of
+// address space. The base is always 2MiB-aligned (so hugepage
+// eligibility is judged at the same file alignment in every window) and
+// the window always contains off.
+func windowBounds(off, length, budget int64, mapFull bool) (base, n int64) {
+	if mapFull || length <= budget {
+		return 0, length
+	}
+	base = off / mmu.HugePage * mmu.HugePage
+	n = budget
+	if base+n > length {
+		n = length - base
+	}
+	return base, n
+}
+
+// windowForLocked returns the window covering off, sliding it if needed.
+// Caller holds v.mu.
+func (v *Mapping) windowForLocked(ctx *sim.Ctx, off int64) (*window, error) {
+	if w := v.win; w != nil && off >= w.base && off < w.base+w.m.Len() {
+		return w, nil
+	}
+	base, n := windowBounds(off, v.length, v.cfg.AddressBudget, v.cfg.MapFullFile)
+	if v.win != nil {
+		// Slide: munmap the old window (full shootdown) and map the new
+		// one — one munmap plus one mmap worth of kernel entries.
+		v.b.DetachMapping(v.win.m)
+		v.win.m.Invalidate()
+		ctx.Syscall(2 * v.b.MapSyscallNS())
+		ctx.Counters.VMMWindowRemaps++
+	}
+	w := &window{base: base, m: v.b.MapSpace().NewMapping(n, &offsetHandler{v: v, base: base})}
+	v.b.AttachMapping(w.m)
+	v.win = w
+	if v.cfg.Preload {
+		if err := w.m.Prefault(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// offsetHandler adapts the file's mapping-relative fault handler to a
+// window: mmu hands it window-relative page offsets, the file wants
+// file offsets. It also enforces the SIGBUS rule — a fault past the
+// file's current EOF is a typed error, never a stale extent — and keeps
+// the per-chunk fault-kind history behind promotion accounting.
+type offsetHandler struct {
+	v    *Mapping
+	base int64
+}
+
+func (h *offsetHandler) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
+	fileOff := h.base + pageOff
+	// SIGBUS past EOF: mmap rounds the file out to a page boundary, any
+	// access beyond that faults. Size() is re-read on every fault, so a
+	// truncate under the mapping turns later faults into errors rather
+	// than resurrecting freed extents.
+	if eof := alignUp(h.v.f.Size(), mmu.BasePage); fileOff >= eof {
+		return mmu.FaultResult{}, fmt.Errorf("vmm: fault at %d past eof: %w", fileOff, vfs.ErrMapFault)
+	}
+	res, err := h.v.b.Fault(ctx, fileOff)
+	if err != nil {
+		return res, err
+	}
+	ck := fileOff / mmu.HugePage
+	h.v.statMu.Lock()
+	prev := h.v.chunkKind[ck]
+	if res.Huge {
+		if prev == kindBase {
+			ctx.Counters.VMMPromotions++
+		}
+		h.v.chunkKind[ck] = kindHuge
+		ctx.Counters.VMMHugeFaults++
+	} else {
+		h.v.chunkKind[ck] = kindBase
+		ctx.Counters.VMMBaseFaults++
+	}
+	h.v.statMu.Unlock()
+	return res, nil
+}
+
+// Read copies len(p) bytes at off through the mapping into p, taking
+// faults and paging costs as a load would.
+func (v *Mapping) Read(ctx *sim.Ctx, p []byte, off int64) error {
+	return v.access(ctx, p, off, false)
+}
+
+// Write stores p at off through the mapping. ModeReadOnly rejects it;
+// ModePrivate breaks the page to a DRAM shadow; ModeShared stores to PM
+// and tracks dirt for Msync.
+func (v *Mapping) Write(ctx *sim.Ctx, p []byte, off int64) error {
+	return v.access(ctx, p, off, true)
+}
+
+func (v *Mapping) access(ctx *sim.Ctx, p []byte, off int64, write bool) error {
+	if write && v.cfg.Mode == ModeReadOnly {
+		return ErrReadOnlyMapping
+	}
+	if off < 0 || off+int64(len(p)) > v.length {
+		return mmu.ErrOutOfRange
+	}
+	for len(p) > 0 {
+		v.mu.Lock()
+		if v.closed {
+			v.mu.Unlock()
+			return ErrClosed
+		}
+		w, err := v.windowForLocked(ctx, off)
+		v.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		n := w.base + w.m.Len() - off
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		seg := p[:n]
+		if v.cfg.Mode == ModePrivate {
+			err = v.accessPrivate(ctx, w, seg, off, write)
+		} else if write {
+			err = v.writeShared(ctx, w, seg, off)
+		} else {
+			err = w.m.Read(ctx, seg, off-w.base)
+		}
+		if err != nil {
+			return err
+		}
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// writeShared stores seg at off through window w and records the dirty
+// pages, then applies the Sync policy.
+func (v *Mapping) writeShared(ctx *sim.Ctx, w *window, seg []byte, off int64) error {
+	if err := w.m.Write(ctx, seg, off-w.base); err != nil {
+		return err
+	}
+	n := int64(len(seg))
+	v.dirtyMu.Lock()
+	for pg := off / mmu.BasePage; pg*mmu.BasePage < off+n; pg++ {
+		v.dirty[pg] = struct{}{}
+	}
+	v.dirtyMu.Unlock()
+	switch v.cfg.Sync {
+	case SyncImmediate:
+		// clwb-as-you-go: flush exactly the stored range, no kernel entry.
+		return v.msync(ctx, off, n, false)
+	case SyncPeriodic:
+		v.mu.Lock()
+		v.unsynced += n
+		due := v.unsynced >= v.cfg.SyncEveryBytes
+		if due {
+			v.unsynced = 0
+		}
+		v.mu.Unlock()
+		if due {
+			return v.msync(ctx, 0, v.length, false)
+		}
+	}
+	return nil
+}
+
+// accessPrivate serves a read or write in copy-on-write mode: pages with
+// a DRAM shadow are served from DRAM; a store to an unshadowed page
+// first copies it from the file (the CoW break), then lands in DRAM.
+func (v *Mapping) accessPrivate(ctx *sim.Ctx, w *window, p []byte, off int64, write bool) error {
+	for len(p) > 0 {
+		pg := off / mmu.BasePage
+		pgOff := off - pg*mmu.BasePage
+		n := mmu.BasePage - pgOff
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		v.privMu.Lock()
+		shadow := v.priv[pg]
+		v.privMu.Unlock()
+		if shadow == nil && write {
+			// CoW break: fault the file page in and copy it to DRAM.
+			shadow = make([]byte, mmu.BasePage)
+			pageStart := pg * mmu.BasePage
+			pn := int64(mmu.BasePage)
+			if pageStart+pn > v.length {
+				pn = v.length - pageStart
+			}
+			if err := w.m.Read(ctx, shadow[:pn], pageStart-w.base); err != nil {
+				return err
+			}
+			dramCost(ctx, mmu.BasePage)
+			ctx.Counters.VMMCowBreaks++
+			v.privMu.Lock()
+			if cur := v.priv[pg]; cur != nil {
+				shadow = cur // lost the race; use the winner's copy
+			} else {
+				v.priv[pg] = shadow
+			}
+			v.privMu.Unlock()
+		}
+		if shadow != nil {
+			dramCost(ctx, n)
+			if write {
+				copy(shadow[pgOff:], p[:n])
+			} else {
+				copy(p[:n], shadow[pgOff:])
+			}
+		} else {
+			// Clean read: straight through the file mapping.
+			if err := w.m.Read(ctx, p[:n], off-w.base); err != nil {
+				return err
+			}
+		}
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// dramCost charges a DRAM access for n bytes of shadow-page traffic.
+func dramCost(ctx *sim.Ctx, n int64) {
+	// ~60ns first-touch latency amortised per call plus DRAM bandwidth
+	// (~40GB/s -> 0.025ns/B), mirroring the page-cache hit pricing.
+	ctx.Advance(60 + n/40)
+}
+
+// Touch charges the paging costs of accessing [off, off+n) without
+// moving bytes — the bulk-sweep primitive benches use. Writes through a
+// private mapping are not modelled here (Touch is cost accounting only).
+func (v *Mapping) Touch(ctx *sim.Ctx, off, n int64, write bool) error {
+	if write && v.cfg.Mode == ModeReadOnly {
+		return ErrReadOnlyMapping
+	}
+	if off < 0 || off+n > v.length {
+		return mmu.ErrOutOfRange
+	}
+	for n > 0 {
+		v.mu.Lock()
+		if v.closed {
+			v.mu.Unlock()
+			return ErrClosed
+		}
+		w, err := v.windowForLocked(ctx, off)
+		v.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		seg := w.base + w.m.Len() - off
+		if seg > n {
+			seg = n
+		}
+		if err := w.m.Touch(ctx, off-w.base, seg, write); err != nil {
+			return err
+		}
+		if write && v.cfg.Mode == ModeShared {
+			v.dirtyMu.Lock()
+			for pg := off / mmu.BasePage; pg*mmu.BasePage < off+seg; pg++ {
+				v.dirty[pg] = struct{}{}
+			}
+			v.dirtyMu.Unlock()
+		}
+		off += seg
+		n -= seg
+	}
+	return nil
+}
+
+// Msync makes stores to [off, off+n) durable (n<0 syncs the whole
+// mapping). Shared mappings flush their dirty pages through the file
+// system's durability rules; private dirty pages are anonymous DRAM and
+// are never written back (POSIX MAP_PRIVATE).
+func (v *Mapping) Msync(ctx *sim.Ctx, off, n int64) error {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return ErrClosed
+	}
+	v.mu.Unlock()
+	if n < 0 {
+		off, n = 0, v.length
+	}
+	return v.msync(ctx, off, n, true)
+}
+
+// msync flushes the dirty pages intersecting [off, off+n). syscall says
+// whether to charge a kernel entry (explicit msync does; the
+// SyncImmediate store-side flush doesn't).
+func (v *Mapping) msync(ctx *sim.Ctx, off, n int64, syscall bool) error {
+	if syscall {
+		ctx.Syscall(v.b.MapSyscallNS())
+	}
+	ctx.Counters.VMMMsyncs++
+	if v.cfg.Mode != ModeShared {
+		return nil
+	}
+	// Collect the dirty pages in range as contiguous runs.
+	start := off / mmu.BasePage
+	end := (off + n + mmu.BasePage - 1) / mmu.BasePage
+	var runs [][2]int64
+	v.dirtyMu.Lock()
+	var runStart, runLen int64 = -1, 0
+	for pg := start; pg < end; pg++ {
+		if _, ok := v.dirty[pg]; ok {
+			delete(v.dirty, pg)
+			if runStart < 0 {
+				runStart = pg
+			}
+			runLen++
+		} else if runStart >= 0 {
+			runs = append(runs, [2]int64{runStart, runLen})
+			runStart, runLen = -1, 0
+		}
+	}
+	if runStart >= 0 {
+		runs = append(runs, [2]int64{runStart, runLen})
+	}
+	v.dirtyMu.Unlock()
+	for _, r := range runs {
+		rOff := r[0] * mmu.BasePage
+		rN := r[1] * mmu.BasePage
+		if rOff+rN > v.length {
+			rN = v.length - rOff
+		}
+		if err := v.b.MsyncRange(ctx, rOff, rN); err != nil {
+			return err
+		}
+		ctx.Counters.VMMMsyncBytes += rN
+	}
+	return nil
+}
+
+// Close unmaps: remaining shared dirt is flushed (so no acknowledged
+// store is silently lost at munmap), translations are shot down, and
+// the handle is detached from the file.
+func (v *Mapping) Close(ctx *sim.Ctx) error {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return ErrClosed
+	}
+	v.closed = true
+	w := v.win
+	v.win = nil
+	v.mu.Unlock()
+	var err error
+	if v.cfg.Mode == ModeShared {
+		err = v.msync(ctx, 0, v.length, false)
+	}
+	if w != nil {
+		v.b.DetachMapping(w.m)
+		w.m.Invalidate()
+	}
+	ctx.Syscall(v.b.MapSyscallNS())
+	ctx.Counters.VMMUnmaps++
+	if v.own {
+		if cerr := v.f.Close(ctx); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MappedPages reports the live translations of the current window:
+// resident 4KiB base pages and 2MiB hugepage chunks.
+func (v *Mapping) MappedPages() (base, huge int) {
+	v.mu.Lock()
+	w := v.win
+	v.mu.Unlock()
+	if w == nil {
+		return 0, 0
+	}
+	return w.m.MappedPages()
+}
+
+// FaultedChunks reports, over the mapping's lifetime, how many distinct
+// 2MiB file chunks have faulted and how many of them last faulted as a
+// hugepage — the hugepage-coverage figure the paper's Figure 1 plots.
+func (v *Mapping) FaultedChunks() (huge, total int) {
+	v.statMu.Lock()
+	defer v.statMu.Unlock()
+	for _, k := range v.chunkKind {
+		total++
+		if k == kindHuge {
+			huge++
+		}
+	}
+	return huge, total
+}
+
+func alignUp(n, a int64) int64 { return (n + a - 1) / a * a }

@@ -1,6 +1,7 @@
 package winefs
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/alloc"
@@ -596,6 +597,12 @@ func (f *File) cowRange(ctx *sim.Ctx, tx *mtx, p []byte, off int64) error {
 func (f *File) replaceRange(ctx *sim.Ctx, tx *mtx, startBlk, endBlk int64, newExts []alloc.Extent) error {
 	fs := f.fs
 	ino := f.ino
+	// Shoot down mapped translations before the displaced blocks return
+	// to the allocator: a mapping that kept them would read recycled
+	// memory. Refaults resolve through the new extents.
+	for _, m := range ino.mappings {
+		m.Invalidate()
+	}
 	// 1. Detach the old mapping over the range.
 	var freed []alloc.Extent
 	for i := 0; i < len(ino.extents); {
@@ -723,6 +730,15 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 				return fs.failTx(tx, "truncate", err)
 			}
 			i++
+		}
+		if len(freed) > 0 {
+			// Shoot down live mapping translations covering the freed
+			// blocks before they can be reallocated: later faults re-read
+			// the layout and the new size, so an access past the new EOF
+			// gets vfs.ErrMapFault, never a recycled extent.
+			for _, m := range ino.mappings {
+				m.Invalidate()
+			}
 		}
 		for _, e := range freed {
 			fs.alloc.free(ctx, e)
@@ -942,6 +958,15 @@ func (f *File) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
 	}
 	if phys, ok := mmu.PhysAt(exts, pageOff); ok {
 		return mmu.FaultResult{Phys: phys}, nil
+	}
+
+	// SIGBUS rule: demand allocation only backs pages inside the current
+	// file size (re-read under the lock — a racing truncate/unlink may
+	// have shrunk it since the unlocked probe). mmap rounds the file out
+	// to a page boundary; anything past that is a typed fault error.
+	size = ino.size
+	if pageOff >= (size+BlockSize-1)/BlockSize*BlockSize {
+		return mmu.FaultResult{}, fmt.Errorf("winefs: fault at %d beyond eof %d: %w", pageOff, size, vfs.ErrMapFault)
 	}
 
 	tx := fs.begin(ctx)

@@ -80,6 +80,11 @@ type FS struct {
 	// commitHook, when set, fires for every resolved journal transaction
 	// (repl.go); internal/cluster uses it as a replication commit barrier.
 	commitHook atomic.Pointer[CommitHook]
+
+	// mapHook, when set, fires with the inode number whenever a memory
+	// mapping attaches (mmap.go); the file server uses it to revoke
+	// client leases that would otherwise go stale under DAX stores.
+	mapHook atomic.Pointer[func(ino uint64)]
 }
 
 // degrade switches the file system to read-only mode, recording why. It is
@@ -792,12 +797,21 @@ func (fs *FS) destroyInode(ctx *sim.Ctx, ino *inode) {
 	ino.mu.Lock()
 	exts := ino.extents
 	indirect := ino.indirect
+	maps := ino.mappings
 	ino.extents = nil
 	ino.slots = nil
 	ino.indirect = nil
+	ino.mappings = nil
 	ino.size = 0
 	ino.gen++
 	ino.mu.Unlock()
+	// Unlink-under-mmap: shoot down every live translation before the
+	// blocks go back to the allocator. Size is now zero, so any later
+	// fault through a surviving mapping reports vfs.ErrMapFault instead
+	// of resurrecting freed storage.
+	for _, m := range maps {
+		m.Invalidate()
+	}
 	fs.alloc.freeAll(ctx, exts)
 	for _, blk := range indirect {
 		fs.alloc.free(ctx, alloc.Extent{Start: blk, Len: 1})
