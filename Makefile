@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet bench bench-json bench-scaling bench-cache bench-replicated bench-mmap cache-race mmap-race cluster-race fault-campaign cluster-campaign serve-smoke
+.PHONY: all build test check race vet bench bench-json bench-scaling bench-cache bench-replicated bench-mmap bench-defrag cache-race mmap-race defrag-race cluster-race fault-campaign cluster-campaign serve-smoke
 
 all: build
 
@@ -60,6 +60,17 @@ bench-cache:
 bench-mmap:
 	$(GO) run ./cmd/winebench -mmap -check-against BENCH_mmap.json
 
+# Online-defragmenter bench (§3.5): an adversarially aged image (zero
+# free aligned extents) is mapped and the background defragmenter must
+# recover ≥90% of the unaged hugepage coverage on the live mapping
+# without refaults; the interference phase must land in the paper's
+# 25-40% unthrottled band (§4) and stay ≤10% under the duty-cycle pacer.
+# Regression-checked against the committed BENCH_defrag.json (coverage
+# and migration work exact, virtual timings within tolerance). Refresh
+# the baseline with `go run ./cmd/winebench -defrag -json BENCH_defrag.json`.
+bench-defrag:
+	$(GO) run ./cmd/winebench -defrag -check-against BENCH_defrag.json
+
 # Replication overhead on the ServerMix baseline: the same fan-out runs
 # plain and against a synchronous 2-replica cluster, hard-gated at ≤15%
 # span overhead and on the replicas ending byte-identical to the primary,
@@ -81,6 +92,14 @@ cache-race:
 # mapping/lease coherence tests on both the client cache and the server.
 mmap-race:
 	$(GO) test -race -run 'TestMmap|TestServerMapRevokesClientLease|TestRemoteMapNotSupported|TestReadOnlyMapping|TestPrivateMapping|TestShared|TestSync|TestCloseFlushes|TestWindowed|TestMapPath|TestMapRequires' ./internal/vmm/ ./internal/winefs/ ./internal/pagecache/ ./internal/fileserver/
+
+# The online defragmenter under the race detector: the 8-thread suite
+# racing the defragmenter against foreground writers, truncates and live
+# mmaps (TestDefragRace8Threads), crash-mid-defrag recovery, the
+# rewrite-queue regression tests, the vmm re-promotion test and the
+# runner convergence test.
+defrag-race:
+	$(GO) test -race -run 'TestDefrag|TestRepromote|TestRewriteQueue|TestRunner' ./internal/winefs/ ./internal/vmm/ ./internal/defrag/
 
 # Replication + failover under the race detector: the cluster engine's
 # own tests (journal streaming, degraded mode, transparent failover,

@@ -1,0 +1,401 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/defrag"
+	"repro/internal/experiments"
+	"repro/internal/fstest"
+	"repro/internal/perf"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/winefs"
+	"repro/internal/workloads"
+)
+
+// The -defrag bench exercises the §3.5 online defragmenter end to end
+// and gates both halves of its contract:
+//
+//   - Recovery: on an adversarially aged image (zero free aligned
+//     extents) a live mapping that faulted in entirely as base pages
+//     must, after the defragmenter converges, recover at least 90% of
+//     the hugepage coverage the same workload gets on an unaged image —
+//     without a single refault (migrations re-form aligned extents, the
+//     reactive rewrite re-lands the file on them, and the promotion
+//     notification upgrades the live mapping in place).
+//   - Interference: the maintenance work must cost what the paper says
+//     it costs. Unthrottled, a concurrent defragmentation steals 25–40%
+//     of a foreground mmap reader's bandwidth (§4); under the duty-cycle
+//     pacer it must steal at most 10%.
+
+// defragMinRecovery gates recovered coverage relative to unaged.
+const defragMinRecovery = 0.90
+
+// defragUnthrottledMin/Max bound the §4 unthrottled interference band.
+const (
+	defragUnthrottledMin = 25.0
+	defragUnthrottledMax = 40.0
+)
+
+// defragThrottledMax bounds slowdown under the paced duty cycle.
+const defragThrottledMax = 10.0
+
+// defragThrottleBudget is the paced duty cycle the throttled
+// interference variant runs at.
+const defragThrottleBudget = 0.08
+
+// defragSoakOut is the recovery half of the report.
+type defragSoakOut struct {
+	// Coverage per condition (exact).
+	UnagedHuge, UnagedTotal int
+	AgedHuge, AgedTotal     int
+	DefragHuge, DefragTotal int
+	RecoveredCoverage       float64
+
+	// Defrag work done (exact).
+	Passes         int64
+	MigratedBlocks int64
+	Recovered2M    int64
+	Rewrites       int64
+	Repromoted     int64
+
+	// Virtual timings (tolerance-checked).
+	SetupNS  int64
+	DefragNS int64
+
+	Counters perf.Counters
+}
+
+// defragInterfVariant is one interference run at a given budget.
+type defragInterfVariant struct {
+	// Budget is the defragmenter duty cycle (1 = unthrottled).
+	Budget float64
+
+	// Work done (exact).
+	Rewrites       int64
+	MigratedBlocks int64
+
+	// Bandwidths in bytes per virtual ns (tolerance-checked) and the
+	// derived slowdown percentage.
+	BaselineBW  float64
+	ContendedBW float64
+	SlowdownPct float64
+}
+
+// defragReport is the machine-readable BENCH_defrag.json schema.
+type defragReport struct {
+	Bench        string // report schema tag, "defrag/v1"
+	SoakFileMB   int
+	FgMB         int
+	VictimMB     int
+	CPUs         int
+	Seed         uint64
+	Soak         defragSoakOut
+	Interference []defragInterfVariant
+}
+
+// runDefragBench runs the soak and both interference variants, prints
+// the comparison, enforces the gates and optionally writes/checks the
+// JSON report.
+func runDefragBench(cpus int, quick bool, seed uint64, jsonOut, baseline string) error {
+	soakFile := int64(32 << 20)
+	fgSize := int64(64 << 20)
+	vicSize := int64(160 << 20)
+	devSize := int64(512 << 20)
+	if quick {
+		soakFile = 16 << 20
+		fgSize = 16 << 20
+		vicSize = 32 << 20
+		devSize = 256 << 20
+	}
+	rep := defragReport{
+		Bench: "defrag/v1", SoakFileMB: int(soakFile >> 20),
+		FgMB: int(fgSize >> 20), VictimMB: int(vicSize >> 20),
+		CPUs: cpus, Seed: seed,
+	}
+
+	// Part A: aged-image coverage recovery.
+	maker, ok := fstest.ByName("WineFS", cpus)
+	if !ok {
+		return fmt.Errorf("WineFS maker not registered")
+	}
+	mk := func(ctx *sim.Ctx) (*winefs.FS, error) {
+		fs, err := maker.Make(ctx, pmem.New(devSize))
+		if err != nil {
+			return nil, err
+		}
+		return fs.(*winefs.FS), nil
+	}
+	soak, err := workloads.RunDefragSoak(mk, cpus, workloads.DefragSoakConfig{
+		FileBytes: soakFile, Seed: seed,
+	})
+	if err != nil {
+		return fmt.Errorf("soak: %w", err)
+	}
+	rep.Soak = defragSoakOut{
+		UnagedHuge: soak.UnagedHuge, UnagedTotal: soak.UnagedTotal,
+		AgedHuge: soak.AgedHuge, AgedTotal: soak.AgedTotal,
+		DefragHuge: soak.DefragHuge, DefragTotal: soak.DefragTotal,
+		RecoveredCoverage: soak.RecoveredCoverage(),
+		Passes:            soak.Passes,
+		MigratedBlocks:    soak.MigratedBlocks,
+		Recovered2M:       soak.Recovered2M,
+		Rewrites:          soak.Rewrites,
+		Repromoted:        soak.Repromoted,
+		SetupNS:           soak.SetupNS,
+		DefragNS:          soak.DefragNS,
+		Counters:          soak.Counters,
+	}
+
+	// Part B: foreground interference, unthrottled then paced.
+	for _, budget := range []float64{1, defragThrottleBudget} {
+		v, err := runDefragInterference(maker, cpus, devSize, fgSize, vicSize, budget)
+		if err != nil {
+			return fmt.Errorf("interference budget=%g: %w", budget, err)
+		}
+		rep.Interference = append(rep.Interference, v)
+	}
+
+	t := &experiments.Table{
+		Title: fmt.Sprintf("Online defrag: %dMiB mapped file on an aged image, %dMiB foreground vs %dMiB victim",
+			rep.SoakFileMB, rep.FgMB, rep.VictimMB),
+		Header: []string{"metric", "value"},
+	}
+	cover := func(h, t int) string { return fmt.Sprintf("%d/%d chunks", h, t) }
+	t.Rows = append(t.Rows,
+		[]string{"unaged hugepage coverage", cover(rep.Soak.UnagedHuge, rep.Soak.UnagedTotal)},
+		[]string{"aged hugepage coverage", cover(rep.Soak.AgedHuge, rep.Soak.AgedTotal)},
+		[]string{"after defrag", cover(rep.Soak.DefragHuge, rep.Soak.DefragTotal)},
+		[]string{"recovered coverage", fmt.Sprintf("%.0f%%", 100*rep.Soak.RecoveredCoverage)},
+		[]string{"defrag passes", fmt.Sprintf("%d", rep.Soak.Passes)},
+		[]string{"2MiB extents re-formed", fmt.Sprintf("%d", rep.Soak.Recovered2M)},
+		[]string{"blocks migrated", fmt.Sprintf("%d", rep.Soak.MigratedBlocks)},
+		[]string{"files rewritten", fmt.Sprintf("%d", rep.Soak.Rewrites)},
+		[]string{"chunks re-promoted live", fmt.Sprintf("%d", rep.Soak.Repromoted)},
+	)
+	for _, v := range rep.Interference {
+		name := "unthrottled"
+		if v.Budget < 1 {
+			name = fmt.Sprintf("throttled (budget %.0f%%)", 100*v.Budget)
+		}
+		t.Rows = append(t.Rows, []string{
+			"fg slowdown, " + name, fmt.Sprintf("%.1f%%", v.SlowdownPct)})
+	}
+	t.Print(os.Stdout)
+
+	// Gates.
+	unaged := rep.Soak.RecoveredCoverage / covOr1(rep.Soak.UnagedHuge, rep.Soak.UnagedTotal)
+	if unaged < defragMinRecovery {
+		return fmt.Errorf("defrag recovered %.0f%% of unaged hugepage coverage, below required %.0f%%",
+			100*unaged, 100*defragMinRecovery)
+	}
+	for _, v := range rep.Interference {
+		if v.Budget >= 1 {
+			if v.SlowdownPct < defragUnthrottledMin || v.SlowdownPct > defragUnthrottledMax {
+				return fmt.Errorf("unthrottled defrag slowdown %.1f%% outside the paper's %g-%g%% band",
+					v.SlowdownPct, defragUnthrottledMin, defragUnthrottledMax)
+			}
+		} else if v.SlowdownPct > defragThrottledMax {
+			return fmt.Errorf("throttled defrag slowdown %.1f%% above the %.0f%% bound",
+				v.SlowdownPct, defragThrottledMax)
+		}
+	}
+
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+		fmt.Printf("wrote defrag report to %s\n", jsonOut)
+	}
+	if baseline != "" {
+		if err := checkDefragBaseline(rep, baseline); err != nil {
+			return fmt.Errorf("baseline %s: %w", baseline, err)
+		}
+		fmt.Printf("baseline check OK against %s\n", baseline)
+	}
+	return nil
+}
+
+func covOr1(huge, total int) float64 {
+	if total == 0 || huge == 0 {
+		return 1
+	}
+	return float64(huge) / float64(total)
+}
+
+// runDefragInterference mirrors the §4 experiment (internal/experiments
+// Defrag) with the full online defragmenter as the background thread: a
+// pre-faulted foreground mapping sweeps while the maintenance thread
+// migrates and rewrites a fragmented victim, and the foreground's
+// bandwidth loss is measured against an uncontended baseline.
+func runDefragInterference(maker fstest.Maker, cpus int, devSize, fgSize, vicSize int64, budget float64) (defragInterfVariant, error) {
+	v := defragInterfVariant{Budget: budget}
+	ctx := sim.NewCtx(1, 0)
+	fs, err := maker.Make(ctx, pmem.New(devSize))
+	if err != nil {
+		return v, err
+	}
+	wfs := fs.(*winefs.FS)
+
+	// Foreground file: aligned, mapped, pre-faulted.
+	fg, err := fs.Create(ctx, "/foreground")
+	if err != nil {
+		return v, err
+	}
+	if err := fg.Fallocate(ctx, 0, fgSize); err != nil {
+		return v, err
+	}
+	fgMap, err := fg.Mmap(ctx, fgSize)
+	if err != nil {
+		return v, err
+	}
+	if err := fgMap.Prefault(ctx); err != nil {
+		return v, err
+	}
+
+	// Victim file: fragmented (built from small writes), large; mapping
+	// it queues the reactive rewrite the defragmenter will drain.
+	vic, err := fs.Create(ctx, "/victim")
+	if err != nil {
+		return v, err
+	}
+	chunk := make([]byte, 64<<10)
+	for off := int64(0); off < vicSize; off += int64(len(chunk)) {
+		if _, err := vic.WriteAt(ctx, chunk, off); err != nil {
+			return v, err
+		}
+	}
+	if _, err := vic.Mmap(ctx, vicSize); err != nil {
+		return v, err
+	}
+
+	read := func(c *sim.Ctx) (float64, error) {
+		start := c.Now()
+		passes := int64(3)
+		for p := int64(0); p < passes; p++ {
+			if err := fgMap.Touch(c, 0, fgSize, false); err != nil {
+				return 0, err
+			}
+		}
+		return float64(fgSize*passes) / float64(c.Now()-start), nil
+	}
+
+	// Baseline: foreground alone, starting after every setup booking.
+	bctx := sim.NewCtx(100, 0)
+	bctx.AdvanceTo(ctx.Now())
+	base, err := read(bctx)
+	if err != nil {
+		return v, err
+	}
+
+	// Contended: the defragmenter and the foreground reads share the
+	// same virtual-time window, starting together. The maintenance
+	// thread's device-port occupations are booked first; the foreground
+	// reads weave into the remaining gaps — unthrottled those gaps are
+	// the §4 25-40% loss, paced they are bounded by the duty cycle.
+	bg := sim.NewCtx(101, cpus-1)
+	bg.AdvanceTo(bctx.Now())
+	r := defrag.New(wfs, defrag.Config{Budget: budget, MaxPasses: 1})
+	st, err := r.Run(bg)
+	if err != nil {
+		return v, err
+	}
+	fgc := sim.NewCtx(102, 0)
+	fgc.AdvanceTo(bctx.Now())
+	cont, err := read(fgc)
+	if err != nil {
+		return v, err
+	}
+
+	v.Rewrites = int64(st.Rewrites)
+	v.MigratedBlocks = st.MigratedBlocks
+	v.BaselineBW = base
+	v.ContendedBW = cont
+	if base > 0 {
+		v.SlowdownPct = (1 - cont/base) * 100
+	}
+	return v, nil
+}
+
+// checkDefragBaseline compares a finished run against the committed
+// BENCH_defrag.json: configuration and work counters exact, virtual
+// timings and bandwidths within lockWaitTolerance.
+func checkDefragBaseline(rep defragReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base defragReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if rep.Bench != base.Bench || rep.SoakFileMB != base.SoakFileMB || rep.FgMB != base.FgMB ||
+		rep.VictimMB != base.VictimMB || rep.CPUs != base.CPUs || rep.Seed != base.Seed ||
+		len(rep.Interference) != len(base.Interference) {
+		return fmt.Errorf("configuration mismatch: run (%s soak %dMiB, fg %dMiB, victim %dMiB, %d cpus, seed %d, %d interference variants) vs baseline (%s %dMiB/%dMiB/%dMiB, %d cpus, seed %d, %d variants)",
+			rep.Bench, rep.SoakFileMB, rep.FgMB, rep.VictimMB, rep.CPUs, rep.Seed, len(rep.Interference),
+			base.Bench, base.SoakFileMB, base.FgMB, base.VictimMB, base.CPUs, base.Seed, len(base.Interference))
+	}
+	var bad []string
+	exact := func(name string, got, want int64) {
+		if got != want {
+			bad = append(bad, fmt.Sprintf("%s = %d, baseline %d", name, got, want))
+		}
+	}
+	within := func(name string, got, want float64) {
+		if want == 0 && got == 0 {
+			return
+		}
+		if want == 0 || got < want*(1-lockWaitTolerance) || got > want*(1+lockWaitTolerance) {
+			bad = append(bad, fmt.Sprintf("%s = %g, baseline %g (>%.0f%% off)", name, got, want, lockWaitTolerance*100))
+		}
+	}
+	g, w := &rep.Soak, &base.Soak
+	exact("Soak.UnagedHuge", int64(g.UnagedHuge), int64(w.UnagedHuge))
+	exact("Soak.UnagedTotal", int64(g.UnagedTotal), int64(w.UnagedTotal))
+	exact("Soak.AgedHuge", int64(g.AgedHuge), int64(w.AgedHuge))
+	exact("Soak.AgedTotal", int64(g.AgedTotal), int64(w.AgedTotal))
+	exact("Soak.DefragHuge", int64(g.DefragHuge), int64(w.DefragHuge))
+	exact("Soak.DefragTotal", int64(g.DefragTotal), int64(w.DefragTotal))
+	exact("Soak.Passes", g.Passes, w.Passes)
+	exact("Soak.MigratedBlocks", g.MigratedBlocks, w.MigratedBlocks)
+	exact("Soak.Recovered2M", g.Recovered2M, w.Recovered2M)
+	exact("Soak.Rewrites", g.Rewrites, w.Rewrites)
+	exact("Soak.Repromoted", g.Repromoted, w.Repromoted)
+	within("Soak.SetupNS", float64(g.SetupNS), float64(w.SetupNS))
+	within("Soak.DefragNS", float64(g.DefragNS), float64(w.DefragNS))
+	gotFields, wantFields := g.Counters.Fields(), w.Counters.Fields()
+	for j, f := range gotFields {
+		if f.Name == "LockWaitNS" {
+			within("Soak.Counters.LockWaitNS", float64(f.Value), float64(wantFields[j].Value))
+			continue
+		}
+		exact("Soak.Counters."+f.Name, f.Value, wantFields[j].Value)
+	}
+	for i := range rep.Interference {
+		gv, wv := &rep.Interference[i], &base.Interference[i]
+		name := fmt.Sprintf("Interference[budget=%g]", gv.Budget)
+		if gv.Budget != wv.Budget {
+			bad = append(bad, fmt.Sprintf("interference %d budget %g, baseline %g", i, gv.Budget, wv.Budget))
+			continue
+		}
+		exact(name+".Rewrites", gv.Rewrites, wv.Rewrites)
+		exact(name+".MigratedBlocks", gv.MigratedBlocks, wv.MigratedBlocks)
+		within(name+".BaselineBW", gv.BaselineBW, wv.BaselineBW)
+		within(name+".ContendedBW", gv.ContendedBW, wv.ContendedBW)
+		within(name+".SlowdownPct", gv.SlowdownPct, wv.SlowdownPct)
+	}
+	if len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "  regression: %s\n", b)
+		}
+		return fmt.Errorf("%d regressions vs baseline", len(bad))
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	winebench -scaling [-scaling-ops N] [-json FILE] [-check-against FILE]
 //	winebench -cache [-clients N] [-json FILE] [-check-against FILE]
 //	winebench -mmap [-quick] [-json FILE] [-check-against FILE]
+//	winebench -defrag [-quick] [-json FILE] [-check-against FILE]
 //
 // -run selects experiments (comma-separated from: fig1 fig2 fig3 fig4 fig6
 // fig7 table2 fig8 fig9 fig10 recovery defrag hpc crashmonkey; default all).
@@ -49,6 +50,16 @@
 // Figure 1 aging gap at the mmap API). -json writes the committable
 // BENCH_mmap.json report; -check-against regression-checks a run.
 //
+// -defrag runs the online-defragmenter bench (§3.5) instead: an
+// adversarially aged image (zero free aligned extents) is mapped, the
+// background defragmenter re-forms 2MiB extents and re-promotes the live
+// mapping, and recovered hugepage coverage is gated at >=90% of the
+// unaged control. A second phase measures foreground mmap interference
+// while the defragmenter runs, unthrottled (must land in the paper's
+// 25-40% band, §4) and duty-cycle paced (must stay <=10%). -json writes
+// the committable BENCH_defrag.json report; -check-against
+// regression-checks a run.
+//
 // -check-against regression-checks a run against one. In -server mode the
 // -cached flag wraps each client in the page cache too (incompatible with
 // -check-against, since the committed server baseline is uncached).
@@ -87,6 +98,7 @@ func main() {
 	scaling := flag.Bool("scaling", false, "run the fxmark-style scalability suite and exit")
 	cache := flag.Bool("cache", false, "run the client page-cache effectiveness sweep and exit")
 	mmap := flag.Bool("mmap", false, "run the zero-copy mapped-read sweep (unaged vs aged) and exit")
+	defragBench := flag.Bool("defrag", false, "run the online-defragmenter recovery and interference bench and exit")
 	cached := flag.Bool("cached", false, "-server: wrap every client in the internal/pagecache client cache")
 	scalingOps := flag.Int("scaling-ops", 0, "loop iterations per thread in -scaling mode (0 = 200, 64 with -quick)")
 	clients := flag.Int("clients", 8, "concurrent clients in -server mode")
@@ -100,6 +112,13 @@ func main() {
 	if *mmap {
 		if err := runMmapBench(*cpus, *quick, *seed, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: mmap: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *defragBench {
+		if err := runDefragBench(*cpus, *quick, *seed, *jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "winebench: defrag: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/defrag"
 	"repro/internal/fileserver"
 	"repro/internal/metrics"
 	"repro/internal/perf"
@@ -226,6 +227,8 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "run as a replica of this primary: apply its stream on -addr instead of serving clients")
 	epoch := flag.Uint64("epoch", 1, "primary epoch announced to clients and replicas (bump after promoting a replica)")
 	syncRepl := flag.Bool("sync-repl", false, "acknowledged writes wait for replica durability")
+	doDefrag := flag.Bool("defrag", false, "run the online background defragmenter (§3.5)")
+	defragBudget := flag.Float64("defrag-budget", 0.1, "defragmenter duty-cycle fraction of device bandwidth (1 = unthrottled)")
 	flag.Parse()
 
 	if *replicaOf != "" && *replicas != "" {
@@ -321,10 +324,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "winefsd: listen: %v\n", err)
 		os.Exit(1)
 	}
+
+	// Online background defragmenter (§3.5): a maintenance goroutine runs
+	// throttled passes on its own simulated thread, pinned to the last
+	// CPU. Each pass interleaves with client operations through the
+	// ordinary lock table; the pacer bounds its share of device bandwidth.
+	var defragRunner *defrag.Runner
+	var defragStop chan struct{}
+	var defragDone chan struct{}
+	if *doDefrag {
+		defragRunner = defrag.New(fs, defrag.Config{Budget: *defragBudget})
+		defragStop = make(chan struct{})
+		defragDone = make(chan struct{})
+		dctx := sim.NewCtx(3, *cpus-1)
+		go func() {
+			defer close(defragDone)
+			tick := time.NewTicker(250 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-defragStop:
+					return
+				case <-tick.C:
+					if _, err := defragRunner.Step(dctx); err != nil {
+						// Read-only (degraded) or unmounted: nothing left
+						// for a defragmenter to do.
+						return
+					}
+				}
+			}
+		}()
+		fmt.Printf("winefsd: online defrag enabled (budget %.0f%%)\n", 100**defragBudget)
+	}
+
 	if *stats != "" {
 		var extra []metrics.Collector
 		if repl != nil {
 			extra = append(extra, cluster.MetricsCollector(replStatsSource{repl}))
+		}
+		if defragRunner != nil {
+			extra = append(extra, metrics.CollectorFunc(func() []metrics.Family {
+				c := defragRunner.Counters()
+				return metrics.DefragFamilies(&c)
+			}))
 		}
 		bound, serr := serveStats(srv, *stats, extra...)
 		if serr != nil {
@@ -353,6 +395,10 @@ func main() {
 		cancel()
 		if repl != nil {
 			repl.Close()
+		}
+		if defragStop != nil {
+			close(defragStop)
+			<-defragDone
 		}
 		closeTracer()
 		uctx := sim.NewCtx(2, 0)

@@ -1,0 +1,124 @@
+// Package defrag is the online background defragmenter's driver (§3.5):
+// it owns the pacing policy and pass loop around winefs.DefragPass, and
+// exposes a race-free counter snapshot for the daemon's metrics
+// endpoint. The heavy lifting — candidate scanning, holds, migrations,
+// rewrite draining, re-promotion — lives in the file system itself,
+// because it needs the allocator's and the journal's locks; this
+// package decides when and how hard to run it.
+package defrag
+
+import (
+	"sync"
+
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/winefs"
+)
+
+// Config tunes the runner.
+type Config struct {
+	// Budget is the duty-cycle fraction of device time the defragmenter
+	// may consume (§4: unthrottled it steals 25-40% of foreground mmap
+	// bandwidth). <= 0 selects the 0.1 default; >= 1 runs unthrottled.
+	Budget float64
+	// MaxChunks caps candidate chunks per pass (0 = winefs default).
+	MaxChunks int
+	// MaxMigrateBlocks caps blocks migrated per pass (0 = winefs default).
+	MaxMigrateBlocks int64
+	// MaxPasses bounds Run's pass loop (0 = 16). Aged images converge
+	// over several passes: each migration can split a hole elsewhere,
+	// leaving small stragglers for the next pass to sweep up.
+	MaxPasses int
+}
+
+// Runner drives repeated defragmentation passes over one file system.
+// It is safe for one goroutine to Step/Run while others read Totals or
+// Counters (the daemon's metrics scrape).
+type Runner struct {
+	fs    *winefs.FS
+	cfg   Config
+	pacer *sim.Pacer
+
+	mu       sync.Mutex
+	last     winefs.DefragStats
+	passes   int64
+	counters perf.Counters // snapshot of the defrag thread's counters
+}
+
+// New builds a Runner; the Pacer is shared across passes so the duty
+// cycle is enforced over the thread's lifetime, not reset per pass.
+func New(fs *winefs.FS, cfg Config) *Runner {
+	var p *sim.Pacer
+	if cfg.Budget < 1 {
+		p = sim.NewPacer(cfg.Budget)
+	}
+	return &Runner{fs: fs, cfg: cfg, pacer: p}
+}
+
+// Step runs one defragmentation pass on the given thread context.
+func (r *Runner) Step(ctx *sim.Ctx) (winefs.DefragStats, error) {
+	st, err := r.fs.DefragPass(ctx, winefs.DefragOptions{
+		Pacer:            r.pacer,
+		MaxChunks:        r.cfg.MaxChunks,
+		MaxMigrateBlocks: r.cfg.MaxMigrateBlocks,
+	})
+	r.mu.Lock()
+	r.last = st
+	r.passes++
+	r.counters = *ctx.Counters
+	r.mu.Unlock()
+	return st, err
+}
+
+// Run loops Step until a pass finds nothing to do or MaxPasses is hit,
+// returning the accumulated stats. This is the paper's maintenance
+// thread body: aged images need several passes (each bounded by the
+// migration budget) to re-form their aligned pools.
+func (r *Runner) Run(ctx *sim.Ctx) (winefs.DefragStats, error) {
+	max := r.cfg.MaxPasses
+	if max <= 0 {
+		max = 16
+	}
+	var sum winefs.DefragStats
+	for i := 0; i < max; i++ {
+		st, err := r.Step(ctx)
+		sum.ChunksScanned += st.ChunksScanned
+		sum.MigratedBlocks += st.MigratedBlocks
+		sum.MigratedBytes += st.MigratedBytes
+		sum.Recovered2M += st.Recovered2M
+		sum.Rewrites += st.Rewrites
+		sum.SkippedBusy += st.SkippedBusy
+		sum.SkippedMeta += st.SkippedMeta
+		if err != nil {
+			return sum, err
+		}
+		if st.Clean() {
+			break
+		}
+	}
+	return sum, nil
+}
+
+// Last returns the most recent pass's stats and the total pass count.
+func (r *Runner) Last() (winefs.DefragStats, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last, r.passes
+}
+
+// Counters returns a copy of the defrag thread's perf counters as of
+// the last completed pass — the daemon's registry reads defrag_* metric
+// families from this without racing the maintenance goroutine.
+func (r *Runner) Counters() perf.Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters
+}
+
+// ThrottledNS reports the idle time the pacer has injected so far.
+func (r *Runner) ThrottledNS() int64 {
+	if r.pacer == nil {
+		return 0
+	}
+	return r.pacer.PausedNS
+}

@@ -1,0 +1,87 @@
+package defrag_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/defrag"
+	"repro/internal/metrics"
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/winefs"
+)
+
+func agedFS(t *testing.T) (*sim.Ctx, *winefs.FS) {
+	t.Helper()
+	ctx := sim.NewCtx(1, 0)
+	fs, err := winefs.Mkfs(ctx, pmem.New(256<<20), winefs.Options{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	for i := 0; i < 12; i++ {
+		f, err := fs.Create(ctx, fmt.Sprintf("/f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(ctx, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i += 2 {
+		if err := fs.Unlink(ctx, fmt.Sprintf("/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctx, fs
+}
+
+// TestRunnerConverges: Run loops passes until the image is clean, the
+// counter snapshot feeds the metrics registry, and a second Run finds
+// nothing left to do.
+func TestRunnerConverges(t *testing.T) {
+	ctx, fs := agedFS(t)
+	r := defrag.New(fs, defrag.Config{Budget: 0.2})
+	bg := sim.NewCtx(2, 1)
+	bg.AdvanceTo(ctx.Now())
+	sum, err := r.Run(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Recovered2M == 0 {
+		t.Fatalf("runner recovered nothing: %+v", sum)
+	}
+	if r.ThrottledNS() == 0 {
+		t.Fatal("budget 0.2 injected no throttle time")
+	}
+	if err := fs.Audit(bg); err != nil {
+		t.Fatalf("audit after runner: %v", err)
+	}
+
+	c := r.Counters()
+	if c.DefragPasses == 0 || c.DefragRecovered2M != sum.Recovered2M {
+		t.Fatalf("counter snapshot out of sync: passes=%d recovered=%d want %d",
+			c.DefragPasses, c.DefragRecovered2M, sum.Recovered2M)
+	}
+	fams := metrics.DefragFamilies(&c)
+	if len(fams) == 0 {
+		t.Fatal("no defrag_* metric families")
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "defrag_recovered2m_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("defrag_recovered2m_total missing from families")
+	}
+
+	again, err := r.Run(sim.NewCtx(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Recovered2M != 0 || again.MigratedBlocks != 0 {
+		t.Fatalf("second run still found work: %+v", again)
+	}
+}

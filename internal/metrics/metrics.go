@@ -197,6 +197,28 @@ func VMMFamilies(c *perf.Counters) []Family {
 	return out
 }
 
+// DefragFamilies renders the online defragmenter's counters (the
+// perf.Counters Defrag* fields) as canonically named defrag_* families:
+// defrag_passes_total, defrag_recovered2m_total, … — same contract as
+// VMMFamilies, so dashboards can alert on stable names regardless of the
+// embedding server's counter-dump prefix.
+func DefragFamilies(c *perf.Counters) []Family {
+	fields := c.Fields()
+	out := make([]Family, 0, 10)
+	for _, f := range fields {
+		if !strings.HasPrefix(f.Name, "Defrag") {
+			continue
+		}
+		out = append(out, Family{
+			Name:    SnakeCase(f.Name) + "_total",
+			Help:    "Online defragmenter: perf.Counters." + f.Name + ".",
+			Type:    "counter",
+			Samples: []Sample{{Value: float64(f.Value)}},
+		})
+	}
+	return out
+}
+
 // SummaryFamily renders a latency digest as a Prometheus summary with
 // quantile labels plus _sum and _count samples. Latencies are virtual
 // nanoseconds.

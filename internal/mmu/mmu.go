@@ -18,6 +18,7 @@ package mmu
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/perf"
 	"repro/internal/pmem"
@@ -144,6 +145,12 @@ type Mapping struct {
 
 	mu     sync.Mutex
 	chunks []chunk
+
+	// promoteHook is set by the mapping's owner (internal/vmm): the file
+	// system invokes it, via NotifyPromote, after a layout change that can
+	// only improve hugepage eligibility (reactive rewrite, online defrag),
+	// so live mappings re-promote without waiting for a refault.
+	promoteHook atomic.Pointer[func(ctx *sim.Ctx)]
 }
 
 // chunk tracks the mapping state of one 2MiB-aligned slice of the file.
@@ -197,6 +204,57 @@ func (m *Mapping) MappedPages() (base, huge int) {
 		}
 	}
 	return base, huge
+}
+
+// SetPromoteHook registers (or, with nil, clears) the owner's promotion
+// callback; see NotifyPromote.
+func (m *Mapping) SetPromoteHook(h func(ctx *sim.Ctx)) {
+	if h == nil {
+		m.promoteHook.Store(nil)
+		return
+	}
+	m.promoteHook.Store(&h)
+}
+
+// NotifyPromote tells the mapping's owner that the backing layout
+// improved (the khugepaged wakeup of the paper's §3.5 defragmenter). The
+// caller must hold no file-system locks: the hook re-probes eligibility
+// through the file. Costs accrue to ctx — the maintenance thread, not
+// the foreground.
+func (m *Mapping) NotifyPromote(ctx *sim.Ctx) {
+	if h := m.promoteHook.Load(); h != nil {
+		(*h)(ctx)
+	}
+}
+
+// PromoteChunk collapses the 2MiB mapping chunk at off (mapping-relative,
+// hugepage-aligned) to a single hugepage translation backed by the
+// physical byte address phys. Unlike a fault, it never allocates or
+// zeroes — the caller proved the chunk HugeEligible, so the data is
+// already in place. Returns false if the chunk was already huge or off is
+// out of range.
+func (m *Mapping) PromoteChunk(ctx *sim.Ctx, off, phys int64) bool {
+	if off < 0 || off%HugePage != 0 || off >= m.length {
+		return false
+	}
+	m.mu.Lock()
+	c := &m.chunks[int(off/HugePage)]
+	if c.huge {
+		m.mu.Unlock()
+		return false
+	}
+	c.huge = true
+	c.hugePhys = phys
+	c.pages = nil
+	m.mu.Unlock()
+	// The collapse swaps up to 512 PTEs for one PMD: stale base-page
+	// translations must leave the TLB, and installing the PMD costs one
+	// soft fault's worth of page-table work.
+	m.as.FlushTLB()
+	ctx.Counters.SoftFaults++
+	ctx.Counters.FaultNS += m.model.HugeFaultNS
+	ctx.Advance(m.model.HugeFaultNS)
+	return true
 }
 
 // pageState resolves the mapping state for the page containing off.

@@ -57,11 +57,23 @@ type Counters struct {
 	VMMUnmaps       int64 // mappings torn down (vmm.Mapping.Close)
 	VMMHugeFaults   int64 // mapping faults satisfied with a 2MiB hugepage
 	VMMBaseFaults   int64 // mapping faults satisfied with a 4KiB base page
-	VMMPromotions   int64 // chunks refaulted huge after previously faulting base
+	VMMPromotions   int64 // base-faulted chunks later promoted huge (refault or explicit notify)
 	VMMMsyncs       int64 // msync calls that reached the backing store
 	VMMMsyncBytes   int64 // bytes made durable by msync
 	VMMCowBreaks    int64 // private-mapping pages copied on first store
 	VMMWindowRemaps int64 // window slides on mappings larger than the address budget
+
+	// Online background defragmenter (internal/defrag) events.
+	DefragPasses         int64 // defragmentation passes completed
+	DefragChunksScanned  int64 // candidate 2MiB chunks examined
+	DefragMigratedBlocks int64 // file blocks copied out of fragmented chunks
+	DefragMigratedBytes  int64 // bytes moved by defrag migrations
+	DefragRecovered2M    int64 // 2MiB-aligned free extents re-formed by migration
+	DefragRewrites       int64 // queued fragmented files rewritten during a pass
+	DefragRepromotions   int64 // live-mapping chunks re-promoted by notification
+	DefragThrottleNS     int64 // idle virtual time injected by the bandwidth budget
+	DefragSkippedBusy    int64 // candidates abandoned because the layout changed underneath
+	DefragSkippedMeta    int64 // candidates skipped because metadata blocks pin the chunk
 }
 
 // Reset zeroes every counter.

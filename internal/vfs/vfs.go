@@ -179,6 +179,21 @@ type MapNotifier interface {
 	SetMapHook(hook func(ino uint64))
 }
 
+// HugeProber is an optional Mapper extension: report, without allocating
+// or faulting, whether the 2MiB file chunk at chunkOff (file-offset,
+// hugepage-aligned) is hugepage-eligible. The mapping subsystem uses it
+// to re-promote live mappings when the file system announces an improved
+// layout (§3.5 defragmenter, §3.6 reactive rewrite) instead of waiting
+// for a refault. When the chunk is eligible, install — if non-nil — runs
+// with the backing physical byte address while the implementation still
+// holds its layout read lock, so the caller can plant a hugepage
+// translation that no concurrent truncate/rewrite can race with freed
+// blocks (layout changes take the write lock and shoot mappings down
+// first). install must be brief and must not call back into the file.
+type HugeProber interface {
+	ProbeHuge(chunkOff int64, install func(phys int64)) bool
+}
+
 // XattrAligned is the extended attribute WineFS uses to persist a file's
 // alignment hint across copies (§3.6).
 const XattrAligned = "user.winefs.aligned"

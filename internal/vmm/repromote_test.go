@@ -1,0 +1,93 @@
+package vmm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/vmm"
+	"repro/internal/winefs"
+)
+
+// TestRepromoteAfterLayoutFix closes the promotion gap: a mapping whose
+// chunks were base-faulted over a fragmented layout is upgraded to
+// hugepage translations when the file system announces the layout
+// improved — no refault, and the per-chunk accounting (VMMPromotions,
+// FaultedChunks coverage) reflects every upgraded chunk.
+func TestRepromoteAfterLayoutFix(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(512 << 20)
+	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create(ctx, "/frag")
+	payload := make([]byte, 4<<20)
+	for i := range payload {
+		payload[i] = byte(i >> 12)
+	}
+	for off := int64(0); off < int64(len(payload)); off += 64 << 10 {
+		if _, err := f.WriteAt(ctx, payload[off:off+64<<10], off); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, err := vmm.Map(ctx, f, 0, vmm.Config{Mode: vmm.ModeReadOnly, MapFullFile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(ctx)
+	if err := m.Touch(ctx, 0, int64(len(payload)), false); err != nil {
+		t.Fatal(err)
+	}
+	hugeBefore, total := m.FaultedChunks()
+	if total != 2 {
+		t.Fatalf("faulted chunks = %d, want 2", total)
+	}
+	if hugeBefore == total {
+		t.Skip("layout happened to be hugepage-eligible already")
+	}
+
+	// Fix the layout: the reactive rewriter swaps in aligned extents and
+	// fires the promotion notification through the attach hook.
+	bg := sim.NewCtx(2, 3)
+	bg.AdvanceTo(ctx.Now())
+	if n := fs.RunRewriter(bg); n != 1 {
+		t.Fatalf("rewriter processed %d files, want 1", n)
+	}
+	hugeAfter, _ := m.FaultedChunks()
+	if hugeAfter != total {
+		t.Fatalf("coverage after notify = %d/%d chunks, want full", hugeAfter, total)
+	}
+	if got := bg.Counters.VMMPromotions; got != int64(total-hugeBefore) {
+		t.Fatalf("VMMPromotions = %d, want %d (one per upgraded chunk)", got, total-hugeBefore)
+	}
+	if bg.Counters.DefragRepromotions != int64(total-hugeBefore) {
+		t.Fatalf("DefragRepromotions = %d, want %d", bg.Counters.DefragRepromotions, total-hugeBefore)
+	}
+
+	// Explicit API is idempotent: nothing left to upgrade.
+	again := sim.NewCtx(3, 0)
+	again.AdvanceTo(bg.Now())
+	if n := m.Repromote(again); n != 0 {
+		t.Fatalf("second Repromote upgraded %d chunks, want 0", n)
+	}
+
+	// The application sees the same bytes, served without refaulting.
+	post := sim.NewCtx(4, 0)
+	post.AdvanceTo(bg.Now())
+	buf := make([]byte, 4096)
+	for _, off := range []int64{0, 2<<20 + 512} {
+		if err := m.Read(post, buf, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, payload[off:off+4096]) {
+			t.Fatalf("post-promotion read at %d corrupted", off)
+		}
+	}
+	if post.Counters.PageFaults+post.Counters.HugeFaults > 0 {
+		t.Fatalf("post-promotion reads refaulted (%d base, %d huge)",
+			post.Counters.PageFaults, post.Counters.HugeFaults)
+	}
+}

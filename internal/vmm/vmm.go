@@ -18,6 +18,7 @@ package vmm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/mmu"
@@ -231,6 +232,10 @@ func (v *Mapping) windowForLocked(ctx *sim.Ctx, off int64) (*window, error) {
 		ctx.Counters.VMMWindowRemaps++
 	}
 	w := &window{base: base, m: v.b.MapSpace().NewMapping(n, &offsetHandler{v: v, base: base})}
+	// Register the promotion hook before the file system learns about the
+	// mapping, so a layout improvement can never slip between attach and
+	// hook: the rewriter/defragmenter notifies every attached mapping.
+	w.m.SetPromoteHook(func(hctx *sim.Ctx) { v.Repromote(hctx) })
 	v.b.AttachMapping(w.m)
 	v.win = w
 	if v.cfg.Preload {
@@ -571,6 +576,73 @@ func (v *Mapping) MappedPages() (base, huge int) {
 		return 0, 0
 	}
 	return w.m.MappedPages()
+}
+
+// Repromote re-examines every 2MiB chunk this mapping has faulted with
+// base pages and, where the backing file has since become
+// hugepage-eligible, upgrades the per-chunk accounting and collapses the
+// live window's translation to a hugepage. This closes the promotion
+// gap: before, a chunk whose layout was fixed after mapping stayed on
+// base pages — and FaultedChunks/vmm_promotions_total undercounted —
+// until some later refault happened to hit it. The file system invokes
+// it through the mmu promote hook after reactive rewrites and online
+// defrag passes; callers may also invoke it directly. Costs accrue to
+// ctx (the maintenance thread, not the foreground). Returns the number
+// of chunks promoted; backings without vfs.HugeProber are a no-op.
+func (v *Mapping) Repromote(ctx *sim.Ctx) int {
+	prober, ok := v.b.(vfs.HugeProber)
+	if !ok {
+		return 0
+	}
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return 0
+	}
+	w := v.win
+	v.mu.Unlock()
+
+	v.statMu.Lock()
+	cand := make([]int64, 0, len(v.chunkKind))
+	for ck, k := range v.chunkKind {
+		if k == kindBase {
+			cand = append(cand, ck)
+		}
+	}
+	v.statMu.Unlock()
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+
+	promoted := 0
+	for _, ck := range cand {
+		fileOff := ck * mmu.HugePage
+		if fileOff+mmu.HugePage > v.length {
+			continue
+		}
+		// The translation is installed inside the probe, under the file's
+		// layout read lock: a concurrent truncate/rewrite cannot free the
+		// probed blocks before the hugepage PMD is in place (layout
+		// changes take the write lock and invalidate mappings first).
+		eligible := prober.ProbeHuge(fileOff, func(phys int64) {
+			if w != nil && fileOff >= w.base && fileOff+mmu.HugePage <= w.base+w.m.Len() {
+				w.m.PromoteChunk(ctx, fileOff-w.base, phys)
+			}
+		})
+		if !eligible {
+			continue
+		}
+		v.statMu.Lock()
+		fresh := v.chunkKind[ck] == kindBase
+		if fresh {
+			v.chunkKind[ck] = kindHuge
+		}
+		v.statMu.Unlock()
+		if fresh {
+			promoted++
+			ctx.Counters.VMMPromotions++
+			ctx.Counters.DefragRepromotions++
+		}
+	}
+	return promoted
 }
 
 // FaultedChunks reports, over the mapping's lifetime, how many distinct

@@ -45,6 +45,17 @@ type group struct {
 	holeBlocks  int64
 
 	inodeFree []int64 // free inode slots in this CPU's table
+
+	// holdBase, when >= 0, marks the hugepage chunk
+	// [holdBase, holdBase+BlocksPerHuge) as under online-defrag
+	// reclamation (§3.5): its free sub-ranges live in holdParts instead
+	// of the pools, so foreground allocation cannot hand them out while
+	// the defragmenter migrates the chunk's remaining live blocks, and
+	// blocks freed inside the chunk (the migrations' displaced extents)
+	// are diverted straight to holdParts. Audit checks holdParts stay
+	// disjoint from both pools and still count in the space tiling.
+	holdBase  int64
+	holdParts []alloc.Extent
 }
 
 func newGroup(cpu int) *group {
@@ -52,6 +63,7 @@ func newGroup(cpu int) *group {
 		cpu:         cpu,
 		holes:       rbtree.New[int64, int64](func(a, b int64) bool { return a < b }),
 		holesBySize: rbtree.New[holeKey, struct{}](holeLess),
+		holdBase:    -1,
 	}
 }
 
@@ -306,6 +318,52 @@ func (a *allocator) allocSmall(ctx *sim.Ctx, cpu int, need int64) ([]alloc.Exten
 	return out, true
 }
 
+// allocHoles is allocSmall restricted to hole space (no aligned-extent
+// splitting): the online defragmenter migrates displaced blocks into
+// existing holes only — breaking an aligned extent to vacate another
+// would churn forever at net-zero recovery.
+func (a *allocator) allocHoles(ctx *sim.Ctx, cpu int, need int64) ([]alloc.Extent, bool) {
+	var out []alloc.Extent
+	remaining := need
+	tryGroup := func(g *group, steal bool) {
+		for remaining > 0 {
+			g.mu.Lock()
+			start, got, ok := g.takeHoleLocked(remaining)
+			g.mu.Unlock()
+			ctx.Advance(allocCost)
+			if !ok {
+				return
+			}
+			out = append(out, alloc.Extent{Start: start, Len: got})
+			remaining -= got
+			if steal {
+				ctx.Counters.AllocSteals++
+			}
+		}
+	}
+	tryGroup(a.groups[cpu], false)
+	for remaining > 0 {
+		rg := a.mostHoles(cpu)
+		if rg == nil {
+			break
+		}
+		rg.mu.Lock()
+		empty := rg.holeBlocks == 0
+		rg.mu.Unlock()
+		if empty {
+			break
+		}
+		tryGroup(rg, true)
+	}
+	if remaining > 0 {
+		for _, e := range out {
+			a.free(ctx, e)
+		}
+		return nil, false
+	}
+	return coalesce(out), true
+}
+
 // alloc satisfies a request of `blocks` blocks (§3.4, "Allocation"):
 // the request is split into hugepage-sized pieces (served aligned) and a
 // remainder (served from holes). When wantAligned is set — large requests
@@ -411,7 +469,7 @@ func (a *allocator) free(ctx *sim.Ctx, e alloc.Extent) {
 		}
 		g := a.groups[cpu]
 		g.mu.Lock()
-		g.addHoleLocked(e.Start, take)
+		g.freeRangeLocked(e.Start, take)
 		g.mu.Unlock()
 		ctx.Advance(allocCost)
 		a.fs.dev.DiscardRange(e.StartByte(), take*BlockSize)
@@ -520,4 +578,93 @@ func (g *group) carveLocked(start, length int64) {
 			g.insertHoleLocked(end, c.s+c.l-end)
 		}
 	}
+}
+
+// freeRangeLocked is the hold-aware form of addHoleLocked: the part of
+// the range inside a held chunk is diverted to holdParts (it must not
+// become allocatable while the defragmenter reclaims the chunk); the
+// rest enters the pools normally.
+func (g *group) freeRangeLocked(start, length int64) {
+	if g.holdBase >= 0 {
+		hb, he := g.holdBase, g.holdBase+BlocksPerHuge
+		if start < he && start+length > hb {
+			if start < hb {
+				g.addHoleLocked(start, hb-start)
+			}
+			if start+length > he {
+				g.addHoleLocked(he, start+length-he)
+			}
+			s, e := max64(start, hb), min64(start+length, he)
+			g.holdParts = append(g.holdParts, alloc.Extent{Start: s, Len: e - s})
+			return
+		}
+	}
+	g.addHoleLocked(start, length)
+}
+
+// holdChunkLocked begins reclaiming the hugepage chunk at base: every
+// free sub-range inside it moves from the hole pool into holdParts (a
+// hole straddling the chunk edge is split). The chunk cannot be in the
+// aligned pool — a fully free chunk would have been promoted — so only
+// holes are carved. Returns the number of blocks captured.
+func (g *group) holdChunkLocked(base int64) int64 {
+	g.holdBase = base
+	g.holdParts = g.holdParts[:0]
+	end := base + BlocksPerHuge
+	type cut struct{ s, l int64 }
+	var cuts []cut
+	from := base
+	if fs, _, ok := g.holes.Floor(base); ok {
+		from = fs
+	}
+	g.holes.AscendFrom(from, func(hs, hl int64) bool {
+		if hs >= end {
+			return false
+		}
+		if hs+hl > base {
+			cuts = append(cuts, cut{hs, hl})
+		}
+		return true
+	})
+	var held int64
+	for _, c := range cuts {
+		g.removeHoleLocked(c.s, c.l)
+		if c.s < base {
+			g.insertHoleLocked(c.s, base-c.s)
+		}
+		if c.s+c.l > end {
+			g.insertHoleLocked(end, c.s+c.l-end)
+		}
+		s, e := max64(c.s, base), min64(c.s+c.l, end)
+		g.holdParts = append(g.holdParts, alloc.Extent{Start: s, Len: e - s})
+		held += e - s
+	}
+	return held
+}
+
+// releaseHoldLocked ends the reclamation: held ranges return to the
+// pools through the normal merge path, so a fully reclaimed chunk
+// promotes itself into the aligned FIFO. Reports whether the whole
+// chunk came back free (the pass re-formed a 2MiB extent).
+func (g *group) releaseHoldLocked() bool {
+	parts := g.holdParts
+	var total int64
+	for _, p := range parts {
+		total += p.Len
+	}
+	g.holdParts = nil
+	g.holdBase = -1
+	for _, p := range parts {
+		g.addHoleLocked(p.Start, p.Len)
+	}
+	return total == BlocksPerHuge
+}
+
+// heldBlocks sums the blocks parked in holdParts (caller holds g.mu).
+func (g *group) heldBlocksLocked() int64 {
+	var n int64
+	for _, p := range g.holdParts {
+		n += p.Len
+	}
+	return n
 }

@@ -32,10 +32,11 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 	type freeExt struct {
 		start, length int64
 		aligned       bool
+		held          bool // parked in a defrag hold, not allocatable
 		cpu           int
 	}
 	var free []freeExt
-	var freeBlocks, alignedExtents int64
+	var freeBlocks, alignedExtents, heldBlocks int64
 	for _, g := range fs.alloc.groups {
 		g.mu.Lock()
 	}
@@ -66,7 +67,7 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 						g.cpu, start, length, first)
 				}
 			}
-			free = append(free, freeExt{start, length, false, g.cpu})
+			free = append(free, freeExt{start, length, false, false, g.cpu})
 			return true
 		})
 		if recomputed != g.holeBlocks {
@@ -88,10 +89,31 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 				addf("group %d: aligned extent %d listed twice", g.cpu, b)
 			}
 			seen[b] = true
-			free = append(free, freeExt{b, BlocksPerHuge, true, g.cpu})
+			free = append(free, freeExt{b, BlocksPerHuge, true, false, g.cpu})
 		}
 		freeBlocks += g.freeBlocks()
 		alignedExtents += int64(len(g.aligned))
+
+		// Defrag hold (§3.5): a chunk under online reclamation parks its
+		// free sub-ranges in holdParts. They must lie inside the held
+		// chunk and — checked globally in phase 2 — stay disjoint from
+		// both pools; they still count as free space in the tiling.
+		if g.holdBase < 0 && len(g.holdParts) > 0 {
+			addf("group %d: %d hold parts but no chunk held", g.cpu, len(g.holdParts))
+		}
+		if g.holdBase >= 0 {
+			if g.holdBase%BlocksPerHuge != 0 {
+				addf("group %d: held chunk base %d not hugepage-aligned", g.cpu, g.holdBase)
+			}
+			for _, p := range g.holdParts {
+				if p.Start < g.holdBase || p.End() > g.holdBase+BlocksPerHuge {
+					addf("group %d: hold part [%d,+%d) outside held chunk %d",
+						g.cpu, p.Start, p.Len, g.holdBase)
+				}
+				free = append(free, freeExt{p.Start, p.Len, false, true, g.cpu})
+				heldBlocks += p.Len
+			}
+		}
 	}
 	for i := len(fs.alloc.groups) - 1; i >= 0; i-- {
 		fs.alloc.groups[i].mu.Unlock()
@@ -102,7 +124,22 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 	sort.Slice(free, func(i, j int) bool { return free[i].start < free[j].start })
 	for i := 1; i < len(free); i++ {
 		prev, cur := free[i-1], free[i]
-		if prev.start+prev.length > cur.start {
+		if prev.start+prev.length <= cur.start {
+			continue
+		}
+		switch {
+		case prev.held || cur.held:
+			// §3.5: a chunk under defrag reclamation is invisible to the
+			// allocator — its held ranges re-entering a pool would let
+			// foreground allocation re-fragment the chunk mid-migration.
+			addf("defrag hold violation: held range overlaps free pool (group %d [%d,+%d) vs group %d [%d,+%d))",
+				prev.cpu, prev.start, prev.length, cur.cpu, cur.start, cur.length)
+		case prev.aligned != cur.aligned:
+			// §3.6 promotion invariant, named: the same blocks sit in the
+			// aligned FIFO and the unaligned hole pool simultaneously.
+			addf("promotion invariant violation: blocks in both aligned and unaligned pools (group %d [%d,+%d) vs group %d [%d,+%d))",
+				prev.cpu, prev.start, prev.length, cur.cpu, cur.start, cur.length)
+		default:
 			addf("free extents overlap: group %d [%d,+%d) and group %d [%d,+%d)",
 				prev.cpu, prev.start, prev.length, cur.cpu, cur.start, cur.length)
 		}
@@ -138,9 +175,10 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 		ino.mu.RUnlock()
 	}
 	total := fs.g.poolBlocks * int64(fs.g.cpus)
-	if freeBlocks+used != total {
-		addf("tiling: free=%d + used=%d = %d, want %d (leak of %d blocks)",
-			freeBlocks, used, freeBlocks+used, total, total-freeBlocks-used)
+	if freeBlocks+heldBlocks+used != total {
+		addf("tiling: free=%d + held=%d + used=%d = %d, want %d (leak of %d blocks)",
+			freeBlocks, heldBlocks, used, freeBlocks+heldBlocks+used, total,
+			total-freeBlocks-heldBlocks-used)
 	}
 
 	if len(violations) == 0 {

@@ -1,0 +1,364 @@
+package winefs
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Online background defragmentation (§3.5): unlike reactive rewriting —
+// which fixes one fragmented file because somebody mmapped it — the
+// defragmenter works from the allocator's point of view. It scans the
+// per-CPU hole pools for hugepage chunks that are only partially free,
+// migrates the remaining live blocks elsewhere (copy-on-write through
+// the journal, exactly like a rewrite), and lets the hole-merge path
+// promote the emptied chunk back into the aligned FIFO. A held chunk is
+// invisible to foreground allocation for the duration, so the re-formed
+// extent cannot be re-fragmented under the defragmenter's feet.
+//
+// The pass then drains the reactive-rewrite queue — the re-formed
+// aligned extents are exactly what those rewrites were waiting for —
+// and notifies live mappings so they re-promote to hugepages without
+// waiting for a refault.
+//
+// All device work is charged to the caller's thread context; a Pacer
+// bounds the duty cycle so the background thread steals a configurable
+// fraction of device bandwidth instead of the 25-40% an unthrottled
+// defragmenter takes from foreground mmap traffic (§4).
+
+// DefragStats summarises one defragmentation pass.
+type DefragStats struct {
+	ChunksScanned  int64 // candidate chunks examined
+	MigratedBlocks int64 // live blocks copied out of fragmented chunks
+	MigratedBytes  int64 // same, in bytes
+	Recovered2M    int64 // hugepage extents re-formed
+	Rewrites       int   // queued reactive rewrites drained by this pass
+	SkippedBusy    int64 // candidates abandoned (layout changed / migration failed)
+	SkippedMeta    int64 // candidates pinned by metadata blocks
+}
+
+// Clean reports whether the pass made no progress — nothing migrated,
+// nothing recovered, nothing rewritten. (Chunks may still have been
+// scanned: meta-pinned candidates are rescanned forever and do not
+// count as work.)
+func (s DefragStats) Clean() bool {
+	return s.MigratedBlocks == 0 && s.Recovered2M == 0 && s.Rewrites == 0
+}
+
+// DefragOptions tunes one pass.
+type DefragOptions struct {
+	// Pacer throttles the migration copies to a duty-cycle budget.
+	// nil runs unthrottled.
+	Pacer *sim.Pacer
+	// MaxChunks caps candidate chunks per pass (0 = 32).
+	MaxChunks int
+	// MaxMigrateBlocks caps live blocks moved per pass (0 = 8192, one
+	// aligned pool's worth of copying).
+	MaxMigrateBlocks int64
+}
+
+type defragCand struct {
+	base int64 // chunk base block
+	free int64 // free blocks currently inside the chunk
+}
+
+// DefragPass runs one bounded pass of the online defragmenter. Passes
+// serialise on fs.defragMu; foreground operations interleave freely —
+// each migration takes the same per-inode locks a writer would. The
+// per-group cursor checkpoints scan progress in DRAM; a crash mid-pass
+// loses only the cursor (each migration is individually journaled), and
+// the next mount simply rescans.
+func (fs *FS) DefragPass(ctx *sim.Ctx, opt DefragOptions) (DefragStats, error) {
+	var st DefragStats
+	if err := fs.writable(); err != nil {
+		return st, err
+	}
+	fs.defragMu.Lock()
+	defer fs.defragMu.Unlock()
+	if fs.unmounted.Load() {
+		return st, nil
+	}
+	sp := ctx.StartSpan("defrag.pass")
+	defer ctx.EndSpan(sp)
+
+	maxChunks := opt.MaxChunks
+	if maxChunks <= 0 {
+		maxChunks = 32
+	}
+	budget := opt.MaxMigrateBlocks
+	if budget <= 0 {
+		budget = 8192
+	}
+	if len(fs.defragCursor) != len(fs.alloc.groups) {
+		fs.defragCursor = make([]int64, len(fs.alloc.groups))
+	}
+
+	for gi, g := range fs.alloc.groups {
+		if g.noPromote {
+			continue // alignment ablation: nothing to re-form
+		}
+		if fs.unmounted.Load() || fs.writable() != nil {
+			break
+		}
+		if st.MigratedBlocks >= budget || st.ChunksScanned >= int64(maxChunks) {
+			break
+		}
+		cands, next := g.defragCandidates(fs.defragCursor[gi], maxChunks-int(st.ChunksScanned))
+		fs.defragCursor[gi] = next
+		for _, c := range cands {
+			if fs.unmounted.Load() || fs.writable() != nil {
+				break
+			}
+			if st.MigratedBlocks >= budget {
+				break
+			}
+			fs.defragChunk(ctx, g, c.base, opt.Pacer, &st)
+		}
+	}
+
+	// Phase 2: the re-formed aligned extents are what the reactive
+	// rewrite queue has been waiting for — drain it on the same budget,
+	// re-promoting live mappings as each file lands aligned.
+	n := fs.runRewriter(ctx, opt.Pacer)
+	st.Rewrites += n
+	ctx.Counters.DefragRewrites += int64(n)
+	ctx.Counters.DefragPasses++
+	return st, nil
+}
+
+// defragCandidates collects up to limit partially-free hugepage chunks,
+// scanning from the cursor block for fairness across passes, ordered
+// cheapest-first (most free blocks = fewest live blocks to migrate).
+// Returns the candidates and the new cursor.
+func (g *group) defragCandidates(cursor int64, limit int) ([]defragCand, int64) {
+	if limit <= 0 {
+		return nil, cursor
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Tally free blocks per chunk. The hole invariant (no hole fully
+	// contains an aligned chunk) means every chunk a hole touches is
+	// partially free — exactly the §3.5 targets.
+	free := make(map[int64]int64)
+	g.holes.Ascend(func(hs, hl int64) bool {
+		for b := hs / BlocksPerHuge * BlocksPerHuge; b < hs+hl; b += BlocksPerHuge {
+			lo, hi := max64(hs, b), min64(hs+hl, b+BlocksPerHuge)
+			if lo < hi {
+				free[b] += hi - lo
+			}
+		}
+		return true
+	})
+	if len(free) == 0 {
+		return nil, 0
+	}
+	bases := make([]int64, 0, len(free))
+	for b := range free {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	// Rotate so the scan resumes at the cursor, then take the window.
+	start := sort.Search(len(bases), func(i int) bool { return bases[i] >= cursor })
+	var window []int64
+	for i := 0; i < len(bases) && len(window) < limit; i++ {
+		window = append(window, bases[(start+i)%len(bases)])
+	}
+	next := int64(0)
+	if len(window) > 0 {
+		next = window[len(window)-1] + BlocksPerHuge
+	}
+	out := make([]defragCand, 0, len(window))
+	for _, b := range window {
+		out = append(out, defragCand{base: b, free: free[b]})
+	}
+	// Cheapest first: chunks that are mostly free re-form a hugepage
+	// extent with the least copying.
+	sort.Slice(out, func(i, j int) bool { return out[i].free > out[j].free })
+	return out, next
+}
+
+// defragChunk reclaims one candidate chunk: hold its free space, migrate
+// the live blocks out, release the hold (which promotes the chunk into
+// the aligned FIFO if it came back fully free).
+func (fs *FS) defragChunk(ctx *sim.Ctx, g *group, base int64, pacer *sim.Pacer, st *DefragStats) {
+	st.ChunksScanned++
+	ctx.Counters.DefragChunksScanned++
+	sp := ctx.StartSpan("defrag.chunk")
+	defer ctx.EndSpan(sp)
+
+	release := func() bool {
+		g.mu.Lock()
+		full := g.releaseHoldLocked()
+		g.mu.Unlock()
+		return full
+	}
+
+	g.mu.Lock()
+	held := g.holdChunkLocked(base)
+	g.mu.Unlock()
+	ctx.Advance(allocCost)
+	if held <= 0 || held >= BlocksPerHuge {
+		// The layout changed between scan and hold: the chunk is now
+		// fully allocated (nothing to recover) or fully free (already
+		// promoted). Releasing an empty hold is a no-op either way.
+		release()
+		st.SkippedBusy++
+		ctx.Counters.DefragSkippedBusy++
+		return
+	}
+	end := base + BlocksPerHuge
+
+	// Owner scan — AFTER the hold, so no new allocation can land inside
+	// the chunk and the owner set is frozen. Metadata blocks (directory
+	// extents, indirect extent blocks) are position-dependent on PM and
+	// cannot be migrated by replaceRange: they pin the chunk.
+	var owners []*inode
+	meta := false
+	for _, ino := range fs.snapshotInodes() {
+		ino.mu.RLock()
+		overlaps := false
+		for _, e := range ino.extents {
+			if e.blk < end && e.blk+e.length > base {
+				overlaps = true
+				break
+			}
+		}
+		for _, b := range ino.indirect {
+			if b >= base && b < end {
+				meta = true
+			}
+		}
+		if overlaps && ino.typ != typeFile {
+			meta = true
+		}
+		ino.mu.RUnlock()
+		if overlaps && !meta {
+			owners = append(owners, ino)
+		}
+		if meta {
+			break
+		}
+	}
+	if meta {
+		release()
+		st.SkippedMeta++
+		ctx.Counters.DefragSkippedMeta++
+		return
+	}
+	// The shard snapshot iterates a map; fix the migration order so a
+	// pass is reproducible for a given image.
+	sort.Slice(owners, func(i, j int) bool { return owners[i].ino < owners[j].ino })
+
+	// Feasibility: the chunk's live blocks must fit in hole space OUTSIDE
+	// the hold (migration never splits aligned extents — that would just
+	// move the fragmentation). Without this check a pass that runs out of
+	// hole space mid-chunk copies data, recovers nothing, and consumes
+	// the holes a later pass would have needed: perpetual churn instead
+	// of convergence. Best-effort under concurrency (foreground
+	// allocations can still race the migration), exact when quiescent.
+	var avail int64
+	for _, og := range fs.alloc.groups {
+		og.mu.Lock()
+		avail += og.holeBlocks
+		og.mu.Unlock()
+	}
+	if avail < BlocksPerHuge-held {
+		release()
+		st.SkippedBusy++
+		ctx.Counters.DefragSkippedBusy++
+		return
+	}
+
+	ok := true
+	for _, ino := range owners {
+		if !fs.migrateOut(ctx, ino, base, end, pacer, st) {
+			ok = false
+			break
+		}
+	}
+	if release() {
+		st.Recovered2M++
+		ctx.Counters.DefragRecovered2M++
+	} else if !ok {
+		st.SkippedBusy++
+		ctx.Counters.DefragSkippedBusy++
+	}
+}
+
+// migrateOut copies ino's blocks that live inside [base, end) to freshly
+// allocated space outside the chunk and swaps the extent map, one
+// journaled replaceRange per run. Returns false if the chunk could not
+// be fully vacated (allocation failure or media fault).
+func (fs *FS) migrateOut(ctx *sim.Ctx, ino *inode, base, end int64, pacer *sim.Pacer, st *DefragStats) bool {
+	h := fs.locks.Lock(ctx, ino.ino)
+	ok := func() bool {
+		ino.mu.Lock()
+		defer ino.mu.Unlock()
+		if ino.typ != typeFile {
+			// Unlinked (or retyped) since the scan: its blocks were
+			// freed — and diverted into the hold — already.
+			return true
+		}
+		// Re-verify the overlap under the lock: a concurrent truncate or
+		// CoW may have vacated some or all of the chunk on its own.
+		type runSpan struct{ fileLo, n int64 }
+		var runs []runSpan
+		for _, e := range ino.extents {
+			lo, hi := max64(e.blk, base), min64(e.blk+e.length, end)
+			if lo < hi {
+				runs = append(runs, runSpan{fileLo: e.fileBlk + lo - e.blk, n: hi - lo})
+			}
+		}
+		for _, r := range runs {
+			burst := ctx.Now()
+			newExts, got := fs.alloc.allocHoles(ctx, fs.g.cpuOfBlock(base), r.n)
+			if !got {
+				return false // no hole space to migrate into
+			}
+			buf := make([]byte, r.n*BlockSize)
+			if err := fs.readRangeLocked(ctx, ino, buf, r.fileLo*BlockSize); err != nil {
+				for _, e := range newExts {
+					fs.alloc.free(ctx, e)
+				}
+				return false
+			}
+			var off int64
+			for _, ne := range newExts {
+				fs.dev.Write(ctx, buf[off:off+ne.Len*BlockSize], ne.StartByte())
+				fs.dev.Flush(ctx, ne.StartByte(), ne.Len*BlockSize)
+				off += ne.Len * BlockSize
+			}
+			fs.dev.Fence(ctx)
+			tx := fs.begin(ctx)
+			f := &File{fs: fs, ino: ino}
+			// replaceRange shoots down live translations, swaps the map,
+			// and frees the displaced blocks — which the allocator
+			// diverts into the hold, never back into the pools.
+			if err := f.replaceRange(ctx, tx, r.fileLo, r.fileLo+r.n, newExts); err != nil {
+				_ = fs.failTx(tx, "defrag", err)
+				for _, e := range newExts {
+					fs.alloc.free(ctx, e)
+				}
+				return false
+			}
+			tx.commit()
+			st.MigratedBlocks += r.n
+			st.MigratedBytes += r.n * BlockSize
+			ctx.Counters.DefragMigratedBlocks += r.n
+			ctx.Counters.DefragMigratedBytes += r.n * BlockSize
+			pacer.Pace(ctx, ctx.Now()-burst)
+		}
+		return true
+	}()
+	h.Unlock(ctx)
+	// A mapped file the migration just touched may still be fragmented:
+	// hand it to the reactive rewriter so phase 2 fixes the whole layout
+	// and re-promotes the mapping (must not hold ino.mu here).
+	ino.mu.RLock()
+	mapped := len(ino.mappings) > 0
+	ino.mu.RUnlock()
+	if mapped {
+		fs.maybeQueueRewrite(ino)
+	}
+	return ok
+}

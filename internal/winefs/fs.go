@@ -66,8 +66,26 @@ type FS struct {
 	homes         map[int]int // simulated thread → home NUMA node
 	singleJournal bool
 
-	rewriteMu sync.Mutex
-	rewriteQ  []uint64
+	// Reactive-rewrite queue (§3.6). The queue holds inode *objects*, not
+	// bare numbers: an inode number freed while queued can be reused by a
+	// brand-new file, and a number-keyed queue would then rewrite the
+	// wrong file. rewriteQueued doubles as the in-flight guard — an entry
+	// stays marked from enqueue until its rewrite finishes, so concurrent
+	// mmaps can never double-enqueue.
+	rewriteMu     sync.Mutex
+	rewriteQ      []*inode
+	rewriteQueued map[*inode]bool
+
+	// Online defrag state (defrag.go): per-group scan cursors (DRAM-only —
+	// crash recovery restarts the scan; each migration is already crash-
+	// atomic through the journal) and the pass serialisation lock.
+	defragMu     sync.Mutex
+	defragCursor []int64
+
+	// unmounted gates the background maintenance threads (rewriter,
+	// defragmenter): after Unmount serialises the allocator state, a
+	// still-queued rewrite or defrag pass must not mutate the image.
+	unmounted atomic.Bool
 
 	// Degradation ladder (media faults): a mount that hits unreadable or
 	// corrupt metadata continues best-effort but falls back to read-only;
@@ -816,6 +834,12 @@ func (fs *FS) destroyInode(ctx *sim.Ctx, ino *inode) {
 	for _, blk := range indirect {
 		fs.alloc.free(ctx, alloc.Extent{Start: blk, Len: 1})
 	}
+	// A destroyed inode must leave the rewrite queue: the queue entry
+	// would otherwise pin the dead object until the rewriter drains it
+	// (the rewriter's identity check would skip it, but dropping it here
+	// keeps the queue honest for RewriteQueueLen and frees the guard so a
+	// reused number's new file can queue itself).
+	fs.dropRewrite(ino)
 	fs.delInode(ino.ino)
 	fs.freeIno(ino.ino)
 	// Callers still hold the inode lock at this point (their handle pins

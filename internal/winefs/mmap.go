@@ -130,6 +130,44 @@ func (f *File) PunchHole(ctx *sim.Ctx, off, n int64) error {
 	return nil
 }
 
+// ProbeHuge implements vfs.HugeProber: report, without faulting or
+// allocating, whether the 2MiB file chunk at chunkOff is hugepage-
+// eligible. install (if non-nil) runs under the inode's layout read
+// lock, so a translation it plants cannot race a concurrent layout
+// change freeing the probed blocks — truncate/punch/rewrite take the
+// write lock and shoot mappings down before any block returns to the
+// allocator.
+func (f *File) ProbeHuge(chunkOff int64, install func(phys int64)) bool {
+	ino := f.ino
+	ino.mu.RLock()
+	defer ino.mu.RUnlock()
+	if chunkOff < 0 || chunkOff%mmu.HugePage != 0 || chunkOff+mmu.HugePage > ino.size {
+		return false
+	}
+	phys, run, ok := ino.findRun(chunkOff / BlockSize)
+	if !ok || phys%BlocksPerHuge != 0 || run < BlocksPerHuge {
+		return false
+	}
+	if install != nil {
+		install(phys * BlockSize)
+	}
+	return true
+}
+
+// notifyPromote tells every live mapping over ino that its layout just
+// improved (a reactive rewrite or a defrag migration re-formed aligned
+// extents), so the mapping subsystem re-promotes eligible chunks without
+// waiting for a refault. Callers must NOT hold ino.mu: the vmm hook
+// probes eligibility back through ProbeHuge, which takes the read lock.
+func (fs *FS) notifyPromote(ctx *sim.Ctx, ino *inode) {
+	ino.mu.RLock()
+	maps := append([]*mmu.Mapping(nil), ino.mappings...)
+	ino.mu.RUnlock()
+	for _, m := range maps {
+		m.NotifyPromote(ctx)
+	}
+}
+
 // MappedCount implements vfs.MapTracker: how many live mappings cover
 // the inode. The file server refuses to grant client leases while this
 // is non-zero.
@@ -153,6 +191,7 @@ func (fs *FS) SetMapHook(hook func(ino uint64)) {
 }
 
 var _ vfs.Mapper = (*File)(nil)
+var _ vfs.HugeProber = (*File)(nil)
 var _ vfs.HolePuncher = (*File)(nil)
 var _ vfs.MapTracker = (*FS)(nil)
 var _ vfs.MapNotifier = (*FS)(nil)

@@ -80,6 +80,21 @@ func (fs *FS) Unmount(ctx *sim.Ctx) error {
 	if err := fs.writable(); err != nil {
 		return err
 	}
+	// Stop the background maintenance paths first: a rewrite or defrag
+	// pass racing past this point would mutate the image after the
+	// allocator state below is serialised. Entries still queued are
+	// dropped — the queue is advisory (a fragmented file re-queues at its
+	// next mmap after remount).
+	fs.unmounted.Store(true)
+	fs.rewriteMu.Lock()
+	fs.rewriteQ = nil
+	fs.rewriteQueued = nil
+	fs.rewriteMu.Unlock()
+	// Wait out an in-flight defrag pass (it checks unmounted between
+	// candidates): a chunk still held during serialisation would leave
+	// its free blocks out of the saved allocator state.
+	fs.defragMu.Lock()
+	fs.defragMu.Unlock()
 	fs.saveFreeState(ctx)
 	fs.writeSuper(ctx, true)
 	return nil

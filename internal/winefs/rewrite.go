@@ -35,14 +35,36 @@ func (fs *FS) maybeQueueRewrite(ino *inode) {
 		return
 	}
 	fs.rewriteMu.Lock()
-	for _, q := range fs.rewriteQ {
-		if q == ino.ino {
-			fs.rewriteMu.Unlock()
-			return
+	if fs.rewriteQueued == nil {
+		fs.rewriteQueued = make(map[*inode]bool)
+	}
+	// rewriteQueued stays set from enqueue until the rewrite completes,
+	// so a second mmap while the file is queued — or mid-rewrite — cannot
+	// double-enqueue it.
+	if !fs.rewriteQueued[ino] {
+		fs.rewriteQueued[ino] = true
+		fs.rewriteQ = append(fs.rewriteQ, ino)
+	}
+	fs.rewriteMu.Unlock()
+}
+
+// dropRewrite removes a dying inode from the rewrite queue (unlink/rmdir
+// while queued). If the inode is mid-rewrite (marked but already popped),
+// only the guard is cleared; rewriteFile itself re-checks the inode type
+// and size under the lock and backs out.
+func (fs *FS) dropRewrite(ino *inode) {
+	fs.rewriteMu.Lock()
+	defer fs.rewriteMu.Unlock()
+	if !fs.rewriteQueued[ino] {
+		return
+	}
+	delete(fs.rewriteQueued, ino)
+	for i, q := range fs.rewriteQ {
+		if q == ino {
+			fs.rewriteQ = append(fs.rewriteQ[:i], fs.rewriteQ[i+1:]...)
+			break
 		}
 	}
-	fs.rewriteQ = append(fs.rewriteQ, ino.ino)
-	fs.rewriteMu.Unlock()
 }
 
 // RewriteQueueLen reports how many files await reactive rewriting.
@@ -58,46 +80,92 @@ func (fs *FS) RewriteQueueLen() int {
 // consumption competes with foreground work, §4's defragmentation
 // interference discussion). Returns the number of files rewritten.
 func (fs *FS) RunRewriter(ctx *sim.Ctx) int {
+	return fs.runRewriter(ctx, nil)
+}
+
+// runRewriter is RunRewriter with an optional duty-cycle pacer (the
+// defragmenter's throttled drain shares this path).
+func (fs *FS) runRewriter(ctx *sim.Ctx, pacer *sim.Pacer) int {
 	done := 0
 	for {
+		if fs.unmounted.Load() {
+			return done
+		}
 		fs.rewriteMu.Lock()
 		if len(fs.rewriteQ) == 0 {
 			fs.rewriteMu.Unlock()
 			return done
 		}
-		inoNum := fs.rewriteQ[0]
+		ino := fs.rewriteQ[0]
 		fs.rewriteQ = fs.rewriteQ[1:]
 		fs.rewriteMu.Unlock()
-		ino := fs.getInode(inoNum)
-		if ino == nil {
-			continue
+		// Identity check: the inode may have been freed — and its number
+		// reused by a new file — while queued. The shard map holds the
+		// live object for the number; rewriting anything else would churn
+		// a file that was never mmapped fragmented.
+		var retry bool
+		if fs.getInode(ino.ino) == ino {
+			var ok bool
+			ok, retry = fs.rewriteFile(ctx, ino, pacer)
+			if ok {
+				done++
+				ctx.Counters.Rewrites++
+				// Live mappings were shot down by the rewrite; re-promote
+				// them now instead of waiting for refaults (must run
+				// without ino.mu held — the hook probes back through
+				// ProbeHuge).
+				fs.notifyPromote(ctx, ino)
+			}
 		}
-		if fs.rewriteFile(ctx, ino) {
-			done++
-			ctx.Counters.Rewrites++
+		fs.rewriteMu.Lock()
+		if retry && !fs.unmounted.Load() {
+			// Aligned space ran out mid-drain: push the file back (guard
+			// stays set) and stop — the next defrag pass re-forms more
+			// aligned extents before retrying.
+			fs.rewriteQ = append(fs.rewriteQ, ino)
+			fs.rewriteMu.Unlock()
+			return done
 		}
+		delete(fs.rewriteQueued, ino)
+		fs.rewriteMu.Unlock()
 	}
 }
 
 // rewriteFile re-allocates the whole file from aligned extents, copies the
-// data across, and swaps the extent map in one transaction.
-func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
+// data across, and swaps the extent map in one transaction. A non-nil
+// pacer throttles the copy to its duty-cycle budget, burst by burst.
+// retry=true means the rewrite failed only for lack of space — worth
+// retrying after the defragmenter re-forms aligned extents.
+func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode, pacer *sim.Pacer) (done, retry bool) {
 	if fs.writable() != nil {
-		return false
+		return false, false
 	}
 	h := fs.locks.Lock(ctx, ino.ino)
 	defer h.Unlock(ctx)
 	ino.mu.Lock()
 	defer ino.mu.Unlock()
 	if ino.typ != typeFile || ino.size < mmu.HugePage {
-		return false
+		return false, false
 	}
 	blocks := (ino.size + BlockSize - 1) / BlockSize
 	tx := fs.begin(ctx)
 	newExts, err := fs.alloc.alloc(ctx, tx.cpu, blocks, true)
 	if err != nil {
 		tx.commit()
-		return false
+		return false, true
+	}
+	// The allocator quietly falls back to hole space when the aligned
+	// pools run dry — fine for ordinary writes, useless here: a rewrite
+	// that lands on unaligned holes burns a full copy of the file and
+	// still cannot be hugepage-mapped. Insist on a hugepage-pure layout
+	// and otherwise put the file back in the queue for after the
+	// defragmenter has re-formed aligned extents.
+	if !hugePure(newExts) {
+		for _, e := range newExts {
+			fs.alloc.free(ctx, e)
+		}
+		tx.commit()
+		return false, true
 	}
 	// Copy old contents (reading through the old map) into the new blocks.
 	// A media fault here aborts the rewrite: the old (fragmented but intact)
@@ -116,17 +184,19 @@ func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
 			if copied+n > blocks {
 				n = blocks - copied
 			}
+			burst := ctx.Now()
 			if err := fs.readRangeLocked(ctx, ino, buf[:n*BlockSize], copied*BlockSize); err != nil {
 				tx.abort()
 				for _, e := range newExts {
 					fs.alloc.free(ctx, e)
 				}
-				return false
+				return false, false
 			}
 			fs.dev.Write(ctx, buf[:n*BlockSize], dst*BlockSize)
 			dst += n
 			copied += n
 			remaining -= n
+			pacer.Pace(ctx, ctx.Now()-burst)
 		}
 	}
 	// Swap the extent map: free the old layout, install the new.
@@ -170,7 +240,7 @@ func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
 		ino.extents = old
 		ino.slots = oldSlots
 		ino.gen++
-		return false
+		return false, false
 	}
 	tx.commit()
 	// Shoot down any live mappings before the old blocks are freed:
@@ -179,6 +249,22 @@ func (fs *FS) rewriteFile(ctx *sim.Ctx, ino *inode) bool {
 		m.Invalidate()
 	}
 	fs.alloc.freeAll(ctx, old)
+	return true, false
+}
+
+// hugePure reports whether an aligned-requested allocation actually came
+// out hugepage-pure: every extent starts on a 2MiB boundary and, except
+// for the final one, covers whole 2MiB chunks. Any hole-space fallback
+// extent breaks one of the two.
+func hugePure(exts []alloc.Extent) bool {
+	for i, e := range exts {
+		if e.Start%BlocksPerHuge != 0 {
+			return false
+		}
+		if i < len(exts)-1 && e.Len%BlocksPerHuge != 0 {
+			return false
+		}
+	}
 	return true
 }
 

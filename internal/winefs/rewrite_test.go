@@ -107,3 +107,75 @@ func TestRewriteSkipsDeletedFiles(t *testing.T) {
 		t.Fatalf("fsck: %v", rep.Errors)
 	}
 }
+
+// TestRewriteQueueDedup: mapping the same fragmented file repeatedly
+// must enqueue it once — the guard stays set from enqueue until the
+// rewrite completes.
+func TestRewriteQueueDedup(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(256 << 20)
+	fs, _ := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: 2})
+	f, _ := fs.Create(ctx, "/dup")
+	for off := int64(0); off < 4<<20; off += 32 << 10 {
+		f.WriteAt(ctx, make([]byte, 32<<10), off)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Mmap(ctx, 4<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := fs.RewriteQueueLen(); n != 1 {
+		t.Fatalf("queue holds %d entries after 3 mmaps of one file, want 1", n)
+	}
+	bg := sim.NewCtx(2, 1)
+	if n := fs.RunRewriter(bg); n != 1 {
+		t.Fatalf("rewriter processed %d files, want 1", n)
+	}
+}
+
+// TestRewriteQueueInodeReuse: a file queued for rewriting is unlinked
+// and its inode number recycled by a brand-new small file. The rewriter
+// must recognise the queued object is dead — rewriting by number would
+// churn (or corrupt) the unrelated new file.
+func TestRewriteQueueInodeReuse(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(256 << 20)
+	fs, _ := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: 2})
+	f, _ := fs.Create(ctx, "/old")
+	for off := int64(0); off < 4<<20; off += 32 << 10 {
+		f.WriteAt(ctx, make([]byte, 32<<10), off)
+	}
+	if _, err := f.Mmap(ctx, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	if fs.RewriteQueueLen() != 1 {
+		t.Skip("file happened to be aligned; nothing queued")
+	}
+	if err := fs.Unlink(ctx, "/old"); err != nil {
+		t.Fatal(err)
+	}
+	// The per-CPU inode free list is LIFO: the very next create on this
+	// CPU reuses the freed number.
+	nf, err := fs.Create(ctx, "/new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 64<<10)
+	if _, err := nf.WriteAt(ctx, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	bg := sim.NewCtx(2, 1)
+	if n := fs.RunRewriter(bg); n != 0 {
+		t.Fatalf("rewriter rewrote %d files; the queued inode was recycled", n)
+	}
+	got := make([]byte, len(payload))
+	if _, err := nf.ReadAt(ctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("recycled-inode file corrupted by stale rewrite entry")
+	}
+	if rep := winefs.Check(dev); !rep.OK() {
+		t.Fatalf("fsck: %v", rep.Errors)
+	}
+}
