@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet bench bench-json bench-scaling bench-cache bench-replicated bench-mmap bench-defrag cache-race mmap-race defrag-race cluster-race fault-campaign cluster-campaign serve-smoke
+.PHONY: all build test check race vet bench bench-engine bench-json bench-scaling bench-cache bench-replicated bench-mmap bench-defrag cache-race mmap-race defrag-race cluster-race fault-campaign cluster-campaign serve-smoke profile
 
 all: build
 
@@ -25,6 +25,14 @@ check: vet race test
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Engine microbenchmarks + the determinism golden test: the booking,
+# charging and MMU fast paths (ns/op and allocs/op — the hot paths must
+# stay allocation-free), the exact-vs-batched-vs-parallel golden test
+# under the race detector, and the charge-amount table.
+bench-engine:
+	$(GO) test -run 'TestEngineDeterminismGolden|TestChargeAmountsPerOp|TestUseQuantaEquivalence' -race ./internal/workloads/ ./internal/pmem/ ./internal/sim/
+	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mmu/ ./internal/pmem/
+
 # Machine-readable serving baseline: runs the -server bench, writes
 # BENCH_server.json, and regression-checks it against the committed
 # BENCH_baseline.json (work counters exact, contention timings within
@@ -34,10 +42,12 @@ bench-json:
 
 # fxmark-style scalability sweep: every sharing case (shared-read,
 # disjoint-write, overlap-write, private-append, meta-contended) over
-# 1→16 threads, direct and through winefsd, regression-checked against the
-# committed BENCH_scaling.json (work counters exact, contention timings and
-# allocator-placement counters within tolerance). Refresh the baseline with
-# `go run ./cmd/winebench -scaling -json BENCH_scaling.json`.
+# 1→128 threads, direct and through winefsd, regression-checked against the
+# committed BENCH_scaling.json. Work counters are exact at every scale;
+# contention timings and allocator-placement counters are tolerance-checked
+# only at ≤16 threads, where the host can keep their distribution tight
+# (see strictTimingThreads in cmd/winebench/scaling.go). Refresh the
+# baseline with `go run ./cmd/winebench -scaling -json BENCH_scaling.json`.
 bench-scaling:
 	$(GO) run ./cmd/winebench -scaling -check-against BENCH_scaling.json
 
@@ -72,8 +82,9 @@ bench-defrag:
 	$(GO) run ./cmd/winebench -defrag -check-against BENCH_defrag.json
 
 # Replication overhead on the ServerMix baseline: the same fan-out runs
-# plain and against a synchronous 2-replica cluster, hard-gated at ≤15%
-# span overhead and on the replicas ending byte-identical to the primary,
+# plain and against a synchronous 2-replica cluster, hard-gated at ≤65%
+# overhead on the summed client spans (the sync charge model itself costs
+# ≈55%) and on the replicas ending byte-identical to the primary,
 # then regression-checked against the committed BENCH_replicated.json
 # (op counts and resyncs exact, record stream and spans within tolerance).
 # Refresh the baseline with
@@ -113,13 +124,23 @@ cluster-race:
 serve-smoke:
 	$(GO) run ./cmd/winefsd -smoke
 
-# The ≥100-run media-fault campaign plus every poison/torn-write test,
-# including the page-cache revoke-flush EIO path.
+# The 1000-seed media-fault campaign (runs spread across host cores by
+# sim.ParallelRunner) plus every poison/torn-write test, including the
+# page-cache revoke-flush EIO path.
 fault-campaign:
 	$(GO) test -v -run 'TestFaultCampaign|TestRepair|TestDegraded|TestPoisoned|TestWraparound|TestTorn' ./internal/crashmonkey/ ./internal/winefs/ ./internal/pmem/ ./internal/pagecache/
 
-# The 120-run replicated-cluster fault campaign: partition, replica-lag,
+# The 1000-seed replicated-cluster fault campaign: partition, replica-lag,
 # torn-stream and mid-failover crashes, asserting no panic → no silent
-# divergence → convergence (repair/resync where needed).
+# divergence → convergence (repair/resync where needed). Runs overlap on
+# the host (they are wall-clock timer-bound), which is what makes 1000
+# seeds affordable.
 cluster-campaign:
 	$(GO) test -v -run 'TestClusterCampaign' ./internal/crashmonkey/
+
+# Profile the scaling sweep: writes cpu/mem/block profiles next to the
+# report and prints the top-10 hottest functions. This is the loop that
+# drove the engine fast-path work — rerun it before optimising further.
+profile:
+	$(GO) run ./cmd/winebench -scaling -cpuprofile cpu.pprof -memprofile mem.pprof -blockprofile block.pprof
+	$(GO) tool pprof -top -nodecount=10 cpu.pprof

@@ -28,7 +28,7 @@
 //
 // -scaling runs the fxmark-style concurrency scalability suite instead:
 // each sharing case (shared-read, disjoint-write, overlap-write,
-// private-append, meta-contended) sweeps 1→16 threads on a fresh 16-CPU
+// private-append, meta-contended) sweeps 1→128 threads on a fresh 128-CPU
 // file system, both with direct calls and through the winefsd transport.
 // -json writes the committable BENCH_scaling.json report; -check-against
 // regression-checks a run against one (work counters exact, contention
@@ -107,40 +107,49 @@ func main() {
 	traceOut := flag.String("trace", "", "-server: write request spans as a Chrome trace-event file")
 	metricsOut := flag.String("metrics-out", "", "-server: dump final counters in Prometheus text format to this file")
 	baseline := flag.String("check-against", "", "-server: compare the run against this BENCH report and fail on regression")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+	blockProfile := flag.String("blockprofile", "", "write a pprof blocking profile at exit to this file")
 	flag.Parse()
+
+	if err := startProfiles(*cpuProfile, *memProfile, *blockProfile); err != nil {
+		fmt.Fprintf(os.Stderr, "winebench: profile: %v\n", err)
+		exit(1)
+	}
+	defer stopProfiles()
 
 	if *mmap {
 		if err := runMmapBench(*cpus, *quick, *seed, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: mmap: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
 	if *defragBench {
 		if err := runDefragBench(*cpus, *quick, *seed, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: defrag: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
 	if *cache {
 		if err := runCacheBench(*clients, *cpus, *quick, *seed, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: cache: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
 	if *scaling {
 		if err := runScalingBench(*scalingOps, *quick, *seed, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: scaling: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
 	if *replicated {
 		if err := runReplicatedBench(*clients, *cpus, *size, *serverOps, *quick, *seed, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: replicated: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -148,7 +157,7 @@ func main() {
 		out := benchOutputs{JSON: *jsonOut, Trace: *traceOut, Metrics: *metricsOut, Baseline: *baseline}
 		if err := runServerBench(*clients, *cpus, *size, *serverOps, *quick, *cached, *seed, out); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: server: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -167,7 +176,7 @@ func main() {
 	sel := func(name string) bool { return want["all"] || want[name] }
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "winebench: %s: %v\n", name, err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	if sel("fig1") {
@@ -373,7 +382,7 @@ func main() {
 		}
 		fmt.Printf("\n=== §5.2: CrashMonkey ===\n  %d crash states explored, %d failures\n", total, failures)
 		if failures > 0 {
-			os.Exit(1)
+			exit(1)
 		}
 	}
 }
@@ -537,14 +546,14 @@ func runServerBench(clients, cpus int, size int64, ops int, quick, cached bool, 
 	t.Print(os.Stdout)
 
 	rep := benchReport{
-		Bench:        "server-mix/v1",
-		Clients:      clients,
-		OpsPerClient: ops,
-		CPUs:         cpus,
-		Seed:         seed,
-		ClientOps:    totalOps,
-		ServerOps:    st.Ops,
-		SpanNS:       spanNS,
+		Bench:          "server-mix/v1",
+		Clients:        clients,
+		OpsPerClient:   ops,
+		CPUs:           cpus,
+		Seed:           seed,
+		ClientOps:      totalOps,
+		ServerOps:      st.Ops,
+		SpanNS:         spanNS,
 		OpsPerSec:      opsPerSec,
 		Latency:        sum,
 		Counters:       st.Counters,

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Host-side profiling of the simulator itself (-cpuprofile/-memprofile/
+// -blockprofile). These observe the engine's host CPU, allocation and
+// blocking behaviour; they never touch virtual time, so a profiled run
+// produces bit-identical BENCH reports to an unprofiled one.
+
+var profiles struct {
+	cpu   *os.File
+	mem   string
+	block string
+}
+
+// startProfiles begins the requested pprof captures. Empty paths are
+// skipped. The block profiler samples every blocking event so contended
+// sim.Resource mutexes and channel waits show up with true weight.
+func startProfiles(cpu, mem, block string) error {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		profiles.cpu = f
+	}
+	profiles.mem = mem
+	profiles.block = block
+	if block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	return nil
+}
+
+// stopProfiles flushes every active capture. Safe to call more than once.
+func stopProfiles() {
+	if profiles.cpu != nil {
+		pprof.StopCPUProfile()
+		profiles.cpu.Close()
+		profiles.cpu = nil
+	}
+	if profiles.mem != "" {
+		f, err := os.Create(profiles.mem)
+		if err == nil {
+			runtime.GC() // flush pending frees so inuse numbers are exact
+			_ = pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}
+		profiles.mem = ""
+	}
+	if profiles.block != "" {
+		f, err := os.Create(profiles.block)
+		if err == nil {
+			_ = pprof.Lookup("block").WriteTo(f, 0)
+			f.Close()
+		}
+		profiles.block = ""
+	}
+}
+
+// exit flushes profiles before terminating: bench failures still deserve
+// their captures.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -27,9 +28,9 @@ import (
 // thread count until the device ports saturate, while overlapping writes
 // and single-directory metadata churn serialise on the contended lock.
 
-const scalingCPUs = 16
+const scalingCPUs = 128
 
-func scalingThreadCounts() []int { return []int{1, 2, 4, 8, 16} }
+func scalingThreadCounts() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128} }
 
 // scalingPoint is one (case, transport, threads) measurement.
 type scalingPoint struct {
@@ -70,17 +71,38 @@ func runScalingBench(ops int, quick bool, seed uint64, jsonOut, baseline string)
 		}
 	}
 	rep := scalingReport{Bench: "scaling/v1", CPUs: scalingCPUs, OpsPerThread: ops, Seed: seed}
+	// Points are independent — each boots a fresh device and file system —
+	// so they run concurrently via sim.ParallelRunner into per-index slots;
+	// the report order is the job-list order regardless of host scheduling,
+	// and every point's numbers are identical to a sequential sweep's.
+	type scalingJob struct {
+		c         workloads.FxmarkCase
+		transport string
+		threads   int
+	}
+	var jobs []scalingJob
 	for _, c := range workloads.FxmarkCases() {
 		for _, transport := range []string{"local", "server"} {
 			for _, threads := range scalingThreadCounts() {
-				pt, err := runScalingPoint(c, transport, threads, ops, seed)
-				if err != nil {
-					return fmt.Errorf("%s/%s/%d threads: %w", c, transport, threads, err)
-				}
-				rep.Points = append(rep.Points, pt)
+				jobs = append(jobs, scalingJob{c, transport, threads})
 			}
 		}
 	}
+	pts := make([]scalingPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	// Each in-flight point backs its own device (hundreds of MiB at high
+	// thread counts), so cap the workers rather than matching host cores.
+	pr := sim.ParallelRunner{Workers: min(runtime.GOMAXPROCS(0), 4)}
+	pr.Run(len(jobs), func(i int) {
+		j := jobs[i]
+		pts[i], errs[i] = runScalingPoint(j.c, j.transport, j.threads, ops, seed)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s/%s/%d threads: %w", jobs[i].c, jobs[i].transport, jobs[i].threads, err)
+		}
+	}
+	rep.Points = pts
 
 	for _, transport := range []string{"local", "server"} {
 		t := &experiments.Table{
@@ -137,7 +159,9 @@ func runScalingBench(ops int, quick bool, seed uint64, jsonOut, baseline string)
 func runScalingPoint(c workloads.FxmarkCase, transport string, threads, ops int, seed uint64) (scalingPoint, error) {
 	pt := scalingPoint{Case: string(c), Transport: transport, Threads: threads}
 	cfg := workloads.FxmarkConfig{Ops: ops, Seed: seed}
-	dev := pmem.New(1 << 30)
+	// The sweep never snapshots its devices; NoSnapshot drops the
+	// snapshot-lock round trip from every store on the measured path.
+	dev := pmem.NewWithConfig(pmem.Config{Size: 1 << 30, NoSnapshot: true})
 	setupCtx := sim.NewCtx(1, 0)
 	fs, err := winefs.Mkfs(setupCtx, dev, winefs.Options{CPUs: scalingCPUs, Mode: vfs.Strict})
 	if err != nil {
@@ -225,6 +249,11 @@ func runScalingPoint(c workloads.FxmarkCase, transport string, threads, ops int,
 	if pt.SpanNS > 0 {
 		pt.OpsPerSec = float64(pt.Ops) / (float64(pt.SpanNS) / 1e9)
 	}
+	// Everything that could touch the device is torn down (threads joined,
+	// server drained), so its chunks go back to the allocator pool for the
+	// next point. Skipped on error paths: an aborting sweep may still have
+	// a live server writing.
+	dev.Release()
 	return pt, nil
 }
 
@@ -233,6 +262,18 @@ func runScalingPoint(c workloads.FxmarkCase, transport string, threads, ops int,
 // hundred virtual ns, which is a huge relative error on a near-zero
 // baseline but means nothing.
 const lockWaitFloorNS = 20000
+
+// strictTimingThreads bounds the regime where contention-derived numbers
+// (SpanNS, OpsPerSec, LockWaitNS, allocation-placement counters) are gated
+// with tolerance. They are deterministic in distribution, and up to this
+// thread count the distribution is tight enough for lockWaitTolerance to
+// hold across runs. Beyond it — 32+ virtual threads multiplexed onto a
+// handful of host cores — which thread wins each calendar slot varies
+// enough run-to-run that the span of the slowest thread is bimodal; there
+// the gate keeps every exact work counter (ops, bytes, faults, journal
+// traffic are interleaving-independent at every scale) and lets the
+// timing distribution float.
+const strictTimingThreads = 16
 
 // checkScalingBaseline compares a finished sweep against a committed
 // scaling report: configuration, point set and every work counter must
@@ -277,23 +318,26 @@ func checkScalingBaseline(rep scalingReport, path string) error {
 		}
 		exact("Ops", got.Ops, want.Ops)
 		exact("Bytes", got.Bytes, want.Bytes)
-		within("SpanNS", float64(got.SpanNS), float64(want.SpanNS))
-		within("OpsPerSec", got.OpsPerSec, want.OpsPerSec)
-		if got.LockWaitNS > lockWaitFloorNS || want.LockWaitNS > lockWaitFloorNS {
-			within("LockWaitNS", float64(got.LockWaitNS), float64(want.LockWaitNS))
+		strict := got.Threads <= strictTimingThreads
+		if strict {
+			within("SpanNS", float64(got.SpanNS), float64(want.SpanNS))
+			within("OpsPerSec", got.OpsPerSec, want.OpsPerSec)
+			if got.LockWaitNS > lockWaitFloorNS || want.LockWaitNS > lockWaitFloorNS {
+				within("LockWaitNS", float64(got.LockWaitNS), float64(want.LockWaitNS))
+			}
 		}
 		gotFields, wantFields := got.Counters.Fields(), want.Counters.Fields()
 		for j, f := range gotFields {
 			switch f.Name {
 			case "LockWaitNS":
-				// Checked above, with tolerance.
+				// Checked above, with tolerance, in the strict regime.
 			case "AllocSteals", "AllocSplits":
 				// Placement counters: WHERE an allocation lands (local pool,
 				// remote steal, broken hugepage) depends on which group has
 				// the most free space at that instant, which shifts with
 				// host-order ties exactly like lock waits. The amounts
 				// allocated stay exact (Bytes and the byte counters above).
-				if f.Value > 16 || wantFields[j].Value > 16 {
+				if strict && (f.Value > 16 || wantFields[j].Value > 16) {
 					within("Counters."+f.Name, float64(f.Value), float64(wantFields[j].Value))
 				}
 			default:

@@ -238,7 +238,7 @@ type ConvergeReport struct {
 	Outcome ConvergeOutcome
 	// Detected is true when any rung below "clean" ran — the divergence
 	// was seen, not silently absorbed.
-	Detected bool
+	Detected  bool
 	ByteDiffs int
 	Log       []string
 }

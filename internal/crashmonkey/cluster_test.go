@@ -2,16 +2,18 @@ package crashmonkey
 
 import "testing"
 
-// TestClusterCampaign runs the full replicated-winefsd fault campaign: 120
-// seeded runs rotated across partition, replica-lag, torn-stream and
+// TestClusterCampaign runs the full replicated-winefsd fault campaign:
+// 1000 seeded runs rotated across partition, replica-lag, torn-stream and
 // mid-failover scenarios. The ladder per run: no panic → no silent
-// divergence → convergence (with repair/resync where needed).
+// divergence → convergence (with repair/resync where needed). Runs overlap
+// on the host (they are dominated by heartbeat/retry wall-clock timers),
+// which is what makes 1000 seeds affordable.
 func TestClusterCampaign(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster campaign is long; skipped with -short")
 	}
 	res := RunClusterCampaign(ClusterCampaignConfig{
-		Runs: 120,
+		Runs: 1000,
 		Seed: 0xC10C4,
 		Logf: nil, // the campaign narrates enough via failures
 	})

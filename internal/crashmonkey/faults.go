@@ -103,21 +103,40 @@ func (r *FaultCampaignResult) String() string {
 
 // RunFaultCampaign executes cfg.Runs seeded fault runs, cycling through the
 // ACE seq-1 and seq-2 workloads.
+//
+// Runs are fully independent — each boots its own device, file system and
+// sim contexts from nothing but (seed, mode, workload) — so they execute
+// on host cores via sim.ParallelRunner. Every run accumulates into its own
+// index slot and the slots merge in index order afterwards, making the
+// aggregate bit-identical to the sequential loop's.
 func RunFaultCampaign(cfg FaultCampaignConfig) *FaultCampaignResult {
 	cfg.defaults()
 	workloads := append(GenerateSeq1(), GenerateSeq2()...)
-	res := &FaultCampaignResult{}
-	for i := 0; i < cfg.Runs; i++ {
-		res.Runs++
+	perRun := make([]FaultCampaignResult, cfg.Runs)
+	msgs := make([]string, cfg.Runs)
+	var pr sim.ParallelRunner
+	pr.Run(cfg.Runs, func(i int) {
 		w := workloads[i%len(workloads)]
 		seed := cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
 		// Rotate the mode by cycle so each workload meets every mode (the
 		// workload count is a multiple of the mode count).
 		mode := FaultMode((i + i/len(workloads)) % int(modeCount))
 		if msg := guardRun(func() string {
-			return faultRun(w, cfg, seed, mode, res)
+			return faultRun(w, cfg, seed, mode, &perRun[i])
 		}); msg != "" {
-			res.Failures = append(res.Failures, fmt.Sprintf("run %d (%s, %s, seed %#x): %s", i, w.Name, mode, seed, msg))
+			msgs[i] = fmt.Sprintf("run %d (%s, %s, seed %#x): %s", i, w.Name, mode, seed, msg)
+		}
+	})
+	res := &FaultCampaignResult{}
+	for i := range perRun {
+		res.Runs++
+		res.CleanRecoveries += perRun[i].CleanRecoveries
+		res.EIOMounts += perRun[i].EIOMounts
+		res.Degraded += perRun[i].Degraded
+		res.Repaired += perRun[i].Repaired
+		res.DataEIOReads += perRun[i].DataEIOReads
+		if msgs[i] != "" {
+			res.Failures = append(res.Failures, msgs[i])
 		}
 	}
 	return res
@@ -140,6 +159,7 @@ func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, 
 	rng := sim.NewRand(seed)
 	ctx := sim.NewCtx(1, 0)
 	dev := pmem.New(cfg.DeviceSize)
+	defer dev.Release()
 	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: cfg.CPUs, InodesPerCPU: 512})
 	if err != nil {
 		return fmt.Sprintf("mkfs: %v", err)
@@ -213,6 +233,7 @@ func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, 
 	}
 
 	scratch := pmem.New(cfg.DeviceSize)
+	defer scratch.Release()
 	scratch.Restore(img)
 	if mode == ModePoisonCrash || mode == ModePoisonLive {
 		// Pick poison targets byte-weighted across everything the workload

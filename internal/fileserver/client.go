@@ -26,6 +26,9 @@ type Client struct {
 	name  string
 	mode  vfs.ConsistencyMode
 	epoch uint64
+	// dc is non-nil when conn supports direct dispatch (in-memory pipe);
+	// call checks its published entry point on every request.
+	dc directConn
 
 	wmu sync.Mutex // serialises frame writes
 
@@ -47,14 +50,19 @@ type respFrame struct {
 	payload []byte
 }
 
+// respChanPool recycles the per-call response channels; a scaling sweep
+// makes millions of calls and the per-call makechan showed up in profiles.
+var respChanPool = sync.Pool{New: func() any { return make(chan respFrame, 1) }}
+
 var _ vfs.FS = (*Client)(nil)
 
 // Dial performs the protocol handshake over an established connection and
 // returns the remote mount.
 func Dial(conn Conn) (*Client, error) {
 	c := &Client{conn: conn, pending: make(map[uint64]chan respFrame)}
+	c.dc, _ = conn.(directConn)
 	go c.readLoop()
-	var e enc
+	e := reqEnc(0)
 	e.u32(ProtoVersion)
 	d, err := c.call(nil, opHello, e.b)
 	if err != nil {
@@ -79,6 +87,15 @@ func Dial(conn Conn) (*Client, error) {
 // highest one the client has seen is a stale primary and must not be
 // trusted with writes.
 func (c *Client) ServerEpoch() uint64 { return c.epoch }
+
+// dead reports whether this client's transport is closed from its own
+// point of view (either side).
+func (c *Client) dead() bool {
+	c.mu.Lock()
+	d := c.closed || c.localClose
+	c.mu.Unlock()
+	return d
+}
 
 // transportErr picks the right sentinel for a dead transport: ErrConnClosed
 // if this client closed the connection itself, ErrServerGone if the far
@@ -144,7 +161,7 @@ func (c *Client) handleRevoke(ino uint64) {
 	if h != nil {
 		h(ino)
 	}
-	var e enc
+	e := reqEnc(0)
 	e.u64(ino)
 	// Best effort: if the connection died the server's teardown drops the
 	// lease anyway.
@@ -153,12 +170,42 @@ func (c *Client) handleRevoke(ino uint64) {
 
 // call issues one request and blocks for its response. ctx (nil for the
 // handshake) is advanced by the server-charged virtual cost whether the
-// request succeeded or not — failed syscalls cost time too.
+// request succeeded or not — failed syscalls cost time too. The request
+// is built by reqEnc (frame header pre-reserved) and
+// blocks for its response. A nil payload sends an empty request.
 func (c *Client) call(ctx *sim.Ctx, o op, payload []byte) (*dec, error) {
-	ch := make(chan respFrame, 1)
+	if payload == nil {
+		payload = make([]byte, frameHdrLen)
+	}
+	if c.dc != nil {
+		// Direct dispatch (in-process transports): run the server's
+		// request path on this goroutine and get the response frame back
+		// synchronously — no framing, no demux, no goroutine handoffs. A
+		// client that closed (or lost) its connection must keep failing
+		// like one, even while the server session is still tearing down.
+		if sd := c.dc.getDirect(); sd != nil && !c.dead() {
+			if st, body, ok := sd.call(o, payload[frameHdrLen:]); ok {
+				d := newDec(body)
+				cost := d.u64()
+				if ctx != nil {
+					ctx.Advance(int64(cost))
+				}
+				if st != statusOK {
+					return nil, errFor(st, d.str())
+				}
+				return d, nil
+			}
+		}
+	}
+	// Response channels are pooled: one per in-flight call, returned once
+	// the response is received. A channel is never pooled after readLoop
+	// closed it (transport death), so pooled channels are always open and
+	// empty.
+	ch := respChanPool.Get().(chan respFrame)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		respChanPool.Put(ch)
 		return nil, c.transportErr()
 	}
 	id := c.nextID
@@ -167,12 +214,18 @@ func (c *Client) call(ctx *sim.Ctx, o op, payload []byte) (*dec, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := WriteFrame(c.conn, id, uint8(o), payload)
+	err := writeOwnedFrame(c.conn, id, uint8(o), payload)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
+		// If readLoop already ran its teardown it closed our channel;
+		// only an unclosed channel may be reused.
+		reusable := !c.closed
 		c.mu.Unlock()
+		if reusable {
+			respChanPool.Put(ch)
+		}
 		return nil, c.transportErr()
 	}
 
@@ -180,6 +233,7 @@ func (c *Client) call(ctx *sim.Ctx, o op, payload []byte) (*dec, error) {
 	if !ok {
 		return nil, c.transportErr()
 	}
+	respChanPool.Put(ch)
 	d := newDec(f.payload)
 	cost := d.u64()
 	if ctx != nil {
@@ -191,9 +245,16 @@ func (c *Client) call(ctx *sim.Ctx, o op, payload []byte) (*dec, error) {
 	return d, nil
 }
 
+// reqEnc returns an encoder with the frame header pre-reserved, so call
+// can finish the request frame in place (see writeOwnedFrame). extra
+// hints the payload size beyond the fixed span.
+func reqEnc(extra int) enc {
+	return enc{b: make([]byte, frameHdrLen, frameHdrLen+24+extra)}
+}
+
 // pathCall is the shape shared by Mkdir/Unlink/Rmdir.
 func (c *Client) pathCall(ctx *sim.Ctx, o op, path string) error {
-	var e enc
+	e := reqEnc(0)
 	e.str(path)
 	_, err := c.call(ctx, o, e.b)
 	return err
@@ -206,7 +267,7 @@ func (c *Client) Name() string { return c.name }
 func (c *Client) Mode() vfs.ConsistencyMode { return c.mode }
 
 func (c *Client) openLike(ctx *sim.Ctx, o op, path string) (vfs.File, error) {
-	var e enc
+	e := reqEnc(0)
 	e.str(path)
 	d, err := c.call(ctx, o, e.b)
 	if err != nil {
@@ -246,7 +307,7 @@ func (c *Client) Rmdir(ctx *sim.Ctx, path string) error {
 
 // Rename implements vfs.FS.
 func (c *Client) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
-	var e enc
+	e := reqEnc(0)
 	e.str(oldPath)
 	e.str(newPath)
 	_, err := c.call(ctx, opRename, e.b)
@@ -255,7 +316,7 @@ func (c *Client) Rename(ctx *sim.Ctx, oldPath, newPath string) error {
 
 // Stat implements vfs.FS.
 func (c *Client) Stat(ctx *sim.Ctx, path string) (vfs.FileInfo, error) {
-	var e enc
+	e := reqEnc(0)
 	e.str(path)
 	d, err := c.call(ctx, opStat, e.b)
 	if err != nil {
@@ -275,7 +336,7 @@ func (c *Client) Stat(ctx *sim.Ctx, path string) (vfs.FileInfo, error) {
 
 // ReadDir implements vfs.FS.
 func (c *Client) ReadDir(ctx *sim.Ctx, path string) ([]vfs.DirEntry, error) {
-	var e enc
+	e := reqEnc(0)
 	e.str(path)
 	d, err := c.call(ctx, opReadDir, e.b)
 	if err != nil {
@@ -372,7 +433,7 @@ func (f *remoteFile) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 		if chunk > maxIO {
 			chunk = maxIO
 		}
-		var e enc
+		e := reqEnc(0)
 		e.u64(f.handle)
 		e.i64(off + int64(total))
 		e.u32(uint32(chunk))
@@ -401,7 +462,7 @@ func (f *remoteFile) writeLike(ctx *sim.Ctx, o op, p []byte, off int64) (int, er
 		if chunk > maxIO {
 			chunk = maxIO
 		}
-		var e enc
+		e := reqEnc(4 + chunk)
 		e.u64(f.handle)
 		if o == opWrite {
 			e.i64(off + int64(total))
@@ -436,7 +497,7 @@ func (f *remoteFile) Append(ctx *sim.Ctx, p []byte) (int, error) {
 
 // Truncate implements vfs.File.
 func (f *remoteFile) Truncate(ctx *sim.Ctx, size int64) error {
-	var e enc
+	e := reqEnc(0)
 	e.u64(f.handle)
 	e.i64(size)
 	d, err := f.c.call(ctx, opTruncate, e.b)
@@ -449,7 +510,7 @@ func (f *remoteFile) Truncate(ctx *sim.Ctx, size int64) error {
 
 // Fallocate implements vfs.File.
 func (f *remoteFile) Fallocate(ctx *sim.Ctx, off, n int64) error {
-	var e enc
+	e := reqEnc(0)
 	e.u64(f.handle)
 	e.i64(off)
 	e.i64(n)
@@ -471,7 +532,7 @@ func (f *remoteFile) Lease(ctx *sim.Ctx, write bool) (bool, error) {
 	if write {
 		mode = leaseWrite
 	}
-	var e enc
+	e := reqEnc(0)
 	e.u64(f.handle)
 	e.u8(mode)
 	d, err := f.c.call(ctx, opLease, e.b)
@@ -487,7 +548,7 @@ func (f *remoteFile) Lease(ctx *sim.Ctx, write bool) (bool, error) {
 
 // Unlease voluntarily releases any lease held through this handle.
 func (f *remoteFile) Unlease(ctx *sim.Ctx) error {
-	var e enc
+	e := reqEnc(0)
 	e.u64(f.handle)
 	e.u8(leaseNone)
 	_, err := f.c.call(ctx, opLease, e.b)
@@ -496,7 +557,7 @@ func (f *remoteFile) Unlease(ctx *sim.Ctx) error {
 
 // Fsync implements vfs.File.
 func (f *remoteFile) Fsync(ctx *sim.Ctx) error {
-	var e enc
+	e := reqEnc(0)
 	e.u64(f.handle)
 	_, err := f.c.call(ctx, opFsync, e.b)
 	return err
@@ -515,7 +576,7 @@ func (f *remoteFile) Extents() []mmu.Extent { return nil }
 
 // SetXattr implements vfs.File.
 func (f *remoteFile) SetXattr(ctx *sim.Ctx, name string, value []byte) error {
-	var e enc
+	e := reqEnc(0)
 	e.u64(f.handle)
 	e.str(name)
 	e.bytes(value)
@@ -525,7 +586,7 @@ func (f *remoteFile) SetXattr(ctx *sim.Ctx, name string, value []byte) error {
 
 // GetXattr implements vfs.File.
 func (f *remoteFile) GetXattr(ctx *sim.Ctx, name string) ([]byte, bool) {
-	var e enc
+	e := reqEnc(0)
 	e.u64(f.handle)
 	e.str(name)
 	d, err := f.c.call(ctx, opGetXattr, e.b)
@@ -542,7 +603,7 @@ func (f *remoteFile) GetXattr(ctx *sim.Ctx, name string) ([]byte, bool) {
 
 // Close implements vfs.File.
 func (f *remoteFile) Close(ctx *sim.Ctx) error {
-	var e enc
+	e := reqEnc(0)
 	e.u64(f.handle)
 	_, err := f.c.call(ctx, opCloseHandle, e.b)
 	return err

@@ -60,13 +60,13 @@ func TestLocalCloseIsNotServerGone(t *testing.T) {
 }
 
 // TestShutdownCtxBoundedByWedgedClient: a session whose peer stops reading
-// wedges the graceful drain (pipe writes rendezvous); ShutdownCtx must cut
-// it at the context deadline instead of hanging forever.
+// wedges the graceful drain once the transport's buffer fills; ShutdownCtx
+// must cut it at the context deadline instead of hanging forever.
 func TestShutdownCtxBoundedByWedgedClient(t *testing.T) {
 	srv, pl := newServer(t, pmem.New(256<<20), Config{RevokeTimeout: 30 * time.Second})
 
-	// Hand-rolled session: handshake, issue a request, never read the
-	// reply — the worker blocks writing into the pipe.
+	// Hand-rolled session: handshake, request a response bigger than the
+	// pipe buffer, never read the reply — the worker blocks writing it.
 	conn, err := pl.Dial()
 	if err != nil {
 		t.Fatalf("dial: %v", err)
@@ -80,8 +80,33 @@ func TestShutdownCtxBoundedByWedgedClient(t *testing.T) {
 	if _, _, _, err := ReadFrame(conn); err != nil {
 		t.Fatalf("hello ack: %v", err)
 	}
-	if err := WriteFrame(conn, 2, uint8(opStatFS), nil); err != nil {
-		t.Fatalf("statfs req: %v", err)
+	e = enc{}
+	e.str("/wedge")
+	if err := WriteFrame(conn, 2, uint8(opCreate), e.b); err != nil {
+		t.Fatalf("create req: %v", err)
+	}
+	_, _, resp, err := ReadFrame(conn)
+	if err != nil || len(resp) < 16 {
+		t.Fatalf("create ack: %d bytes, %v", len(resp), err)
+	}
+	h := newDec(resp[8:]).u64() // skip costNS, take the handle
+	const big = 2 << 20         // 2MiB response >> bufPipeMax
+	e = enc{}
+	e.u64(h)
+	e.i64(0)
+	e.i64(big)
+	if err := WriteFrame(conn, 3, uint8(opFallocate), e.b); err != nil {
+		t.Fatalf("fallocate req: %v", err)
+	}
+	if _, _, _, err := ReadFrame(conn); err != nil {
+		t.Fatalf("fallocate ack: %v", err)
+	}
+	e = enc{}
+	e.u64(h)
+	e.i64(0)
+	e.u32(big)
+	if err := WriteFrame(conn, 4, uint8(opRead), e.b); err != nil {
+		t.Fatalf("read req: %v", err)
 	}
 	// Give the server time to pick up the request and block on the reply.
 	time.Sleep(50 * time.Millisecond)

@@ -2,6 +2,7 @@ package fileserver
 
 import (
 	"context"
+	"encoding/binary"
 	"strconv"
 	"sync"
 	"time"
@@ -196,6 +197,13 @@ func (s *Server) startSession(conn Conn) {
 	s.mu.Unlock()
 	go sess.reader()
 	go sess.worker()
+	// In-process transports get the synchronous dispatch path: the client
+	// end invokes this session directly, skipping both message queues and
+	// four goroutine wakeups per RPC. Published last so a client that sees
+	// it finds a fully initialised session.
+	if dc, ok := conn.(directConn); ok {
+		dc.setDirect(&sessionDirect{sess: sess})
+	}
 }
 
 // Shutdown drains gracefully: listeners close, every session's read side
@@ -300,6 +308,13 @@ type session struct {
 	reqs chan request
 	done chan struct{} // closed by the worker on exit
 
+	// dmu serialises request execution (sess.ctx, the handle table) across
+	// the worker loop and the direct-dispatch path; directStopped marks the
+	// session past teardown so late direct calls fall back to the (dead)
+	// pipe and surface the usual transport error.
+	dmu           sync.Mutex
+	directStopped bool
+
 	// wmu serialises frame writes to conn: the worker's responses and
 	// other sessions' lease-revoke pushes (pushRevoke) share the write
 	// side.
@@ -371,47 +386,111 @@ func (sess *session) ackLease(id uint64, payload []byte) {
 func (sess *session) worker() {
 	defer sess.teardown()
 	for req := range sess.reqs {
-		start := sess.ctx.Now()
-		sp := sess.ctx.StartSpan("rpc." + req.op.String())
-		pmw := sess.ctx.Counters.PMWriteBytes
-		st, resp, stop := sess.dispatch(req)
-		if pm := sess.srv.cfg.PostMutate; pm != nil {
-			if delta := sess.ctx.Counters.PMWriteBytes - pmw; delta > 0 {
-				// The replication hook runs inside the cost window so the
-				// client is charged for synchronous replication time.
-				pm(sess.ctx, delta)
-			}
-		}
-		if sp != nil {
-			sp.SetAttr("session", strconv.FormatUint(sess.id, 10))
-			sp.SetAttr("req", strconv.FormatUint(req.id, 10))
-			sp.SetAttr("status", strconv.Itoa(int(st)))
-		}
-		sess.ctx.EndSpan(sp)
-		cost := sess.ctx.Now() - start
-
-		var out enc
-		out.u64(uint64(cost))
-		if st == statusOK {
-			out.b = append(out.b, resp...)
-		} else {
-			out.str(resp2msg(resp))
-		}
+		sess.dmu.Lock()
+		st, frame, stop := sess.serveReq(req)
+		sess.dmu.Unlock()
 		sess.wmu.Lock()
-		err := WriteFrame(sess.conn, req.id, uint8(st), out.b)
+		err := writeOwnedFrame(sess.conn, req.id, uint8(st), frame)
 		sess.wmu.Unlock()
-
-		sess.statsMu.Lock()
-		sess.snapCounters = *sess.ctx.Counters
-		sess.snapLat.Record(cost)
-		sess.ops++
-		sess.openHandles = len(sess.handles)
-		sess.statsMu.Unlock()
-
 		if stop || err != nil {
 			return
 		}
 	}
+}
+
+// serveReq executes one request with full per-request accounting and
+// returns the finished response frame (header and cost slot filled in).
+// Caller holds sess.dmu.
+func (sess *session) serveReq(req request) (st status, frame []byte, stop bool) {
+	start := sess.ctx.Now()
+	sp := sess.ctx.StartSpan(rpcSpanName(req.op))
+	pmw := sess.ctx.Counters.PMWriteBytes
+	st, resp, stop := sess.dispatch(req)
+	if pm := sess.srv.cfg.PostMutate; pm != nil {
+		if delta := sess.ctx.Counters.PMWriteBytes - pmw; delta > 0 {
+			// The replication hook runs inside the cost window so the
+			// client is charged for synchronous replication time.
+			pm(sess.ctx, delta)
+		}
+	}
+	if sp != nil {
+		sp.SetAttr("session", strconv.FormatUint(sess.id, 10))
+		sp.SetAttr("req", strconv.FormatUint(req.id, 10))
+		sp.SetAttr("status", strconv.Itoa(int(st)))
+	}
+	sess.ctx.EndSpan(sp)
+	cost := sess.ctx.Now() - start
+
+	// OK responses arrive from dispatch with the frame header and
+	// cost slot already reserved (respEnc), so the frame finishes in
+	// place: one buffer from dispatch to transport, no reassembly.
+	frame = resp
+	if st != statusOK || frame == nil {
+		out := respEnc(0)
+		if st != statusOK {
+			out.str(resp2msg(resp))
+		}
+		frame = out.b
+	}
+	binary.LittleEndian.PutUint64(frame[frameHdrLen:], uint64(cost))
+
+	sess.statsMu.Lock()
+	sess.snapCounters = *sess.ctx.Counters
+	sess.snapLat.Record(cost)
+	sess.ops++
+	sess.openHandles = len(sess.handles)
+	sess.statsMu.Unlock()
+	return st, frame, stop
+}
+
+// sessionDirect is the synchronous dispatch entry point a session
+// publishes on direct-capable transports (the in-memory pipe). The client
+// runs the server's request path on its own goroutine and receives the
+// response frame as the return value; the pipe carries only lease-revoke
+// pushes in the other direction.
+type sessionDirect struct{ sess *session }
+
+// call executes one request synchronously. The returned payload is the
+// response frame's body (cost u64 first), exactly what ReadFrame would
+// have yielded. ok=false means the direct path is gone (session tore
+// down); the caller must fall back to the wire.
+func (sd *sessionDirect) call(o op, payload []byte) (status, []byte, bool) {
+	sess := sd.sess
+	if o == opLeaseAck {
+		// Acks stay out of band, exactly like the reader path: a request
+		// blocked in revokeConflicting holds dmu, and the ack that
+		// unblocks it may come from this very client's revoke handler.
+		d := dec{b: payload}
+		ino := d.u64()
+		st := statusOK
+		out := respEnc(0)
+		if !d.ok() {
+			st = statusBadRequest
+			out.str("bad leaseack payload")
+		} else {
+			sess.srv.leaseAcked(sess, ino)
+		}
+		binary.LittleEndian.PutUint64(out.b[frameHdrLen:], 0)
+		return st, out.b[frameHdrLen:], true
+	}
+	sess.dmu.Lock()
+	if sess.directStopped {
+		sess.dmu.Unlock()
+		return 0, nil, false
+	}
+	st, frame, stop := sess.serveReq(request{op: o, payload: payload})
+	if stop {
+		// A detach over the direct path must tear the session down just
+		// like one over the wire: kill the pipe so reader and worker
+		// exit and run teardown. The response still returns to the
+		// caller synchronously.
+		sess.directStopped = true
+		sess.dmu.Unlock()
+		sess.conn.Close()
+		return st, frame[frameHdrLen:], true
+	}
+	sess.dmu.Unlock()
+	return st, frame[frameHdrLen:], true
 }
 
 // resp2msg interprets the dispatch payload of a failed request as its
@@ -425,6 +504,15 @@ func resp2msg(resp []byte) string { return string(resp) }
 // process's file table — and must leave no inode lock in vfs.LockTable
 // orphaned for the next client.
 func (sess *session) teardown() {
+	// Retire the direct path first: unpublish the entry point, then take
+	// dmu so any direct call already in flight finishes (and is answered)
+	// before the handle table goes away.
+	if dc, ok := sess.conn.(directConn); ok {
+		dc.setDirect(nil)
+	}
+	sess.dmu.Lock()
+	sess.directStopped = true
+	sess.dmu.Unlock()
 	close(sess.done)
 	// Leases die with the session: drop them all and wake any request
 	// blocked on a revoke this session will never ack.
@@ -456,6 +544,32 @@ func (sess *session) teardown() {
 	s.wg.Done()
 }
 
+// respEnc returns an encoder whose buffer reserves the frame header and
+// the u64 cost slot, so the worker can finish the frame without copying
+// the payload again. extra hints the payload size beyond the fixed span.
+func respEnc(extra int) enc {
+	return enc{b: make([]byte, frameHdrLen+8, frameHdrLen+8+16+extra)}
+}
+
+// rpcSpanNames pre-concatenates trace span labels per opcode; building
+// "rpc."+op.String() per request allocated on every RPC even with
+// tracing off.
+var rpcSpanNames = func() (n [len(opNames)]string) {
+	for o, name := range opNames {
+		if name != "" {
+			n[o] = "rpc." + name
+		}
+	}
+	return
+}()
+
+func rpcSpanName(o op) string {
+	if int(o) < len(rpcSpanNames) && rpcSpanNames[o] != "" {
+		return rpcSpanNames[o]
+	}
+	return "rpc." + o.String()
+}
+
 // fail formats an error into (status, message-payload).
 func fail(err error) (status, []byte, bool) {
 	st, msg := statusFor(err)
@@ -476,7 +590,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if !d.ok() || ver != ProtoVersion {
 			return statusBadRequest, []byte("protocol version mismatch"), false
 		}
-		var e enc
+		e := respEnc(0)
 		e.u32(ProtoVersion)
 		e.str(fs.Name())
 		e.u8(uint8(fs.Mode()))
@@ -507,7 +621,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		h := sess.nextHandle
 		sess.nextHandle++
 		sess.handles[h] = f
-		var e enc
+		e := respEnc(0)
 		e.u64(h)
 		e.u64(f.Ino())
 		e.i64(f.Size())
@@ -558,7 +672,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 				fi = fi2
 			}
 		}
-		var e enc
+		e := respEnc(0)
 		e.u64(fi.Ino)
 		e.i64(fi.Size)
 		e.u8(b2u8(fi.IsDir))
@@ -574,7 +688,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if err != nil {
 			return fail(err)
 		}
-		var e enc
+		e := respEnc(0)
 		e.u32(uint32(len(ents)))
 		for _, ent := range ents {
 			e.str(ent.Name)
@@ -585,7 +699,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 
 	case opStatFS:
 		sfs := fs.StatFS(ctx)
-		var e enc
+		e := respEnc(0)
 		e.i64(sfs.TotalBlocks)
 		e.i64(sfs.FreeBlocks)
 		e.i64(sfs.FreeAligned2M)
@@ -602,13 +716,18 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 			return statusBadHandle, nil, false
 		}
 		sess.srv.revokeConflicting(sess, f.Ino(), false)
-		buf := make([]byte, n)
+		// Read straight into the response frame: the length prefix slot
+		// is filled in after the read, so the data is never copied
+		// between a scratch buffer and the payload.
+		e := respEnc(4 + int(n))
+		hdr := len(e.b)
+		buf := e.b[hdr+4 : hdr+4+int(n)]
 		got, err := f.ReadAt(ctx, buf, off)
 		if err != nil {
 			return fail(err)
 		}
-		var e enc
-		e.bytes(buf[:got])
+		e.u32(uint32(got))
+		e.b = e.b[:hdr+4+got]
 		return statusOK, e.b, false
 
 	case opWrite, opAppend:
@@ -636,7 +755,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if err != nil {
 			return fail(err)
 		}
-		var e enc
+		e := respEnc(0)
 		e.u32(uint32(n))
 		e.i64(f.Size())
 		return statusOK, e.b, false
@@ -654,7 +773,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if err := f.Truncate(ctx, size); err != nil {
 			return fail(err)
 		}
-		var e enc
+		e := respEnc(0)
 		e.i64(f.Size())
 		return statusOK, e.b, false
 
@@ -671,7 +790,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		if err := f.Fallocate(ctx, off, n); err != nil {
 			return fail(err)
 		}
-		var e enc
+		e := respEnc(0)
 		e.i64(f.Size())
 		return statusOK, e.b, false
 
@@ -728,7 +847,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 			return statusBadHandle, nil, false
 		}
 		val, ok := f.GetXattr(ctx, name)
-		var e enc
+		e := respEnc(0)
 		e.u8(b2u8(ok))
 		e.bytes(val)
 		return statusOK, e.b, false
@@ -748,7 +867,7 @@ func (sess *session) dispatch(req request) (status, []byte, bool) {
 		} else {
 			granted = sess.srv.acquireLease(sess, f.Ino(), mode == leaseWrite)
 		}
-		var e enc
+		e := respEnc(0)
 		e.u8(b2u8(granted))
 		return statusOK, e.b, false
 

@@ -624,18 +624,28 @@ func TestGracefulDrain(t *testing.T) {
 			defer wg.Done()
 			cl := dialT(t, pl)
 			ctx := sim.NewCtx(700+i, i%testCPUs)
-			if err := cl.Mkdir(ctx, fmt.Sprintf("/dr%d", i)); err != nil && err != vfs.ErrExist {
+			err := cl.Mkdir(ctx, fmt.Sprintf("/dr%d", i))
+			if err == vfs.ErrExist {
+				err = nil
+			}
+			started <- struct{}{} // always signal, or an early error hangs the test
+			if err != nil {
 				unexpected[i] = err
 				return
 			}
-			started <- struct{}{}
 			for op := 0; ; op++ {
+				// Create/append/unlink churn: sustained traffic with bounded
+				// space use, so however fast the transport pipelines, the
+				// loop cannot exhaust the device before Shutdown fires.
 				name := fmt.Sprintf("/dr%d/f%04d", i, op)
 				f, err := cl.Create(ctx, name)
 				if err == nil {
 					_, err = f.Append(ctx, make([]byte, 4096))
+					if cerr := f.Close(ctx); err == nil {
+						err = cerr
+					}
 					if err == nil {
-						err = f.Close(ctx)
+						err = cl.Unlink(ctx, name)
 					}
 				}
 				if err != nil {

@@ -1,9 +1,11 @@
 package fileserver
 
 import (
+	"errors"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Conn is a bidirectional byte stream between one client and the server.
@@ -75,8 +77,8 @@ func DialTCP(addr string) (Conn, error) {
 // --- in-memory pipe transport ----------------------------------------------
 
 // PipeListener is the deterministic in-memory transport the tests and the
-// winebench -server baseline use: no sockets, no kernel buffering, every
-// byte moves through an io.Pipe rendezvous, so runs are reproducible and
+// winebench -server baseline use: no sockets, no kernel involvement, every
+// byte moves through a mutex-guarded buffer, so runs are reproducible and
 // the race detector sees every cross-goroutine edge.
 type PipeListener struct {
 	accept chan Conn
@@ -125,28 +127,259 @@ func (p *PipeListener) Close() error {
 func (p *PipeListener) Addr() string { return "pipe" }
 
 // pipeConn is one end of an in-memory duplex stream built from two
-// io.Pipes.
+// buffered byte queues. The earlier implementation used io.Pipe, whose
+// rendezvous handoff parks the writer until the reader arrives — profiled
+// at ~20% of the -server bench sweep in scheduler churn. A bounded buffer
+// keeps writes of whole frames non-blocking in the common case while
+// preserving stream semantics: reads drain buffered bytes before
+// reporting the peer's close.
 type pipeConn struct {
-	r *io.PipeReader
-	w *io.PipeWriter
+	rd *bufPipe // inbound: the peer writes here, we read
+	wr *bufPipe // outbound: we write here, the peer reads
+	// cell is shared by both endpoints; a Server session accepting this
+	// pipe publishes its synchronous dispatch entry point here, letting
+	// the client end invoke the server directly on its own goroutine (see
+	// sessionDirect in server.go). Raw-frame users (the replication
+	// stream) never publish, so the cell stays nil and framing applies.
+	cell *directCell
 }
+
+// directCell is the rendezvous slot for the direct-dispatch fast path.
+type directCell struct{ p atomic.Pointer[sessionDirect] }
 
 func pipePair() (a, b Conn) {
-	ar, aw := io.Pipe()
-	br, bw := io.Pipe()
-	return &pipeConn{r: ar, w: bw}, &pipeConn{r: br, w: aw}
+	p, q := newBufPipe(), newBufPipe()
+	cell := &directCell{}
+	return &pipeConn{rd: p, wr: q, cell: cell}, &pipeConn{rd: q, wr: p, cell: cell}
 }
 
-func (c *pipeConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
-func (c *pipeConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+// directConn is satisfied by transports whose endpoints share an address
+// space, enabling the synchronous dispatch path.
+type directConn interface {
+	setDirect(sd *sessionDirect)
+	getDirect() *sessionDirect
+}
+
+func (c *pipeConn) setDirect(sd *sessionDirect) { c.cell.p.Store(sd) }
+func (c *pipeConn) getDirect() *sessionDirect   { return c.cell.p.Load() }
+
+func (c *pipeConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *pipeConn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+// writeMsg and readMsg are the frame fast path WriteFrame/ReadFrame take
+// on pipe connections: a whole frame moves as one owned []byte through a
+// message queue — one lock acquisition and zero re-parsing copies, where
+// the stream path cost a buffer-assembly copy on the writer and two
+// ReadFull round trips plus a payload allocation on the reader. Stream
+// Read/Write and message traffic must not be mixed on one direction;
+// every producer in the tree frames its pipe traffic, so the stream
+// buffer stays empty whenever messages flow.
+func (c *pipeConn) writeMsg(frame []byte) error { return c.wr.writeMsg(frame) }
+func (c *pipeConn) readMsg() ([]byte, error)    { return c.rd.readMsg() }
 
 func (c *pipeConn) Close() error {
-	c.r.CloseWithError(io.ErrClosedPipe)
-	c.w.CloseWithError(io.ErrClosedPipe)
+	c.rd.closeRead(io.ErrClosedPipe)
+	c.wr.closeWrite(io.ErrClosedPipe)
 	return nil
 }
 
 // CloseRead shuts only the inbound half: our reads (and the peer's writes)
 // fail, while our writes still reach the peer — exactly what graceful
 // drain needs.
-func (c *pipeConn) CloseRead() error { return c.r.CloseWithError(io.EOF) }
+func (c *pipeConn) CloseRead() error {
+	c.rd.closeRead(io.EOF)
+	return nil
+}
+
+// bufPipe is one direction of the in-memory transport: a bounded FIFO of
+// bytes (stream mode) or whole frames (message mode) with net.Conn-like
+// close semantics.
+type bufPipe struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	data []byte
+	roff int
+	// msgs is the message-mode queue; msgBytes tracks queued payload for
+	// the same back-pressure bound the stream buffer enforces, and
+	// readers counts goroutines blocked in readMsg (oversized frames are
+	// only handed to an actively draining reader).
+	msgs     [][]byte
+	msgBytes int
+	readers  int
+	// werr is set when the writer closed; readers see it after draining.
+	werr error
+	// rerr is set when the reader closed; writers fail with it immediately
+	// and reads fail with io.ErrClosedPipe (buffered bytes are abandoned,
+	// matching io.PipeReader.CloseWithError).
+	rerr error
+}
+
+// bufPipeMax bounds buffered bytes per direction so a slow reader (e.g. a
+// stalled replication follower) exerts back-pressure instead of growing
+// host memory without limit.
+const bufPipeMax = 1 << 20
+
+func newBufPipe() *bufPipe {
+	p := &bufPipe{}
+	p.cond.L = &p.mu
+	return p
+}
+
+// errStreamData tells a readMsg caller that this direction is carrying
+// stream bytes — its peer's conn is wrapped (fault injectors wrap Write,
+// which routes WriteFrame down the stream path) — so it must fall back to
+// stream reads. ReadFrame handles the fallback.
+var errStreamData = errors.New("fileserver: bufPipe carrying stream bytes")
+
+func (p *bufPipe) read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.rerr != nil {
+			return 0, io.ErrClosedPipe
+		}
+		if p.roff >= len(p.data) && len(p.msgs) > 0 {
+			// The writer framed its traffic but this end reads the stream
+			// (its conn is wrapped, hiding readMsg): flatten queued frames
+			// into stream bytes — they are verbatim wire frames either way.
+			for _, m := range p.msgs {
+				p.data = append(p.data, m...)
+			}
+			p.msgs, p.msgBytes = nil, 0
+			p.cond.Broadcast()
+		}
+		if p.roff < len(p.data) {
+			n := copy(b, p.data[p.roff:])
+			p.roff += n
+			if p.roff == len(p.data) {
+				p.data = p.data[:0]
+				p.roff = 0
+			}
+			p.cond.Broadcast()
+			return n, nil
+		}
+		if p.werr != nil {
+			return 0, p.werr
+		}
+		// Count as a draining reader so an oversized writeMsg frame can be
+		// handed over (it lands in msgs and is flattened on wake).
+		p.readers++
+		p.cond.Broadcast()
+		p.cond.Wait()
+		p.readers--
+	}
+}
+
+func (p *bufPipe) write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	written := 0
+	for {
+		if p.rerr != nil {
+			return written, p.rerr
+		}
+		if p.werr != nil {
+			return written, io.ErrClosedPipe
+		}
+		if room := bufPipeMax - (len(p.data) - p.roff); room > 0 {
+			n := len(b)
+			if n > room {
+				n = room
+			}
+			p.data = append(p.data, b[:n]...)
+			b = b[n:]
+			written += n
+			p.cond.Broadcast()
+			if len(b) == 0 {
+				return written, nil
+			}
+		}
+		p.cond.Wait()
+	}
+}
+
+// writeMsg enqueues one owned frame, blocking while the queue is over the
+// back-pressure bound.
+func (p *bufPipe) writeMsg(frame []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.rerr != nil {
+			return p.rerr
+		}
+		if p.werr != nil {
+			return io.ErrClosedPipe
+		}
+		if len(frame) > bufPipeMax {
+			// A frame bigger than the buffer bound can only reach a
+			// reader that is actively draining — mirroring stream mode,
+			// where the bytes past the bound trickle out as the peer
+			// reads. A peer that never reads wedges the writer (the
+			// shutdown path depends on that back-pressure).
+			if p.msgBytes == 0 && p.readers > 0 {
+				p.msgs = append(p.msgs, frame)
+				p.msgBytes += len(frame)
+				p.cond.Broadcast()
+				return nil
+			}
+		} else if p.msgBytes+len(frame) <= bufPipeMax {
+			p.msgs = append(p.msgs, frame)
+			p.msgBytes += len(frame)
+			p.cond.Broadcast()
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// readMsg dequeues one frame; the returned slice is owned by the caller.
+func (p *bufPipe) readMsg() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.rerr != nil {
+			return nil, io.ErrClosedPipe
+		}
+		if len(p.msgs) > 0 {
+			m := p.msgs[0]
+			p.msgs[0] = nil
+			p.msgs = p.msgs[1:]
+			p.msgBytes -= len(m)
+			if len(p.msgs) == 0 {
+				p.msgs = nil
+			}
+			p.cond.Broadcast()
+			return m, nil
+		}
+		if p.roff < len(p.data) {
+			// The writer is sending stream bytes (its conn is wrapped,
+			// hiding writeMsg); tell the caller to read the stream instead.
+			return nil, errStreamData
+		}
+		if p.werr != nil {
+			return nil, p.werr
+		}
+		p.readers++
+		p.cond.Broadcast() // a blocked oversized-frame writer may proceed
+		p.cond.Wait()
+		p.readers--
+	}
+}
+
+func (p *bufPipe) closeRead(err error) {
+	p.mu.Lock()
+	if p.rerr == nil {
+		p.rerr = err
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *bufPipe) closeWrite(err error) {
+	p.mu.Lock()
+	if p.werr == nil {
+		p.werr = err
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

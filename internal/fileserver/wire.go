@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/vfs"
 	"repro/internal/winefs"
@@ -217,33 +218,103 @@ func errFor(st status, msg string) error {
 	return fmt.Errorf("fileserver: remote: %s", msg)
 }
 
-// WriteFrame assembles and writes one frame with a single Write call (the
-// pipe transport is synchronous, so frame assembly must not interleave).
+// frameHdrLen is the wire header every frame starts with: u32 length,
+// u64 id, u8 code.
+const frameHdrLen = 13
+
+// writeOwnedFrame finishes an in-place frame whose first frameHdrLen
+// bytes were reserved by the encoder (see reqEnc/respEnc) and writes it
+// with zero re-assembly copies. On the pipe fast path ownership of buf
+// passes to the transport; the caller must not touch it afterwards.
+func writeOwnedFrame(w io.Writer, id uint64, code uint8, buf []byte) error {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(9+len(buf)-frameHdrLen))
+	binary.LittleEndian.PutUint64(buf[4:], id)
+	buf[12] = code
+	if mw, ok := w.(msgWriter); ok {
+		return mw.writeMsg(buf)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// msgWriter and msgReader are the optional frame-granular transport
+// interface (see pipeConn): frames move as owned []byte messages instead
+// of stream bytes.
+type msgWriter interface{ writeMsg(frame []byte) error }
+type msgReader interface{ readMsg() ([]byte, error) }
+
+// frameBufPool recycles WriteFrame assembly buffers; the transports below
+// (TCP, buffered pipe) all copy the bytes out during Write, so the buffer
+// can be reused the moment Write returns.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// WriteFrame assembles and writes one frame with a single Write call (so
+// concurrent writers on one transport never interleave frame bytes).
 // Exported so internal/cluster can reuse the framing for its replication
 // stream instead of inventing a second length-prefixed protocol.
 func WriteFrame(w io.Writer, id uint64, code uint8, payload []byte) error {
-	buf := make([]byte, 13+len(payload))
+	if mw, ok := w.(msgWriter); ok {
+		// Pipe fast path: hand the assembled frame over whole. The queue
+		// owns it afterwards, so no pooling — but the reader parses it in
+		// place, skipping its own payload allocation and copies.
+		buf := make([]byte, 13+len(payload))
+		binary.LittleEndian.PutUint32(buf[0:], uint32(9+len(payload)))
+		binary.LittleEndian.PutUint64(buf[4:], id)
+		buf[12] = code
+		copy(buf[13:], payload)
+		return mw.writeMsg(buf)
+	}
+	bp := frameBufPool.Get().(*[]byte)
+	buf := *bp
+	if need := 13 + len(payload); cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = buf[:13+len(payload)]
 	binary.LittleEndian.PutUint32(buf[0:], uint32(9+len(payload)))
 	binary.LittleEndian.PutUint64(buf[4:], id)
 	buf[12] = code
 	copy(buf[13:], payload)
 	_, err := w.Write(buf)
+	*bp = buf[:0]
+	frameBufPool.Put(bp)
 	return err
 }
 
 // ReadFrame reads one frame; any transport error (including EOF) is
 // returned verbatim for the caller to treat as session death.
+//
+// The length prefix and the 9-byte id+code header are fetched with one
+// ReadFull: every valid frame has at least 9 bytes after the prefix, so
+// the merged read never overshoots a frame boundary. (A corrupt length
+// < 9 is detected after the merged read; the connection is torn down
+// either way, so the 9 bytes over-consumed on that path don't matter.)
 func ReadFrame(r io.Reader) (id uint64, code uint8, payload []byte, err error) {
+	if mr, ok := r.(msgReader); ok {
+		frame, err := mr.readMsg()
+		switch err {
+		case nil:
+			n := len(frame) - 4
+			if len(frame) < 13 || int(binary.LittleEndian.Uint32(frame[:4])) != n || n-9 > maxFrame {
+				return 0, 0, nil, fmt.Errorf("fileserver: bad frame length %d", n)
+			}
+			return binary.LittleEndian.Uint64(frame[4:12]), frame[12], frame[13:], nil
+		case errStreamData:
+			// The peer's conn is wrapped (fault injection routes WriteFrame
+			// down the stream path); parse the stream below.
+		default:
+			return 0, 0, nil, err
+		}
+	}
 	var hdr [13]byte
-	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n < 9 || n > maxFrame {
 		return 0, 0, nil, fmt.Errorf("fileserver: bad frame length %d", n)
-	}
-	if _, err = io.ReadFull(r, hdr[4:]); err != nil {
-		return 0, 0, nil, err
 	}
 	id = binary.LittleEndian.Uint64(hdr[4:12])
 	code = hdr[12]

@@ -67,6 +67,42 @@ func (a *assoc) touch(key uint64) bool {
 	return false
 }
 
+// touchRun touches n sequential keys (key, key+1, ..., key+n-1) under one
+// lock acquisition, returning how many hit. The state changes are exactly
+// those of n individual touch calls in the same order — the keys are
+// distinct, so each lands in its set independently and batching only
+// amortises the lock. Callers use this for the cache lines of one
+// contiguous access run.
+func (a *assoc) touchRun(key uint64, n int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	hits := 0
+	for j := 0; j < n; j++ {
+		k := key + uint64(j)
+		set := &a.sets[mix(k)&a.mask]
+		s := *set
+		hit := false
+		for i, kk := range s {
+			if kk == k {
+				copy(s[1:i+1], s[:i])
+				s[0] = k
+				hits++
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			if len(s) < a.ways {
+				s = append(s, 0)
+			}
+			copy(s[1:], s[:len(s)-1])
+			s[0] = k
+			*set = s
+		}
+	}
+	return hits
+}
+
 // contains reports whether key is present without changing LRU state.
 func (a *assoc) contains(key uint64) bool {
 	set := a.sets[mix(key)&a.mask]

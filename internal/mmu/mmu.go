@@ -107,6 +107,12 @@ type AddressSpace struct {
 	tlb2m *assoc
 	llc   *assoc
 
+	// Exact forces the reference per-cache-line accounting loop instead of
+	// the batched run accounting. Both produce bit-identical virtual-time
+	// results (the determinism golden test proves it); Exact exists as that
+	// test's reference arm and as an escape hatch for debugging.
+	Exact bool
+
 	mu     sync.Mutex
 	nextVA int64
 }
@@ -421,7 +427,75 @@ func (m *Mapping) access(ctx *sim.Ctx, p []byte, off int64, write bool) error {
 	if n >= streamThreshold {
 		return m.stream(ctx, p, off, write)
 	}
-	// Fine-grained path: per cache line.
+	if m.as.Exact {
+		return m.accessFineExact(ctx, p, off, write)
+	}
+	return m.accessFine(ctx, p, off, write)
+}
+
+// accessFine is the cache-line-accurate path for small accesses, batched by
+// translation granule. It is bit-identical to accessFineExact because every
+// batch step is an exact algebraic collapse of the per-line loop:
+//
+//   - All lines inside one granule share a translation: after the first
+//     line's ensureMapped the page cannot unmap mid-run, and repeat lookups
+//     return the same phys with no cost, so one call suffices.
+//   - All lines inside one granule share one TLB key. The first translate
+//     inserts/promotes it to MRU; every later line's touch would hit the
+//     MRU way, which moves nothing — so TLB state is unchanged and the
+//     hits are counted arithmetically.
+//   - The LLC sees the same touch sequence in the same order: (on a TLB
+//     miss) pte line, pmd line, then data lines first..last, only under one
+//     lock via touchRun instead of n. Per-line hit/miss costs are summed
+//     into one Advance — int64 addition commutes.
+//   - The device sees one ReadAt/WriteAt covering the run instead of one
+//     per line; bytes and offsets are identical (phys is contiguous within
+//     a granule). Only crash-trace record granularity could differ, and
+//     the fine path is not used while crash tracing is armed.
+func (m *Mapping) accessFine(ctx *sim.Ctx, p []byte, off int64, write bool) error {
+	pos := off
+	rem := p
+	for len(rem) > 0 {
+		phys, huge, err := m.ensureMapped(ctx, pos)
+		if err != nil {
+			return err
+		}
+		m.translate(ctx, pos, huge)
+		granule := int64(BasePage)
+		if huge {
+			granule = HugePage
+		}
+		granEnd := (pos/granule + 1) * granule
+		k := granEnd - pos
+		if k > int64(len(rem)) {
+			k = int64(len(rem))
+		}
+		firstLine := phys / pmem.CacheLine
+		nLines := (phys+k-1)/pmem.CacheLine - firstLine + 1
+		ctx.Counters.TLBHits += nLines - 1
+		hits := int64(m.as.llc.touchRun(uint64(firstLine), int(nLines)))
+		if write {
+			ctx.Counters.PMWriteBytes += nLines * pmem.CacheLine
+			ctx.Advance(nLines * m.model.WriteLat64)
+			m.dev.WriteAt(rem[:k], phys)
+		} else {
+			misses := nLines - hits
+			ctx.Counters.LLCHits += hits
+			ctx.Counters.LLCMisses += misses
+			ctx.Counters.PMReadBytes += misses * pmem.CacheLine
+			ctx.Advance(hits*m.model.LLCHitNS + misses*m.model.ReadLat64)
+			m.dev.ReadAt(rem[:k], phys)
+		}
+		rem = rem[k:]
+		pos += k
+	}
+	return nil
+}
+
+// accessFineExact is the reference per-cache-line loop: every line pays its
+// own translation lookup, LLC touch and device segment. accessFine must
+// stay bit-identical to this.
+func (m *Mapping) accessFineExact(ctx *sim.Ctx, p []byte, off int64, write bool) error {
 	pos := off
 	rem := p
 	for len(rem) > 0 {

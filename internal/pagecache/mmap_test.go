@@ -63,10 +63,10 @@ func (f *mapFile) Unlease(ctx *sim.Ctx) error {
 func (f *mapFile) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
 	return f.mp.Fault(ctx, pageOff)
 }
-func (f *mapFile) MapSpace() *mmu.AddressSpace              { return f.mp.MapSpace() }
-func (f *mapFile) MapSyscallNS() int64                      { return f.mp.MapSyscallNS() }
-func (f *mapFile) AttachMapping(m *mmu.Mapping)             { f.mp.AttachMapping(m) }
-func (f *mapFile) DetachMapping(m *mmu.Mapping)             { f.mp.DetachMapping(m) }
+func (f *mapFile) MapSpace() *mmu.AddressSpace  { return f.mp.MapSpace() }
+func (f *mapFile) MapSyscallNS() int64          { return f.mp.MapSyscallNS() }
+func (f *mapFile) AttachMapping(m *mmu.Mapping) { f.mp.AttachMapping(m) }
+func (f *mapFile) DetachMapping(m *mmu.Mapping) { f.mp.DetachMapping(m) }
 func (f *mapFile) MsyncRange(ctx *sim.Ctx, off, n int64) error {
 	return f.mp.MsyncRange(ctx, off, n)
 }

@@ -35,7 +35,6 @@ type Counters struct {
 	JournalNS      int64 // time spent appending/flushing/committing journal entries
 	Syscalls       int64
 	SyscallNS      int64 // time charged for syscall entry/exit
-	KernelNS       int64 // time attributed to in-kernel (FS) work
 	AllocSplits    int64 // aligned extents broken up to serve small requests
 	AllocSteals    int64 // allocations served from a remote CPU's pool
 	CoWCopies      int64 // copy-on-write block copies

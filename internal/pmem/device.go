@@ -15,6 +15,7 @@ package pmem
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,14 @@ const (
 	ChunkSize = 2 << 20
 	// CacheLine is the persistence granularity (clwb unit).
 	CacheLine = 64
+
+	// initPage is the granularity of lazy chunk initialization: each 4KiB
+	// page of a pooled chunk is cleared (or wholly overwritten) at most
+	// once, the first time an access touches it.
+	initPage      = 4096
+	initPageShift = 12
+	pagesPerChunk = ChunkSize / initPage // 512 pages
+	wordsPerChunk = pagesPerChunk / 64   // 8 bitmap words
 )
 
 // Device is a simulated persistent-memory module set. It is safe for
@@ -37,8 +46,27 @@ type Device struct {
 	cpus  int
 	model CostModel
 
-	mu     sync.RWMutex
-	chunks map[int64][]byte
+	// chunks is the dense backing-store table, one slot per 2MiB chunk;
+	// nil slots read as zero. Slots are atomic pointers so the hot
+	// read/write paths dereference them lock-free — the former
+	// map+RWMutex pair cost two atomic RMWs per 4KiB access and showed up
+	// at several percent of host CPU on the scaling sweep.
+	chunks  []atomic.Pointer[chunkBuf]
+	nBacked atomic.Int64 // backed chunk count, for HostBytes
+
+	// initPages is the per-chunk initialization bitmap, wordsPerChunk
+	// words per chunk: bit p set means 4KiB page p of the chunk holds
+	// real content (written or zeroed); a clear bit means the page still
+	// holds stale pool garbage and logically reads as zero. Pooled chunks
+	// are installed dirty and pages initialize lazily — eagerly clearing
+	// 2MiB on first touch made memclr 15%% of scaling-sweep CPU, and a
+	// single watermark re-cleared ~512KiB gaps every time the journal
+	// region was dropped and its mid-chunk header rewritten (4GiB of
+	// memclr per sweep). Fully overwritten pages flip their bit with one
+	// atomic OR and are never cleared at all; only partial first touches
+	// take the stripe lock in initMu and clear the uncovered remainder.
+	initPages []atomic.Uint64
+	initMu    [64]sync.Mutex
 
 	// snapMu makes Snapshot/Restore atomic with respect to content
 	// mutations: mutators hold it shared for the duration of their byte
@@ -46,8 +74,11 @@ type Device struct {
 	// taken while another goroutine streams a write (the replication
 	// resync path snapshots a live primary) could capture a half-applied
 	// store. Mutators release it before invoking the write observer, so an
-	// observer may take locks that a snapshot caller holds.
+	// observer may take locks that a snapshot caller holds. Devices built
+	// with Config.NoSnapshot never snapshot, so their mutators skip the
+	// shared acquisition entirely (noSnap true).
 	snapMu sync.RWMutex
+	noSnap bool
 
 	// port is the per-NUMA-node device port: reads and writes share one
 	// calendar (mixed read/write traffic interferes on Optane, which is
@@ -59,8 +90,12 @@ type Device struct {
 
 	traceMu sync.Mutex
 	tracing bool
-	epoch   int
-	trace   []Store
+	// tracingOn mirrors tracing so the per-store fast path is one atomic
+	// load instead of a mutex round trip (record was ~2%% of sweep CPU
+	// with tracing off).
+	tracingOn atomic.Bool
+	epoch     int
+	trace     []Store
 
 	// fault holds media-fault state (poison map, fault plan); lazily
 	// allocated so fault-free devices pay nothing. See fault.go.
@@ -114,6 +149,12 @@ type Config struct {
 	CPUs int
 	// Model overrides the cost model; zero value means DefaultModel.
 	Model *CostModel
+	// NoSnapshot declares that the device will never be snapshotted:
+	// Snapshot/Restore/Save panic, and in exchange every mutator skips the
+	// snapshot reader-lock round trip on its hot path. Benchmark harnesses
+	// that only ever run workloads (never crash images or replica resync)
+	// set this; anything that might snapshot a live device must not.
+	NoSnapshot bool
 }
 
 // New creates a device of the given size with the default model and a
@@ -139,11 +180,13 @@ func NewWithConfig(cfg Config) *Device {
 	}
 	size := (cfg.Size + ChunkSize - 1) / ChunkSize * ChunkSize
 	d := &Device{
-		size:   size,
-		nodes:  cfg.Nodes,
-		cpus:   cfg.CPUs,
-		model:  m,
-		chunks: make(map[int64][]byte),
+		size:      size,
+		nodes:     cfg.Nodes,
+		cpus:      cfg.CPUs,
+		model:     m,
+		noSnap:    cfg.NoSnapshot,
+		chunks:    make([]atomic.Pointer[chunkBuf], size/ChunkSize),
+		initPages: make([]atomic.Uint64, size/ChunkSize*wordsPerChunk),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		d.port = append(d.port, &sim.Resource{})
@@ -202,23 +245,234 @@ func (d *Device) checkRange(off, n int64) {
 	}
 }
 
-// chunk returns the host slice backing the chunk containing off, allocating
-// it if needed (when alloc is true).
-func (d *Device) chunk(base int64, alloc bool) []byte {
-	d.mu.RLock()
-	c := d.chunks[base]
-	d.mu.RUnlock()
-	if c != nil || !alloc {
-		return c
+// chunkBuf is one 2MiB backing chunk. A fixed-size array type so the host
+// chunk pool hands out typed pointers.
+type chunkBuf [ChunkSize]byte
+
+// chunkPool recycles 2MiB host chunks across devices. Scratch devices are
+// born and die by the hundred in campaigns and bench sweeps; without the
+// pool every death hands its chunks to the GC and every birth re-faults
+// and re-clears fresh spans (mallocgc→memclr was >10% of sweep CPU).
+// Chunks in the pool hold stale bytes: every Get site must zero whatever
+// part of the chunk it does not immediately overwrite.
+var chunkPool = sync.Pool{New: func() any { return new(chunkBuf) }}
+
+// allocChunk installs a pooled chunk at index i. The chunk arrives dirty;
+// the empty-slot invariant (nil slot ⇒ init bitmap all zero, maintained by
+// the constructor, dropChunk and Release) means every page is marked
+// uninitialized when the pointer publishes, and pages initialize lazily
+// through claimWrite / readInit. Losing a CAS race returns the winner's
+// chunk.
+func (d *Device) allocChunk(i int64) *chunkBuf {
+	c := chunkPool.Get().(*chunkBuf)
+	if !d.chunks[i].CompareAndSwap(nil, c) {
+		chunkPool.Put(c)
+		return d.chunks[i].Load()
 	}
-	d.mu.Lock()
-	c = d.chunks[base]
-	if c == nil {
-		c = make([]byte, ChunkSize)
-		d.chunks[base] = c
-	}
-	d.mu.Unlock()
+	d.nBacked.Add(1)
 	return c
+}
+
+// claimWrite marks the pages covering [in, end) of chunk i initialized
+// ahead of the caller's copy. Fully covered pages only flip their bitmap
+// bit (the copy overwrites every byte); a partially covered head or tail
+// page on its first touch takes the stripe lock and zeroes the bytes the
+// copy will not reach. Bits are set BEFORE the caller copies, so a
+// concurrent claim of a neighboring range never clears bytes an in-flight
+// copy already wrote: each page is zeroed at most once, while its bit is
+// still clear. Marking full pages skips the identity check that guards
+// the drop/realloc race — whole-chunk drops are only issued by the
+// exclusive owner of the covered blocks (journal truncation, block free),
+// which does not race them with writes to the same range.
+func (d *Device) claimWrite(i int64, c *chunkBuf, in, end int64) {
+	p0 := in >> initPageShift
+	p1 := (end - 1) >> initPageShift
+	fullLo, fullHi := p0, p1
+	if in&(initPage-1) != 0 {
+		d.initPartialPage(i, c, p0, in, end)
+		fullLo = p0 + 1
+	}
+	if end&(initPage-1) != 0 && p1 >= fullLo {
+		d.initPartialPage(i, c, p1, in, end)
+		fullHi = p1 - 1
+	}
+	if fullLo <= fullHi {
+		d.markPages(i, fullLo, fullHi)
+	}
+}
+
+// initPartialPage initializes page p of chunk i for a write covering
+// [in, end): the slices of the page outside the write are zeroed and the
+// page's bit is set. No-op if the page is already initialized or the
+// chunk was swapped out (identity check under the stripe lock).
+func (d *Device) initPartialPage(i int64, c *chunkBuf, p, in, end int64) {
+	w := &d.initPages[i*wordsPerChunk+p>>6]
+	bit := uint64(1) << (p & 63)
+	if w.Load()&bit != 0 {
+		return
+	}
+	mu := &d.initMu[i&63]
+	mu.Lock()
+	if d.chunks[i].Load() == c && w.Load()&bit == 0 {
+		ps := p << initPageShift
+		pe := ps + initPage
+		if ps < in {
+			zero(c[ps:in])
+		}
+		if end < pe {
+			zero(c[end:pe])
+		}
+		orBits(w, bit)
+	}
+	mu.Unlock()
+}
+
+// orBits sets mask bits in w (atomic.Uint64.Or needs go1.23; the module
+// pins go1.22, so CAS by hand).
+func orBits(w *atomic.Uint64, mask uint64) {
+	for {
+		old := w.Load()
+		if old&mask == mask || w.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+// markPages sets the init bits for pages [lo, hi] of chunk i, word-wise.
+func (d *Device) markPages(i, lo, hi int64) {
+	for lo <= hi {
+		bitLo := lo & 63
+		n := 64 - bitLo
+		if rem := hi - lo + 1; rem < n {
+			n = rem
+		}
+		mask := (^uint64(0) >> (64 - n)) << bitLo
+		w := &d.initPages[i*wordsPerChunk+lo>>6]
+		if w.Load()&mask != mask {
+			orBits(w, mask)
+		}
+		lo += n
+	}
+}
+
+// pagesSet reports whether every init bit in pages [p0, p1] of chunk i is
+// set — the fast path for reads of fully initialized ranges.
+func (d *Device) pagesSet(i, p0, p1 int64) bool {
+	for p0 <= p1 {
+		bitLo := p0 & 63
+		n := 64 - bitLo
+		if rem := p1 - p0 + 1; rem < n {
+			n = rem
+		}
+		mask := (^uint64(0) >> (64 - n)) << bitLo
+		if d.initPages[i*wordsPerChunk+p0>>6].Load()&mask != mask {
+			return false
+		}
+		p0 += n
+	}
+	return true
+}
+
+// readInit copies [in, in+len(dst)) of chunk i into dst, substituting
+// zeros for uninitialized pages. The chunk itself is never mutated, so
+// the read path takes no locks.
+func (d *Device) readInit(i int64, c *chunkBuf, dst []byte, in int64) {
+	end := in + int64(len(dst))
+	p0 := in >> initPageShift
+	p1 := (end - 1) >> initPageShift
+	if d.pagesSet(i, p0, p1) {
+		copy(dst, c[in:end])
+		return
+	}
+	for p := p0; p <= p1; p++ {
+		ps := p << initPageShift
+		lo := max(in, ps)
+		hi := min(end, ps+initPage)
+		if d.initPages[i*wordsPerChunk+p>>6].Load()&(1<<(p&63)) != 0 {
+			copy(dst[lo-in:hi-in], c[lo:hi])
+		} else {
+			zero(dst[lo-in : hi-in])
+		}
+	}
+}
+
+// zeroInit physically clears the initialized pages of [in, end) in chunk
+// i; uninitialized pages already read as zero and are left untouched.
+func (d *Device) zeroInit(i int64, c *chunkBuf, in, end int64) {
+	p0 := in >> initPageShift
+	p1 := (end - 1) >> initPageShift
+	for p := p0; p <= p1; p++ {
+		ps := p << initPageShift
+		lo := max(in, ps)
+		hi := min(end, ps+initPage)
+		if d.initPages[i*wordsPerChunk+p>>6].Load()&(1<<(p&63)) != 0 {
+			zero(c[lo:hi])
+		}
+	}
+}
+
+// materialize zeroes every uninitialized page of chunk i and marks the
+// whole chunk initialized, so raw chunk bytes equal device contents
+// (image serialization wants the physical bytes).
+func (d *Device) materialize(i int64, c *chunkBuf) {
+	if d.pagesSet(i, 0, pagesPerChunk-1) {
+		return
+	}
+	mu := &d.initMu[i&63]
+	mu.Lock()
+	if d.chunks[i].Load() == c {
+		for w := int64(0); w < wordsPerChunk; w++ {
+			word := &d.initPages[i*wordsPerChunk+w]
+			for rest := ^word.Load(); rest != 0; rest &= rest - 1 {
+				ps := (w<<6 + int64(bits.TrailingZeros64(rest))) << initPageShift
+				zero(c[ps : ps+initPage])
+			}
+			word.Store(^uint64(0))
+		}
+	}
+	mu.Unlock()
+}
+
+// zero clears b (compiles to a single memclr).
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// dropChunk clears slot i, releasing its chunk count. The chunk itself is
+// NOT returned to the pool: a concurrent reader may still hold the slice,
+// and handing it to another device would let foreign bytes appear under
+// that reader. The GC reclaims it; Release recycles chunks wholesale when
+// the device as a whole is done. The stripe lock orders the bitmap reset
+// against in-flight partial-page initialization on the dying chunk,
+// restoring the empty-slot invariant (nil slot ⇒ init bitmap all zero).
+func (d *Device) dropChunk(i int64) {
+	mu := &d.initMu[i&63]
+	mu.Lock()
+	if d.chunks[i].Swap(nil) != nil {
+		d.nBacked.Add(-1)
+	}
+	for w := int64(0); w < wordsPerChunk; w++ {
+		d.initPages[i*wordsPerChunk+w].Store(0)
+	}
+	mu.Unlock()
+}
+
+// Release returns every backed chunk to the host chunk pool and empties
+// the device. Call it when a scratch device (a campaign run's image, a
+// bench point's file system) is definitely done: the device must not be
+// used again, and no reads may be in flight.
+func (d *Device) Release() {
+	for i := range d.chunks {
+		if c := d.chunks[i].Swap(nil); c != nil {
+			d.nBacked.Add(-1)
+			chunkPool.Put(c)
+		}
+		for w := 0; w < wordsPerChunk; w++ {
+			d.initPages[i*wordsPerChunk+w].Store(0)
+		}
+	}
 }
 
 // ReadAt copies device bytes at off into buf without charging virtual time.
@@ -232,12 +486,10 @@ func (d *Device) ReadAt(buf []byte, off int64) {
 		if in+n > ChunkSize {
 			n = ChunkSize - in
 		}
-		if c := d.chunk(base, false); c != nil {
-			copy(buf[:n], c[in:in+n])
+		if c := d.chunks[base/ChunkSize].Load(); c != nil {
+			d.readInit(base/ChunkSize, c, buf[:n], in)
 		} else {
-			for i := int64(0); i < n; i++ {
-				buf[i] = 0
-			}
+			zero(buf[:n])
 		}
 		buf = buf[n:]
 		off += n
@@ -249,19 +501,40 @@ func (d *Device) ReadAt(buf []byte, off int64) {
 func (d *Device) WriteAt(data []byte, off int64) {
 	d.checkRange(off, int64(len(data)))
 	d.record(off, data)
-	d.snapMu.RLock()
-	for _, seg := range d.tearStore(off, data) {
-		d.writeRaw(seg.Data, seg.Off)
-		// A store re-arms every line it fully overwrites (hardware clears
-		// poison on a full-line write).
-		d.clearPoisonCovered(seg.Off, int64(len(seg.Data)))
+	d.mutLock()
+	if d.fault == nil {
+		// No fault injection armed: the store persists whole and there is
+		// no poison to clear. Skipping tearStore keeps this path free of
+		// its per-call segment-slice allocation.
+		d.writeRaw(data, off)
+	} else {
+		for _, seg := range d.tearStore(off, data) {
+			d.writeRaw(seg.Data, seg.Off)
+			// A store re-arms every line it fully overwrites (hardware
+			// clears poison on a full-line write).
+			d.clearPoisonCovered(seg.Off, int64(len(seg.Data)))
+		}
 	}
-	d.snapMu.RUnlock()
+	d.mutUnlock()
 	// The observer sees the intended store, not the torn segments: a
 	// replica receives what the CPU issued, while the local media may have
 	// kept only part of it — exactly the asymmetry a crash can create.
 	if obs := d.observer(); obs != nil {
 		obs.ObserveWrite(off, data)
+	}
+}
+
+// mutLock / mutUnlock bracket a content mutation with the shared side of
+// the snapshot lock; NoSnapshot devices skip the two atomic round trips.
+func (d *Device) mutLock() {
+	if !d.noSnap {
+		d.snapMu.RLock()
+	}
+}
+
+func (d *Device) mutUnlock() {
+	if !d.noSnap {
+		d.snapMu.RUnlock()
 	}
 }
 
@@ -277,7 +550,12 @@ func (d *Device) writeRaw(data []byte, off int64) {
 		if in+n > ChunkSize {
 			n = ChunkSize - in
 		}
-		c := d.chunk(base, true)
+		i := base / ChunkSize
+		c := d.chunks[i].Load()
+		if c == nil {
+			c = d.allocChunk(i)
+		}
+		d.claimWrite(i, c, in, in+n)
 		copy(c[in:in+n], rest[:n])
 		rest = rest[n:]
 		pos += n
@@ -292,7 +570,7 @@ func (d *Device) ZeroRange(off, n int64) {
 		d.record(off, make([]byte, n))
 	}
 	d.clearPoisonCovered(off, n)
-	d.snapMu.RLock()
+	d.mutLock()
 	for n > 0 {
 		base := off / ChunkSize * ChunkSize
 		in := off - base
@@ -302,19 +580,14 @@ func (d *Device) ZeroRange(off, n int64) {
 		}
 		if in == 0 && m == ChunkSize {
 			// Whole chunk: drop the backing store, reads return zero.
-			d.mu.Lock()
-			delete(d.chunks, base)
-			d.mu.Unlock()
-		} else if c := d.chunk(base, false); c != nil {
-			z := c[in : in+m]
-			for i := range z {
-				z[i] = 0
-			}
+			d.dropChunk(base / ChunkSize)
+		} else if c := d.chunks[base/ChunkSize].Load(); c != nil {
+			d.zeroInit(base/ChunkSize, c, in, in+m)
 		}
 		off += m
 		n -= m
 	}
-	d.snapMu.RUnlock()
+	d.mutUnlock()
 	if obs := d.observer(); obs != nil {
 		obs.ObserveZero(origOff, origN)
 	}
@@ -331,13 +604,11 @@ func (d *Device) DiscardRange(off, n int64) {
 	if first >= last {
 		return
 	}
-	d.snapMu.RLock()
-	d.mu.Lock()
+	d.mutLock()
 	for base := first; base < last; base += ChunkSize {
-		delete(d.chunks, base)
+		d.dropChunk(base / ChunkSize)
 	}
-	d.mu.Unlock()
-	d.snapMu.RUnlock()
+	d.mutUnlock()
 	if obs := d.observer(); obs != nil {
 		obs.ObserveDiscard(off, n)
 	}
@@ -345,9 +616,7 @@ func (d *Device) DiscardRange(off, n int64) {
 
 // HostBytes reports how much host memory currently backs the device.
 func (d *Device) HostBytes() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return int64(len(d.chunks)) * ChunkSize
+	return d.nBacked.Load() * ChunkSize
 }
 
 // --- cost-charging accessors -------------------------------------------
@@ -437,18 +706,9 @@ func (d *Device) chargeWrite(ctx *sim.Ctx, off, n int64) {
 const transferQuantumNS = 700
 
 func (d *Device) transfer(ctx *sim.Ctx, off int64, hold int64) {
-	if hold < 1 {
-		hold = 1
-	}
-	port := d.port[d.NodeOf(off)]
-	for hold > 0 {
-		q := hold
-		if q > transferQuantumNS {
-			q = transferQuantumNS
-		}
-		port.Use(ctx, q)
-		hold -= q
-	}
+	// All quanta book under one port-lock acquisition; bit-identical to the
+	// former per-quantum Use loop (see sim.Resource.UseQuanta).
+	d.port[d.NodeOf(off)].UseQuanta(ctx, hold, transferQuantumNS)
 }
 
 // TransferRead occupies the device port for an n-byte read at off without
@@ -508,6 +768,7 @@ type Store struct {
 func (d *Device) StartTrace() {
 	d.traceMu.Lock()
 	d.tracing = true
+	d.tracingOn.Store(true)
 	d.epoch = 0
 	d.trace = nil
 	d.traceMu.Unlock()
@@ -518,19 +779,23 @@ func (d *Device) StopTrace() []Store {
 	d.traceMu.Lock()
 	t := d.trace
 	d.tracing = false
+	d.tracingOn.Store(false)
 	d.trace = nil
 	d.traceMu.Unlock()
 	return t
 }
 
 func (d *Device) isTracing() bool {
-	d.traceMu.Lock()
-	t := d.tracing
-	d.traceMu.Unlock()
-	return t
+	return d.tracingOn.Load()
 }
 
 func (d *Device) record(off int64, data []byte) {
+	if !d.tracingOn.Load() {
+		// A store racing a StartTrace may miss the trace; it linearizes
+		// before the trace began, exactly as if it had taken the lock
+		// first.
+		return
+	}
 	d.traceMu.Lock()
 	if d.tracing {
 		cp := make([]byte, len(data))
@@ -543,15 +808,27 @@ func (d *Device) record(off int64, data []byte) {
 // Snapshot captures the device's current contents. Intended for the small
 // devices used in crash tests.
 func (d *Device) Snapshot() *Image {
+	if d.noSnap {
+		panic("pmem: Snapshot on a NoSnapshot device")
+	}
 	d.snapMu.Lock()
 	defer d.snapMu.Unlock()
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	img := &Image{size: d.size, chunks: make(map[int64][]byte, len(d.chunks))}
-	for base, c := range d.chunks {
-		cp := make([]byte, ChunkSize)
-		copy(cp, c)
-		img.chunks[base] = cp
+	img := &Image{size: d.size, chunks: make(map[int64][]byte, d.nBacked.Load())}
+	for i := range d.chunks {
+		if c := d.chunks[i].Load(); c != nil {
+			cp := make([]byte, ChunkSize)
+			// make returned zeroed memory; only initialized pages hold
+			// content (snapMu is held exclusively, so the bitmap is
+			// stable).
+			for w := int64(0); w < wordsPerChunk; w++ {
+				set := d.initPages[int64(i)*wordsPerChunk+w].Load()
+				for ; set != 0; set &= set - 1 {
+					ps := (w<<6 + int64(bits.TrailingZeros64(set&-set))) << initPageShift
+					copy(cp[ps:ps+initPage], c[ps:ps+initPage])
+				}
+			}
+			img.chunks[int64(i)*ChunkSize] = cp
+		}
 	}
 	return img
 }
@@ -561,16 +838,28 @@ func (d *Device) Restore(img *Image) {
 	if img.size != d.size {
 		panic("pmem: restoring snapshot of different size")
 	}
+	if d.noSnap {
+		panic("pmem: Restore on a NoSnapshot device")
+	}
 	d.snapMu.Lock()
 	defer d.snapMu.Unlock()
-	d.mu.Lock()
-	d.chunks = make(map[int64][]byte, len(img.chunks))
-	for base, c := range img.chunks {
-		cp := make([]byte, ChunkSize)
-		copy(cp, c)
-		d.chunks[base] = cp
+	for i := range d.chunks {
+		base := int64(i) * ChunkSize
+		src, ok := img.chunks[base]
+		if !ok {
+			d.dropChunk(int64(i))
+			continue
+		}
+		c := d.chunks[i].Load()
+		if c == nil {
+			c = d.allocChunk(int64(i))
+		}
+		// The full-chunk copy initializes everything.
+		copy(c[:], src)
+		for w := 0; w < wordsPerChunk; w++ {
+			d.initPages[i*wordsPerChunk+w].Store(^uint64(0))
+		}
 	}
-	d.mu.Unlock()
 }
 
 // Image is a point-in-time copy of device contents.

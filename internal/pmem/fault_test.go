@@ -91,7 +91,7 @@ func TestReadRules(t *testing.T) {
 		Seed:      1,
 		TornFence: -1,
 		Reads: []ReadRule{
-			{Start: 0, End: 4096, Nth: 2},                   // persistent: poisons
+			{Start: 0, End: 4096, Nth: 2},                      // persistent: poisons
 			{Start: 8192, End: 12288, Nth: 1, Transient: true}, // transient: retry works
 		},
 	})

@@ -18,6 +18,9 @@ const imageMagic = 0x504d454d494d4731 // "PMEMIMG1"
 
 // Save writes the device's contents to path.
 func (d *Device) Save(path string) error {
+	if d.noSnap {
+		panic("pmem: Save on a NoSnapshot device")
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -32,15 +35,22 @@ func (d *Device) Save(path string) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	for base, c := range d.chunks {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	for i := range d.chunks {
+		c := d.chunks[i].Load()
+		if c == nil {
+			continue
+		}
+		// Materialize the logical zeros of uninitialized pages so the
+		// raw chunk bytes written below are exactly the device contents.
+		d.materialize(int64(i), c)
 		var bb [8]byte
-		binary.LittleEndian.PutUint64(bb[:], uint64(base))
+		binary.LittleEndian.PutUint64(bb[:], uint64(int64(i)*ChunkSize))
 		if _, err := w.Write(bb[:]); err != nil {
 			return err
 		}
-		if _, err := w.Write(c); err != nil {
+		if _, err := w.Write(c[:]); err != nil {
 			return err
 		}
 	}
@@ -78,12 +88,15 @@ func Load(path string) (*Device, error) {
 		if base < 0 || base%ChunkSize != 0 || base >= d.size {
 			return nil, fmt.Errorf("pmem: corrupt image: chunk base %d", base)
 		}
-		c := make([]byte, ChunkSize)
-		if _, err := io.ReadFull(r, c); err != nil {
+		c := new(chunkBuf)
+		if _, err := io.ReadFull(r, c[:]); err != nil {
 			return nil, fmt.Errorf("pmem: truncated chunk at %d: %w", base, err)
 		}
-		d.mu.Lock()
-		d.chunks[base] = c
-		d.mu.Unlock()
+		if d.chunks[base/ChunkSize].Swap(c) == nil {
+			d.nBacked.Add(1)
+		}
+		for w := int64(0); w < wordsPerChunk; w++ {
+			d.initPages[base/ChunkSize*wordsPerChunk+w].Store(^uint64(0))
+		}
 	}
 }

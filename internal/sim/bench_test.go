@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Engine microbenchmarks: the booking primitives every simulated operation
+// funnels through. Run with `make bench-engine` (or go test -bench). The
+// interesting signals are ns/op on the uncontended fast path (the common
+// case after the append-at-tail fast path in bookLocked) and allocs/op,
+// which must stay zero.
+
+func BenchmarkResourceUse(b *testing.B) {
+	r := &Resource{}
+	ctx := NewCtx(1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Use(ctx, 100)
+	}
+}
+
+// BenchmarkResourceUseQuanta books a 10-quantum occupation per iteration —
+// the shape of one pmem port transfer. The per-quantum Use loop this API
+// replaced paid ten lock round-trips for the same calendar outcome.
+func BenchmarkResourceUseQuanta(b *testing.B) {
+	r := &Resource{}
+	ctx := NewCtx(1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.UseQuanta(ctx, 7000, 700)
+	}
+}
+
+func BenchmarkResourceUsePerQuantumLoop(b *testing.B) {
+	r := &Resource{}
+	ctx := NewCtx(1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for rem := int64(7000); rem > 0; rem -= 700 {
+			q := int64(700)
+			if rem < q {
+				q = rem
+			}
+			r.Use(ctx, q)
+		}
+	}
+}
+
+// BenchmarkResourceAcquireContended hammers one Resource from every
+// GOMAXPROCS worker — the host-lock contention shape of a shared inode
+// lock under the fxmark overlap-write case.
+func BenchmarkResourceAcquireContended(b *testing.B) {
+	r := &Resource{}
+	var id atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := NewCtx(int(id.Add(1)), 0)
+		for pb.Next() {
+			r.Acquire(ctx)
+			ctx.Advance(50)
+			r.Release(ctx)
+		}
+	})
+}

@@ -146,8 +146,24 @@ func insertUnion(spans []span, s span) []span {
 		}
 		hi++
 	}
-	out := append(spans[:lo], append([]span{s}, spans[hi:]...)...)
+	var out []span
+	switch {
+	case hi > lo:
+		// s swallows spans[lo:hi]; overwrite the first and close the gap.
+		spans[lo] = s
+		out = append(spans[:lo+1], spans[hi:]...)
+	case lo == len(spans):
+		// Past the frontier — the common case, since clocks move forward.
+		out = append(spans, s)
+	default:
+		spans = append(spans, span{})
+		copy(spans[lo+1:], spans[lo:])
+		spans[lo] = s
+		out = spans
+	}
 	if len(out) > maxSpans {
+		// Reslice rather than copy: append reallocates when the array's
+		// tail room runs out, amortising the trim to O(1) per insert.
 		out = out[len(out)-maxSpans:]
 	}
 	return out

@@ -258,3 +258,49 @@ func TestSpansObserveButNeverAdvance(t *testing.T) {
 		t.Fatal("breakdown includes cost accrued before StartSpan")
 	}
 }
+
+// TestUseQuantaEquivalence pins the batched booking API to its contract:
+// UseQuanta must be bit-identical — same final clock, same LockWaitNS,
+// same calendar state observable through later contention — to the
+// per-quantum Use loop it replaced, including the ragged final quantum
+// and holds under one quantum.
+func TestUseQuantaEquivalence(t *testing.T) {
+	for _, tc := range []struct{ hold, quantum int64 }{
+		{7000, 700},  // even split
+		{7001, 700},  // ragged tail quantum
+		{699, 700},   // single short occupation
+		{700, 700},   // exactly one quantum
+		{1, 1},       // degenerate
+		{65536, 700}, // long transfer
+	} {
+		ra, rb := &Resource{}, &Resource{}
+		ca, cb := NewCtx(1, 0), NewCtx(1, 0)
+		rb.UseQuanta(cb, tc.hold, tc.quantum)
+		for rem := tc.hold; rem > 0; rem -= tc.quantum {
+			q := tc.quantum
+			if rem < q {
+				q = rem
+			}
+			ra.Use(ca, q)
+		}
+		if ca.now != cb.now {
+			t.Errorf("hold=%d quantum=%d: clock %d (loop) vs %d (batched)",
+				tc.hold, tc.quantum, ca.now, cb.now)
+		}
+		if ca.Counters.LockWaitNS != cb.Counters.LockWaitNS {
+			t.Errorf("hold=%d quantum=%d: LockWaitNS %d vs %d",
+				tc.hold, tc.quantum, ca.Counters.LockWaitNS, cb.Counters.LockWaitNS)
+		}
+		// A second thread arriving mid-occupation must queue identically:
+		// the calendars the two APIs leave behind are the same.
+		oa, ob := NewCtx(2, 1), NewCtx(2, 1)
+		oa.now, ob.now = tc.hold/2, tc.hold/2
+		ra.Use(oa, 10)
+		rb.Use(ob, 10)
+		if oa.now != ob.now || oa.Counters.LockWaitNS != ob.Counters.LockWaitNS {
+			t.Errorf("hold=%d quantum=%d: follower clock %d/%d wait %d/%d diverge",
+				tc.hold, tc.quantum, oa.now, ob.now,
+				oa.Counters.LockWaitNS, ob.Counters.LockWaitNS)
+		}
+	}
+}

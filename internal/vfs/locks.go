@@ -46,8 +46,8 @@ func NewLockTable() *LockTable {
 type inodeLock struct {
 	rw sim.RWResource
 
-	rmu    sync.Mutex // guards the fields below
-	rcond  *sync.Cond // signalled when an active range is released
+	rmu    sync.Mutex  // guards the fields below
+	rcond  *sync.Cond  // signalled when an active range is released
 	active []byteRange // ranges held right now (host level)
 	booked []rangeOcc  // past range occupations (virtual-time calendar)
 }

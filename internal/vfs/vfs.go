@@ -235,6 +235,12 @@ func Clean(path string) string {
 	if path == "" {
 		return "/"
 	}
+	if isClean(path) {
+		// Paths are overwhelmingly already clean (every internal caller
+		// builds them that way); returning them untouched skips the
+		// split/join allocations on the hot lookup path.
+		return path
+	}
 	parts := strings.Split(path, "/")
 	out := make([]string, 0, len(parts))
 	for _, p := range parts {
@@ -254,6 +260,32 @@ func Clean(path string) string {
 		return "/"
 	}
 	return "/" + strings.Join(out, "/")
+}
+
+// isClean reports whether Clean would return path unchanged: a leading
+// slash, no trailing slash (except "/" itself), and no empty, "." or ".."
+// elements.
+func isClean(path string) bool {
+	if path[0] != '/' {
+		return false
+	}
+	if len(path) == 1 {
+		return true
+	}
+	if path[len(path)-1] == '/' {
+		return false
+	}
+	start := 1
+	for i := 1; i <= len(path); i++ {
+		if i == len(path) || path[i] == '/' {
+			switch path[start:i] {
+			case "", ".", "..":
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
 }
 
 // Components splits a cleaned path into its elements; "/" yields nil.

@@ -2,6 +2,7 @@ package winefs
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/alloc"
 	"repro/internal/rbtree"
@@ -42,7 +43,10 @@ type group struct {
 	// the companion index used to find an adequate hole in O(log n).
 	holes       *rbtree.Tree[int64, int64]
 	holesBySize *rbtree.Tree[holeKey, struct{}]
-	holeBlocks  int64
+	// holeBlocks is atomic so the cross-CPU steal scan (mostHoles) can
+	// read every group's count without taking every group's mutex;
+	// mutations still happen under g.mu.
+	holeBlocks atomic.Int64
 
 	inodeFree []int64 // free inode slots in this CPU's table
 
@@ -69,7 +73,7 @@ func newGroup(cpu int) *group {
 
 // freeBlocks returns the group's total free block count.
 func (g *group) freeBlocks() int64 {
-	return int64(len(g.aligned))*BlocksPerHuge + g.holeBlocks
+	return int64(len(g.aligned))*BlocksPerHuge + g.holeBlocks.Load()
 }
 
 // addHoleLocked inserts a free range, merging with neighbours and then
@@ -116,13 +120,13 @@ func (g *group) addHoleLocked(start, length int64) {
 func (g *group) insertHoleLocked(start, length int64) {
 	g.holes.Set(start, length)
 	g.holesBySize.Set(holeKey{length, start}, struct{}{})
-	g.holeBlocks += length
+	g.holeBlocks.Add(length)
 }
 
 func (g *group) removeHoleLocked(start, length int64) {
 	g.holes.Delete(start)
 	g.holesBySize.Delete(holeKey{length, start})
-	g.holeBlocks -= length
+	g.holeBlocks.Add(-length)
 }
 
 // takeAlignedLocked pops the FIFO head, or returns false.
@@ -221,9 +225,7 @@ func (a *allocator) mostHoles(except int) *group {
 		if g.cpu == except {
 			continue
 		}
-		g.mu.Lock()
-		n := g.holeBlocks
-		g.mu.Unlock()
+		n := g.holeBlocks.Load()
 		if n > bestN {
 			best, bestN = g, n
 		}
@@ -283,10 +285,7 @@ func (a *allocator) allocSmall(ctx *sim.Ctx, cpu int, need int64) ([]alloc.Exten
 		if rg == nil {
 			break
 		}
-		rg.mu.Lock()
-		empty := rg.holeBlocks == 0
-		rg.mu.Unlock()
-		if empty {
+		if rg.holeBlocks.Load() == 0 {
 			break
 		}
 		tryGroup(rg, true)
@@ -347,10 +346,7 @@ func (a *allocator) allocHoles(ctx *sim.Ctx, cpu int, need int64) ([]alloc.Exten
 		if rg == nil {
 			break
 		}
-		rg.mu.Lock()
-		empty := rg.holeBlocks == 0
-		rg.mu.Unlock()
-		if empty {
+		if rg.holeBlocks.Load() == 0 {
 			break
 		}
 		tryGroup(rg, true)

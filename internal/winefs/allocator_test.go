@@ -105,8 +105,8 @@ func TestAllocatorInvariants(t *testing.T) {
 			}
 		}
 		for _, g := range a.groups {
-			if g.holeBlocks != 0 {
-				t.Logf("residual holes: %d blocks", g.holeBlocks)
+			if g.holeBlocks.Load() != 0 {
+				t.Logf("residual holes: %d blocks", g.holeBlocks.Load())
 				return false
 			}
 		}

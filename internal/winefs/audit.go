@@ -70,8 +70,8 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 			free = append(free, freeExt{start, length, false, false, g.cpu})
 			return true
 		})
-		if recomputed != g.holeBlocks {
-			addf("group %d: cached holeBlocks=%d but tree sums to %d", g.cpu, g.holeBlocks, recomputed)
+		if recomputed != g.holeBlocks.Load() {
+			addf("group %d: cached holeBlocks=%d but tree sums to %d", g.cpu, g.holeBlocks.Load(), recomputed)
 		}
 		if bySize := g.holesBySize.Len(); bySize != nHoles {
 			addf("group %d: %d holes but %d by-size entries", g.cpu, nHoles, bySize)

@@ -93,7 +93,7 @@ func TestAuditDetectsCacheDrift(t *testing.T) {
 
 	g := fs.alloc.groups[0]
 	g.mu.Lock()
-	g.holeBlocks += 7
+	g.holeBlocks.Add(7)
 	g.mu.Unlock()
 
 	err = fs.Audit(ctx)
@@ -112,7 +112,7 @@ func TestAuditDetectsCacheDrift(t *testing.T) {
 	}
 
 	g.mu.Lock()
-	g.holeBlocks -= 7
+	g.holeBlocks.Add(-7)
 	g.mu.Unlock()
 	if err := fs.Audit(ctx); err != nil {
 		t.Fatalf("audit after repair: %v", err)

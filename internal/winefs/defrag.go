@@ -259,7 +259,7 @@ func (fs *FS) defragChunk(ctx *sim.Ctx, g *group, base int64, pacer *sim.Pacer, 
 	var avail int64
 	for _, og := range fs.alloc.groups {
 		og.mu.Lock()
-		avail += og.holeBlocks
+		avail += og.holeBlocks.Load()
 		og.mu.Unlock()
 	}
 	if avail < BlocksPerHuge-held {

@@ -269,6 +269,9 @@ func Mkfs(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 func (fs *FS) initInodeFree() {
 	for c := 0; c < fs.g.cpus; c++ {
 		g := fs.alloc.groups[c]
+		if int64(cap(g.inodeFree)) < fs.g.inodesPerCPU {
+			g.inodeFree = make([]int64, 0, fs.g.inodesPerCPU)
+		}
 		g.inodeFree = g.inodeFree[:0]
 		for s := int64(0); s < fs.g.inodesPerCPU; s++ {
 			g.inodeFree = append(g.inodeFree, s)
@@ -289,14 +292,16 @@ func (fs *FS) removeFreeIno(cpu int, slot int64) {
 // allocIno takes a free inode slot, preferring the caller's CPU and
 // stealing from the fullest table otherwise.
 func (fs *FS) allocIno(ctx *sim.Ctx, cpu int) (uint64, error) {
-	order := make([]int, 0, fs.g.cpus)
-	order = append(order, cpu)
-	for c := 0; c < fs.g.cpus; c++ {
-		if c != cpu {
-			order = append(order, c)
+	// Probe order: the caller's CPU first, then 0..cpus-1 skipping it —
+	// generated on the fly rather than materialised into a slice (with 128
+	// CPUs the order slice was a per-create 1KiB allocation).
+	for k := -1; k < fs.g.cpus; k++ {
+		c := k
+		if k < 0 {
+			c = cpu
+		} else if k == cpu {
+			continue
 		}
-	}
-	for _, c := range order {
 		g := fs.alloc.groups[c]
 		g.mu.Lock()
 		if n := len(g.inodeFree); n > 0 {

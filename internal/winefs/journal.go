@@ -91,6 +91,13 @@ type jentry struct {
 // addr u64 | data[32] | pad[8].
 func encodeEntry(e *jentry) []byte {
 	b := make([]byte, EntrySize)
+	encodeEntryTo(b, e)
+	return b
+}
+
+// encodeEntryTo encodes into a caller-owned EntrySize buffer, so the hot
+// append path can reuse one scratch buffer per transaction.
+func encodeEntryTo(b []byte, e *jentry) {
 	le := binary.LittleEndian
 	le.PutUint16(b[0:], entryMagic)
 	b[2] = e.typ
@@ -99,7 +106,9 @@ func encodeEntry(e *jentry) []byte {
 	le.PutUint64(b[8:], e.txid)
 	le.PutUint64(b[16:], uint64(e.addr))
 	copy(b[24:24+undoBytes], e.data[:])
-	return b
+	for i := 24 + undoBytes; i < EntrySize; i++ {
+		b[i] = 0
+	}
 }
 
 func decodeEntry(b []byte) (jentry, bool) {
@@ -128,8 +137,14 @@ type txn struct {
 	wrote     int
 	unflushed int
 	// undoLog mirrors the DATA entries in DRAM so abort can roll the
-	// covered regions back without re-reading the journal.
+	// covered regions back without re-reading the journal. It aliases
+	// undoBuf, which is sized for the largest possible transaction
+	// (MaxTxEntries minus the START and COMMIT slots), so recording undo
+	// never allocates.
 	undoLog []jentry
+	undoBuf [MaxTxEntries - 2]jentry
+	// scratch is the wire-encoding buffer reused by every append.
+	scratch [EntrySize]byte
 }
 
 // begin starts a transaction in cpu's journal, reserving MaxTxEntries
@@ -155,6 +170,7 @@ func (fs *FS) beginTx(ctx *sim.Ctx, cpu int) *txn {
 	// every transaction create, unique across all per-CPU journals.
 	id := atomic.AddUint64(&fs.nextTxID, 1)
 	tx := &txn{j: j, id: id, opened: ctx.Now()}
+	tx.undoLog = tx.undoBuf[:0]
 	// The START entry is the first of a fresh reservation; it cannot
 	// overflow.
 	_ = tx.append(ctx, &jentry{typ: entryStart, wrap: j.wrap, txid: id})
@@ -174,7 +190,8 @@ func (tx *txn) append(ctx *sim.Ctx, e *jentry) error {
 	if tx.wrote >= limit {
 		return fmt.Errorf("%w (%d entries)", ErrTxOverflow, MaxTxEntries)
 	}
-	b := encodeEntry(e)
+	b := tx.scratch[:]
+	encodeEntryTo(b, e)
 	addr := j.entryAddr(j.tail)
 	j.fs.dev.Write(ctx, b, addr)
 	ctx.Counters.JournalBytes += EntrySize
@@ -208,19 +225,18 @@ func (tx *txn) undo(ctx *sim.Ctx, addr int64, n int) error {
 		if k > undoBytes {
 			k = undoBytes
 		}
-		e := &jentry{typ: entryData, n: uint8(k), wrap: tx.j.wrap, txid: tx.id, addr: addr}
-		buf := make([]byte, k)
+		e := jentry{typ: entryData, n: uint8(k), wrap: tx.j.wrap, txid: tx.id, addr: addr}
 		// The old contents come off the media; a poisoned line here means
 		// the metadata about to be overwritten is unreadable, so the
-		// operation must fail with EIO rather than log garbage.
-		if err := tx.j.fs.dev.ReadChecked(ctx, buf, addr); err != nil {
+		// operation must fail with EIO rather than log garbage. Reading
+		// straight into the entry's data array skips a scratch allocation.
+		if err := tx.j.fs.dev.ReadChecked(ctx, e.data[:k], addr); err != nil {
 			return err
 		}
-		copy(e.data[:], buf)
-		if err := tx.append(ctx, e); err != nil {
+		if err := tx.append(ctx, &e); err != nil {
 			return err
 		}
-		tx.undoLog = append(tx.undoLog, *e)
+		tx.undoLog = append(tx.undoLog, e)
 		addr += int64(k)
 		n -= k
 	}

@@ -79,15 +79,36 @@ type FxmarkThreadResult struct {
 	VirtualNS int64
 }
 
-// fxPattern fills p with the byte stream the shared file holds at absolute
-// offset off, so any reader can verify any block without knowing who wrote
-// it.
-func fxPattern(p []byte, off int64) {
-	for j := range p {
-		x := off + int64(j)
-		p[j] = byte(x*131>>4 + x + 7)
-	}
+// fxSlice returns the byte stream the shared file holds at absolute offset
+// off, length n, so any reader can verify any block without knowing who
+// wrote it. The slice aliases a shared read-only table: callers hand it to
+// WriteAt (which copies) or compare against it, never mutate it.
+//
+// The defining formula is byte(x*131>>4 + x + 7) with x = off+j. Its value
+// depends only on x mod 4096: write x = q*4096 + r, then x*131 splits as
+// q*4096*131 + r*131 with the first term divisible by 16, so the >>4
+// distributes and contributes q*256*131 ≡ 0 (mod 256); likewise x ≡ r
+// (mod 256). The whole stream is therefore one 4KiB table tiled with
+// period 4096, and any window of it is a subslice of fxStream — the
+// pattern costs no fill at all, where per-byte evaluation was 4096
+// multiplies per block and a table-tiling copy still doubled every
+// write's memmove. (The argument uses floor shifts on non-negative x;
+// offsets are never negative.)
+func fxSlice(off, n int64) []byte {
+	r := off & 4095
+	return fxStream[r : r+n]
 }
+
+// fxStream is the pattern table tiled to one region plus one period, so
+// fxSlice can serve any window up to fxRegion long at any alignment.
+var fxStream = func() []byte {
+	s := make([]byte, fxRegion+4096)
+	for i := range s {
+		x := int64(i)
+		s[i] = byte(x*131>>4 + x + 7)
+	}
+	return s
+}()
 
 // FxmarkSetup prepares the namespace for one case, single-threaded: the
 // shared file is preallocated and patterned region by region, the shared
@@ -108,10 +129,8 @@ func FxmarkSetup(ctx *sim.Ctx, fs vfs.FS, c FxmarkCase, threads int, cfg FxmarkC
 		if err := f.Fallocate(ctx, 0, size); err != nil {
 			return fmt.Errorf("fxmark setup: fallocate: %w", err)
 		}
-		buf := make([]byte, fxRegion)
 		for off := int64(0); off < size; off += fxRegion {
-			fxPattern(buf, off)
-			if _, err := f.WriteAt(ctx, buf, off); err != nil {
+			if _, err := f.WriteAt(ctx, fxSlice(off, fxRegion), off); err != nil {
 				return fmt.Errorf("fxmark setup: pattern at %d: %w", off, err)
 			}
 		}
@@ -163,7 +182,6 @@ func FxmarkThread(ctx *sim.Ctx, fs vfs.FS, thread int, c FxmarkCase, threads int
 		res.Ops++
 		size := int64(threads) * fxRegion
 		buf := make([]byte, fxIO)
-		want := make([]byte, fxIO)
 		for i := 0; i < cfg.Ops; i++ {
 			off := rng.Int63n(size/fxIO) * fxIO
 			n, err := f.ReadAt(ctx, buf, off)
@@ -172,8 +190,7 @@ func FxmarkThread(ctx *sim.Ctx, fs vfs.FS, thread int, c FxmarkCase, threads int
 			}
 			res.Ops++
 			res.Bytes += int64(n)
-			fxPattern(want, off)
-			if !bytes.Equal(buf, want) {
+			if !bytes.Equal(buf, fxSlice(off, fxIO)) {
 				return res, fmt.Errorf("fxmark %s: corrupt read at %d", c, off)
 			}
 		}
@@ -192,13 +209,13 @@ func FxmarkThread(ctx *sim.Ctx, fs vfs.FS, thread int, c FxmarkCase, threads int
 		if c == FxOverlapWrite {
 			base = 0 // every thread hammers the same 4KiB
 		}
-		buf := make([]byte, fxIO)
+		rbuf := make([]byte, fxIO)
 		for i := 0; i < cfg.Ops; i++ {
 			off := base
 			if c == FxDisjointWrite {
 				off = base + int64(i)*fxIO%fxRegion
 			}
-			fxPattern(buf, off)
+			buf := fxSlice(off, fxIO)
 			n, err := f.WriteAt(ctx, buf, off)
 			if err != nil || n != fxIO {
 				return res, fmt.Errorf("fxmark %s: write at %d: %d bytes, %w", c, off, n, err)
@@ -208,7 +225,6 @@ func FxmarkThread(ctx *sim.Ctx, fs vfs.FS, thread int, c FxmarkCase, threads int
 			if c == FxDisjointWrite && i%16 == 15 {
 				// Read back our own region: nobody else writes it, so the
 				// pattern must round-trip even mid-run.
-				rbuf := make([]byte, fxIO)
 				if n, err := f.ReadAt(ctx, rbuf, off); err != nil || n != fxIO {
 					return res, fmt.Errorf("fxmark %s: verify read at %d: %w", c, off, err)
 				}
@@ -231,9 +247,8 @@ func FxmarkThread(ctx *sim.Ctx, fs vfs.FS, thread int, c FxmarkCase, threads int
 			return res, fmt.Errorf("fxmark %s: create: %w", c, err)
 		}
 		res.Ops++
-		buf := make([]byte, fxIO)
 		for i := 0; i < cfg.Ops; i++ {
-			fxPattern(buf, int64(thread)<<32+int64(i)*fxIO)
+			buf := fxSlice(int64(thread)<<32+int64(i)*fxIO, fxIO)
 			n, err := f.Append(ctx, buf)
 			if err != nil || n != fxIO {
 				return res, fmt.Errorf("fxmark %s: append %d: %w", c, i, err)
