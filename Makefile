@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race vet bench bench-engine bench-json bench-scaling bench-cache bench-replicated bench-mmap bench-defrag cache-race mmap-race defrag-race cluster-race fault-campaign cluster-campaign serve-smoke profile
+.PHONY: all build test check race vet bench bench-engine bench-json bench-scaling bench-cache bench-replicated bench-mmap bench-defrag bench-tier cache-race mmap-race defrag-race tier-race cluster-race fault-campaign cluster-campaign serve-smoke profile
 
 all: build
 
@@ -81,6 +81,19 @@ bench-mmap:
 bench-defrag:
 	$(GO) run ./cmd/winebench -defrag -check-against BENCH_defrag.json
 
+# Tiered-storage graceful-degradation sweep: working sets of
+# {0.5, 1, 1.5, 2}x PM capacity over a PM+SSD mount vs an all-in-PM
+# control, 90/10 hotspot mix with interleaved migration passes.
+# Hard gates: working sets that fit keep ≥75% of control throughput, a
+# 2x working set keeps ≥25% (the heat-driven placement must hold the hot
+# set in PM) and must have spilled at setup, and cold misses must show
+# slow-device traffic charged at slow-device cost. Regression-checked
+# against the committed BENCH_tier.json (work/migration counters exact,
+# virtual timings within tolerance). Refresh the baseline with
+# `go run ./cmd/winebench -tier -json BENCH_tier.json`.
+bench-tier:
+	$(GO) run ./cmd/winebench -tier -check-against BENCH_tier.json
+
 # Replication overhead on the ServerMix baseline: the same fan-out runs
 # plain and against a synchronous 2-replica cluster, hard-gated at ≤65%
 # overhead on the summed client spans (the sync charge model itself costs
@@ -112,6 +125,13 @@ mmap-race:
 defrag-race:
 	$(GO) test -race -run 'TestDefrag|TestRepromote|TestRewriteQueue|TestRunner' ./internal/winefs/ ./internal/vmm/ ./internal/defrag/
 
+# The tier subsystem under the race detector: the migration-vs-mmap
+# race (a demotion relocating blocks under a live mapping must drain
+# in-flight accesses before freeing), the crash-mid-migration sweeps,
+# spill/ENOSPC behaviour, and the slow-device/pool unit tests.
+tier-race:
+	$(GO) test -race -run 'TestTier|TestSlowDevice|TestPool' ./internal/winefs/ ./internal/tier/
+
 # Replication + failover under the race detector: the cluster engine's
 # own tests (journal streaming, degraded mode, transparent failover,
 # lease re-establishment) plus the campaign smoke slice.
@@ -125,10 +145,11 @@ serve-smoke:
 	$(GO) run ./cmd/winefsd -smoke
 
 # The 1000-seed media-fault campaign (runs spread across host cores by
-# sim.ParallelRunner) plus every poison/torn-write test, including the
-# page-cache revoke-flush EIO path.
+# sim.ParallelRunner; every other run mounts tiered and tears migration
+# transactions) plus every poison/torn-write test, including the
+# page-cache revoke-flush EIO path and the tier crash-consistency sweeps.
 fault-campaign:
-	$(GO) test -v -run 'TestFaultCampaign|TestRepair|TestDegraded|TestPoisoned|TestWraparound|TestTorn' ./internal/crashmonkey/ ./internal/winefs/ ./internal/pmem/ ./internal/pagecache/
+	$(GO) test -v -run 'TestFaultCampaign|TestRepair|TestDegraded|TestPoisoned|TestWraparound|TestTorn|TestTierCrash' ./internal/crashmonkey/ ./internal/winefs/ ./internal/pmem/ ./internal/pagecache/
 
 # The 1000-seed replicated-cluster fault campaign: partition, replica-lag,
 # torn-stream and mid-failover crashes, asserting no panic → no silent

@@ -98,6 +98,7 @@ func main() {
 	scaling := flag.Bool("scaling", false, "run the fxmark-style scalability suite and exit")
 	cache := flag.Bool("cache", false, "run the client page-cache effectiveness sweep and exit")
 	mmap := flag.Bool("mmap", false, "run the zero-copy mapped-read sweep (unaged vs aged) and exit")
+	tierBench := flag.Bool("tier", false, "run the tiered-storage working-set sweep (PM+SSD vs all-PM) and exit")
 	defragBench := flag.Bool("defrag", false, "run the online-defragmenter recovery and interference bench and exit")
 	cached := flag.Bool("cached", false, "-server: wrap every client in the internal/pagecache client cache")
 	scalingOps := flag.Int("scaling-ops", 0, "loop iterations per thread in -scaling mode (0 = 200, 64 with -quick)")
@@ -121,6 +122,13 @@ func main() {
 	if *mmap {
 		if err := runMmapBench(*cpus, *quick, *seed, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "winebench: mmap: %v\n", err)
+			exit(1)
+		}
+		return
+	}
+	if *tierBench {
+		if err := runTierBench(*cpus, *quick, *seed, *jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "winebench: tier: %v\n", err)
 			exit(1)
 		}
 		return

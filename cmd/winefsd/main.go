@@ -59,6 +59,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/pmem"
 	"repro/internal/sim"
+	"repro/internal/tier"
 	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/winefs"
@@ -229,6 +230,10 @@ func main() {
 	syncRepl := flag.Bool("sync-repl", false, "acknowledged writes wait for replica durability")
 	doDefrag := flag.Bool("defrag", false, "run the online background defragmenter (§3.5)")
 	defragBudget := flag.Float64("defrag-budget", 0.1, "defragmenter duty-cycle fraction of device bandwidth (1 = unthrottled)")
+	slowSize := flag.String("slow-size", "", "attach a simulated slow (SSD) tier of this size; new data spills to it when PM fills (empty: untiered)")
+	tierHigh := flag.Float64("tier-high", 0.90, "PM occupancy fraction above which allocations spill and passes demote")
+	tierLow := flag.Float64("tier-low", 0.80, "PM occupancy fraction demotion passes drain down to")
+	tierInterval := flag.Duration("tier-interval", 250*time.Millisecond, "wall-clock period of the background tier-migration pass")
 	flag.Parse()
 
 	if *replicaOf != "" && *replicas != "" {
@@ -256,6 +261,23 @@ func main() {
 	if *relaxed {
 		mode = vfs.Relaxed
 	}
+
+	// Tiered storage: -slow-size attaches a simulated SSD behind the PM
+	// device. The slow tier is volatile between runs (its pool is rebuilt
+	// from the extent scan at every mount), so a tiered -img daemon must be
+	// restarted with the same -slow-size.
+	var topts *winefs.TierOptions
+	var slowDev *tier.SlowDevice
+	if *slowSize != "" {
+		bytes, perr := parseSize(*slowSize)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "winefsd: bad slow-size: %v\n", perr)
+			os.Exit(2)
+		}
+		slowDev = tier.NewSlow(tier.DefaultSlowConfig(bytes))
+		topts = &winefs.TierOptions{Slow: slowDev, HighWater: *tierHigh, LowWater: *tierLow}
+	}
+
 	ctx := sim.NewCtx(1, 0)
 	var dev *pmem.Device
 	var fs *winefs.FS
@@ -265,7 +287,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "winefsd: %v\n", err)
 			os.Exit(1)
 		}
-		if fs, err = winefs.Mount(ctx, dev, winefs.Options{Mode: mode}); err != nil {
+		if fs, err = winefs.Mount(ctx, dev, winefs.Options{Mode: mode, Tier: topts}); err != nil {
 			fmt.Fprintf(os.Stderr, "winefsd: mount %s: %v\n", *img, err)
 			os.Exit(1)
 		}
@@ -276,7 +298,7 @@ func main() {
 			os.Exit(2)
 		}
 		dev = pmem.New(bytes)
-		if fs, err = winefs.Mkfs(ctx, dev, winefs.Options{CPUs: *cpus, Mode: mode}); err != nil {
+		if fs, err = winefs.Mkfs(ctx, dev, winefs.Options{CPUs: *cpus, Mode: mode, Tier: topts}); err != nil {
 			fmt.Fprintf(os.Stderr, "winefsd: mkfs: %v\n", err)
 			os.Exit(1)
 		}
@@ -357,6 +379,42 @@ func main() {
 		fmt.Printf("winefsd: online defrag enabled (budget %.0f%%)\n", 100**defragBudget)
 	}
 
+	// Tier migration: a maintenance goroutine runs periodic TierPass calls
+	// on its own simulated thread — demoting cold extents when PM is above
+	// the high-water mark, promoting reheated ones back. Its counters are
+	// snapshotted under a mutex after each pass so the metrics registry
+	// never races the migration thread.
+	var tierCtrMu sync.Mutex
+	var tierCounters perf.Counters
+	var tierStop, tierDone chan struct{}
+	if slowDev != nil {
+		tierStop = make(chan struct{})
+		tierDone = make(chan struct{})
+		tctx := sim.NewCtx(4, *cpus-1)
+		go func() {
+			defer close(tierDone)
+			tick := time.NewTicker(*tierInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tierStop:
+					return
+				case <-tick.C:
+					if _, err := fs.TierPass(tctx, winefs.TierPassOptions{}); err != nil {
+						// Read-only (degraded) or unmounted: migration has
+						// nothing left to do.
+						return
+					}
+					tierCtrMu.Lock()
+					tierCounters = *tctx.Counters
+					tierCtrMu.Unlock()
+				}
+			}
+		}()
+		fmt.Printf("winefsd: slow tier %s attached (high water %.2f, low water %.2f)\n",
+			*slowSize, *tierHigh, *tierLow)
+	}
+
 	if *stats != "" {
 		var extra []metrics.Collector
 		if repl != nil {
@@ -366,6 +424,28 @@ func main() {
 			extra = append(extra, metrics.CollectorFunc(func() []metrics.Family {
 				c := defragRunner.Counters()
 				return metrics.DefragFamilies(&c)
+			}))
+		}
+		if slowDev != nil {
+			extra = append(extra, metrics.CollectorFunc(func() []metrics.Family {
+				// Session counters carry the allocation-spill and slow-device
+				// traffic; the maintenance thread's carry the migrations.
+				// Aggregate both so tier_* and alloc_spill_* tell the whole
+				// story at one scrape point.
+				st := srv.Stats()
+				c := st.Counters
+				tierCtrMu.Lock()
+				c.Add(&tierCounters)
+				tierCtrMu.Unlock()
+				fams := metrics.TierFamilies(&c)
+				if ts, ok := fs.TierStats(); ok {
+					fams = append(fams,
+						metrics.Gauge("tier_pm_free_blocks", "Free 4KiB blocks on the PM tier.", float64(ts.PMFreeBlocks)),
+						metrics.Gauge("tier_pm_total_blocks", "Total data blocks on the PM tier.", float64(ts.PMTotalBlocks)),
+						metrics.Gauge("tier_slow_free_blocks", "Free 4KiB blocks on the slow tier.", float64(ts.SlowFreeBlocks)),
+						metrics.Gauge("tier_slow_total_blocks", "Total blocks on the slow tier.", float64(ts.SlowTotalBlocks)))
+				}
+				return fams
 			}))
 		}
 		bound, serr := serveStats(srv, *stats, extra...)
@@ -400,10 +480,17 @@ func main() {
 			close(defragStop)
 			<-defragDone
 		}
+		if tierStop != nil {
+			close(tierStop)
+			<-tierDone
+		}
 		closeTracer()
 		uctx := sim.NewCtx(2, 0)
 		if err := fs.Unmount(uctx); err != nil {
 			fmt.Fprintf(os.Stderr, "winefsd: unmount: %v\n", err)
+		}
+		if slowDev != nil {
+			slowDev.Release()
 		}
 		if *img != "" {
 			if err := dev.Save(*img); err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/pmem"
 	"repro/internal/sim"
+	"repro/internal/tier"
 	"repro/internal/vfs"
 	"repro/internal/winefs"
 )
@@ -88,6 +89,16 @@ type FaultCampaignResult struct {
 	Repaired int
 	// DataEIOReads counts file reads that surfaced poison as EIO.
 	DataEIOReads int
+	// TierRuns counts runs that mounted with a slow second tier (every
+	// other run): spill-on-allocation plus a migration pass after each
+	// workload op, so tier-migration journal records sit in the torn-store
+	// population like any other metadata update.
+	TierRuns int
+	// TierMigrations counts migration passes that actually moved extents
+	// (and were therefore recorded as crashable units) — the coverage
+	// check that tiered runs exercise migration rather than mounting an
+	// idle tier.
+	TierMigrations int
 	// Failures are the runs that broke the ladder: a panic, a silent wrong
 	// byte, a non-EIO error, or writes accepted while degraded.
 	Failures []string
@@ -97,8 +108,8 @@ type FaultCampaignResult struct {
 func (r *FaultCampaignResult) OK() bool { return len(r.Failures) == 0 }
 
 func (r *FaultCampaignResult) String() string {
-	return fmt.Sprintf("%d runs: %d clean recoveries, %d EIO mounts, %d degraded, %d repaired, %d data reads EIO, %d failures",
-		r.Runs, r.CleanRecoveries, r.EIOMounts, r.Degraded, r.Repaired, r.DataEIOReads, len(r.Failures))
+	return fmt.Sprintf("%d runs (%d tiered, %d migration points): %d clean recoveries, %d EIO mounts, %d degraded, %d repaired, %d data reads EIO, %d failures",
+		r.Runs, r.TierRuns, r.TierMigrations, r.CleanRecoveries, r.EIOMounts, r.Degraded, r.Repaired, r.DataEIOReads, len(r.Failures))
 }
 
 // RunFaultCampaign executes cfg.Runs seeded fault runs, cycling through the
@@ -121,10 +132,13 @@ func RunFaultCampaign(cfg FaultCampaignConfig) *FaultCampaignResult {
 		// Rotate the mode by cycle so each workload meets every mode (the
 		// workload count is a multiple of the mode count).
 		mode := FaultMode((i + i/len(workloads)) % int(modeCount))
+		// Every other run mounts tiered; 2 and the mode count 3 are
+		// coprime, so each (mode, tiered) pair occurs for each workload.
+		tiered := i%2 == 1
 		if msg := guardRun(func() string {
-			return faultRun(w, cfg, seed, mode, &perRun[i])
+			return faultRun(w, cfg, seed, mode, tiered, &perRun[i])
 		}); msg != "" {
-			msgs[i] = fmt.Sprintf("run %d (%s, %s, seed %#x): %s", i, w.Name, mode, seed, msg)
+			msgs[i] = fmt.Sprintf("run %d (%s, %s, tiered=%v, seed %#x): %s", i, w.Name, mode, tiered, seed, msg)
 		}
 	})
 	res := &FaultCampaignResult{}
@@ -135,6 +149,8 @@ func RunFaultCampaign(cfg FaultCampaignConfig) *FaultCampaignResult {
 		res.Degraded += perRun[i].Degraded
 		res.Repaired += perRun[i].Repaired
 		res.DataEIOReads += perRun[i].DataEIOReads
+		res.TierRuns += perRun[i].TierRuns
+		res.TierMigrations += perRun[i].TierMigrations
 		if msgs[i] != "" {
 			res.Failures = append(res.Failures, msgs[i])
 		}
@@ -155,12 +171,38 @@ func guardRun(f func() string) (msg string) {
 
 // faultRun performs one seeded run and classifies its outcome. It returns
 // "" when the degradation ladder held and a failure description otherwise.
-func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, res *FaultCampaignResult) string {
+//
+// A tiered run mounts the same workload over a PM device half-backed by a
+// slow tier with water marks low enough that ordinary file writes spill,
+// and interleaves a TierPass after every workload op, alternating between
+// demotion-aggressive and promotion-friendly marks. Each pass is its own
+// crashable unit, so the campaign tears migration transactions exactly
+// like workload transactions. The slow device is snapshotted after every
+// unit and rewound together with the PM image: slow writes are durable on
+// completion, so a crash image from unit k must not see slow-tier writes
+// from the units after it (a later spill may legitimately reuse blocks a
+// committed promotion freed).
+func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, tiered bool, res *FaultCampaignResult) string {
 	rng := sim.NewRand(seed)
 	ctx := sim.NewCtx(1, 0)
 	dev := pmem.New(cfg.DeviceSize)
 	defer dev.Release()
-	fs, err := winefs.Mkfs(ctx, dev, winefs.Options{CPUs: cfg.CPUs, InodesPerCPU: 512})
+	var slow *tier.SlowDevice
+	var topts *winefs.TierOptions
+	var slowBlocks int64
+	if tiered {
+		slow = tier.NewSlow(tier.DefaultSlowConfig(cfg.DeviceSize / 2))
+		defer slow.Release()
+		// The ACE workloads write a few KiB against a pool of ~16k blocks,
+		// so the marks must be effectively zero for any of it to spill:
+		// high water under one block means every data allocation goes slow
+		// and every aggressive pass demotes whatever lives in PM.
+		topts = &winefs.TierOptions{Slow: slow, HighWater: 0.0001, LowWater: 0.00005, PromoteMin: 1}
+		slowBlocks = slow.Size() / winefs.BlockSize
+		res.TierRuns++
+	}
+	opts := winefs.Options{CPUs: cfg.CPUs, InodesPerCPU: 512, Tier: topts}
+	fs, err := winefs.Mkfs(ctx, dev, opts)
 	if err != nil {
 		return fmt.Sprintf("mkfs: %v", err)
 	}
@@ -170,45 +212,76 @@ func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, 
 		}
 	}
 
-	// Replay the workload, keeping per-op snapshots, traces and oracle
-	// states (states[k] is the namespace before op k).
-	states := []State{captureState(ctx, fs)}
-	var bases []*pmem.Image
-	var traces [][]pmem.Store
-	var okOps []int
-	for k, o := range w.Ops {
+	// Replay the workload as a sequence of crashable units (ops, and on
+	// tiered runs the migration passes between them), keeping per-unit
+	// snapshots, traces and the before/after oracle states.
+	type crashUnit struct {
+		base      *pmem.Image
+		slowAfter *pmem.Image // slow-tier contents after the unit; nil untiered
+		trace     []pmem.Store
+		pre, post State
+	}
+	var units []crashUnit
+	prev := captureState(ctx, fs)
+	record := func(f func() error) {
 		base := dev.Snapshot()
 		dev.StartTrace()
-		opErr := apply(ctx, fs, o)
+		err := f()
 		trace := dev.StopTrace()
-		states = append(states, captureState(ctx, fs))
-		if opErr == nil && len(trace) > 0 {
-			bases = append(bases, base)
-			traces = append(traces, trace)
-			okOps = append(okOps, k)
+		cur := captureState(ctx, fs)
+		if err == nil && len(trace) > 0 {
+			u := crashUnit{base: base, trace: trace, pre: prev, post: cur}
+			if slow != nil {
+				u.slowAfter = slow.Snapshot()
+			}
+			units = append(units, u)
+		}
+		prev = cur
+	}
+	for k, o := range w.Ops {
+		o := o
+		record(func() error { return apply(ctx, fs, o) })
+		if tiered {
+			// Alternate marks, promotion first: setup and op writes spilled
+			// under the aggressive mount marks and still carry the heat the
+			// write gave them, so a relaxed pass pulls them up to PM — and
+			// the aggressive pass after the next op pushes them back down.
+			if k%2 == 0 {
+				fs.SetTierWaterMarks(0.95, 0.85)
+			} else {
+				fs.SetTierWaterMarks(0.0001, 0.00005)
+			}
+			nUnits := len(units)
+			record(func() error {
+				_, err := fs.TierPass(ctx, winefs.TierPassOptions{MaxMigrateBlocks: 512})
+				return err
+			})
+			if len(units) > nUnits {
+				res.TierMigrations++
+			}
 		}
 	}
-	if len(okOps) == 0 {
+	if len(units) == 0 {
 		res.CleanRecoveries++ // nothing to injure; vacuous
 		return ""
 	}
 
 	var img *pmem.Image
+	var slowImg *pmem.Image
 	var injured []pmem.Store // stores whose lines are poison candidates
 	var oracle []State
 	switch mode {
 	case ModeTorn, ModePoisonCrash:
-		pick := rng.Intn(len(okOps))
-		k, base, trace := okOps[pick], bases[pick], traces[pick]
+		u := units[rng.Intn(len(units))]
 		maxEpoch := 0
-		for _, s := range trace {
+		for _, s := range u.trace {
 			if s.Epoch > maxEpoch {
 				maxEpoch = s.Epoch
 			}
 		}
 		e := rng.Intn(maxEpoch + 1)
 		var durable []pmem.Store
-		for _, s := range trace {
+		for _, s := range u.trace {
 			if s.Epoch <= e {
 				durable = append(durable, s)
 				if s.Epoch == e {
@@ -218,23 +291,32 @@ func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, 
 		}
 		keep := 0.2 + 0.6*rng.Float64()
 		torn := pmem.TearStores(durable, e, keep, rng)
-		img = base.Clone()
+		img = u.base.Clone()
 		img.Apply(torn)
-		oracle = []State{states[k], states[k+1]}
+		slowImg = u.slowAfter
+		oracle = []State{u.pre, u.post}
 	case ModePoisonLive:
 		if err := fs.Unmount(ctx); err != nil {
 			return fmt.Sprintf("unmount: %v", err)
 		}
 		img = dev.Snapshot()
-		for _, t := range traces {
-			injured = append(injured, t...)
+		for i := range units {
+			injured = append(injured, units[i].trace...)
 		}
-		oracle = []State{states[len(states)-1]}
+		if slow != nil {
+			slowImg = slow.Snapshot()
+		}
+		oracle = []State{prev}
 	}
 
 	scratch := pmem.New(cfg.DeviceSize)
 	defer scratch.Release()
 	scratch.Restore(img)
+	if slowImg != nil {
+		// Rewind the slow tier to the crash unit's durable state; the live
+		// fs is abandoned past this point, so restoring in place is safe.
+		slow.Restore(slowImg)
+	}
 	if mode == ModePoisonCrash || mode == ModePoisonLive {
 		// Pick poison targets byte-weighted across everything the workload
 		// stored, so large data writes are hit as often as their footprint
@@ -260,14 +342,14 @@ func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, 
 
 	// Recover and classify.
 	rctx := sim.NewCtx(2, 0)
-	rfs, err := winefs.Mount(rctx, scratch, winefs.Options{CPUs: cfg.CPUs, InodesPerCPU: 512})
+	rfs, err := winefs.Mount(rctx, scratch, opts)
 	if err != nil {
 		// Rung 2: the mount itself must fail with a clean EIO, nothing else.
 		if !errors.Is(err, vfs.ErrIO) {
 			return fmt.Sprintf("mount failed with non-EIO error: %v", err)
 		}
 		res.EIOMounts++
-		return repairAndRemount(scratch, cfg, res)
+		return repairAndRemount(scratch, opts, slowBlocks, res)
 	}
 	if reason, degraded := rfs.Degraded(); degraded {
 		// Rung 3: read-only fallback. Reads must keep working (no panic;
@@ -283,7 +365,7 @@ func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, 
 			return fmt.Sprintf("degraded (%s): create returned %v, want ErrReadOnly", reason, err)
 		}
 		res.Degraded++
-		return repairAndRemount(scratch, cfg, res)
+		return repairAndRemount(scratch, opts, slowBlocks, res)
 	}
 	// Rung 1: transparent recovery. The namespace must match the atomicity
 	// oracle and the image must pass fsck.
@@ -298,7 +380,7 @@ func faultRun(w Workload, cfg FaultCampaignConfig, seed uint64, mode FaultMode, 
 	if !match {
 		return fmt.Sprintf("atomicity violated:\n got: %q\nwant one of: %q", got, oracle)
 	}
-	if rep := winefs.Check(scratch); !rep.OK() {
+	if rep := winefs.CheckTiered(scratch, slowBlocks); !rep.OK() {
 		return fmt.Sprintf("clean mount but fsck: %s", rep.Errors[0])
 	}
 	// A transparent recovery must also rebuild the allocator exactly: the
@@ -384,8 +466,8 @@ func readAllFiles(ctx *sim.Ctx, fs vfs.FS, res *FaultCampaignResult) string {
 // image and requires it to produce a clean, mountable, un-degraded file
 // system. A repair that cannot even read the superblock is the one accepted
 // dead end (there is no backup superblock to recover from).
-func repairAndRemount(scratch *pmem.Device, cfg FaultCampaignConfig, res *FaultCampaignResult) string {
-	rep, err := winefs.Repair(scratch)
+func repairAndRemount(scratch *pmem.Device, opts winefs.Options, slowBlocks int64, res *FaultCampaignResult) string {
+	rep, err := winefs.RepairTiered(scratch, slowBlocks)
 	if err != nil {
 		if errors.Is(err, vfs.ErrIO) || isPmemErr(err) {
 			return "" // superblock itself is gone; EIO is the honest end state
@@ -396,7 +478,7 @@ func repairAndRemount(scratch *pmem.Device, cfg FaultCampaignConfig, res *FaultC
 		return fmt.Sprintf("repair left inconsistencies: %v", rep.PostErrors)
 	}
 	ctx := sim.NewCtx(3, 0)
-	rfs, err := winefs.Mount(ctx, scratch, winefs.Options{CPUs: cfg.CPUs, InodesPerCPU: 512})
+	rfs, err := winefs.Mount(ctx, scratch, opts)
 	if err != nil {
 		return fmt.Sprintf("post-repair mount failed: %v", err)
 	}

@@ -39,6 +39,12 @@ func TestFaultCampaign(t *testing.T) {
 	if res.DataEIOReads == 0 && res.EIOMounts == 0 {
 		t.Fatalf("campaign never produced a clean EIO: %s", res)
 	}
+	// Half the runs mount with a slow tier and interleave migration passes;
+	// a campaign where no pass ever moved an extent would be asserting
+	// nothing about tier-migration crash consistency.
+	if res.TierRuns == 0 || res.TierMigrations == 0 {
+		t.Fatalf("campaign did not exercise tier migration: %s", res)
+	}
 	t.Logf("%s", res)
 }
 

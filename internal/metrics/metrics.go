@@ -219,6 +219,31 @@ func DefragFamilies(c *perf.Counters) []Family {
 	return out
 }
 
+// TierFamilies renders the tiered-storage counters (the perf.Counters
+// Tier*, Slow* and AllocSpill* fields) as canonically named families:
+// tier_passes_total, tier_demoted_blocks_total, slow_read_bytes_total,
+// alloc_spill_extents_total, … — same contract as VMMFamilies, so
+// dashboards can alert on stable names regardless of the embedding
+// server's counter-dump prefix.
+func TierFamilies(c *perf.Counters) []Family {
+	fields := c.Fields()
+	out := make([]Family, 0, 12)
+	for _, f := range fields {
+		if !strings.HasPrefix(f.Name, "Tier") &&
+			!strings.HasPrefix(f.Name, "Slow") &&
+			!strings.HasPrefix(f.Name, "AllocSpill") {
+			continue
+		}
+		out = append(out, Family{
+			Name:    SnakeCase(f.Name) + "_total",
+			Help:    "Tiered storage: perf.Counters." + f.Name + ".",
+			Type:    "counter",
+			Samples: []Sample{{Value: float64(f.Value)}},
+		})
+	}
+	return out
+}
+
 // SummaryFamily renders a latency digest as a Prometheus summary with
 // quantile labels plus _sum and _count samples. Latencies are virtual
 // nanoseconds.

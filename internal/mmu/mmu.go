@@ -152,6 +152,17 @@ type Mapping struct {
 	mu     sync.Mutex
 	chunks []chunk
 
+	// shootMu and shootGen are the wait-for-in-flight-accesses half of a
+	// TLB shootdown. Accesses resolve a translation under mu, then touch
+	// the device outside it; Invalidate bumps shootGen and takes shootMu
+	// exclusively, so it cannot return while an access that resolved
+	// against the old page tables is still moving bytes — the model of a
+	// shootdown IPI waiting for every core's acknowledgement. Without it
+	// the caller could free and recycle the displaced blocks under a
+	// still-running access.
+	shootMu  sync.RWMutex
+	shootGen atomic.Uint64
+
 	// promoteHook is set by the mapping's owner (internal/vmm): the file
 	// system invokes it, via NotifyPromote, after a layout change that can
 	// only improve hugepage eligibility (reactive rewrite, online defrag),
@@ -270,21 +281,25 @@ func (m *Mapping) locate(off int64) (ci int, pi int) {
 }
 
 // ensureMapped guarantees the page containing off is mapped, taking a
-// fault if needed. Returns the physical address of byte off and whether the
-// translation is a hugepage.
-func (m *Mapping) ensureMapped(ctx *sim.Ctx, off int64) (phys int64, huge bool, err error) {
+// fault if needed. Returns the physical address of byte off, whether the
+// translation is a hugepage, and the shootdown generation the translation
+// was read under — devAccess revalidates against it before touching the
+// device, since an Invalidate may land between resolution and access.
+func (m *Mapping) ensureMapped(ctx *sim.Ctx, off int64) (phys int64, huge bool, gen uint64, err error) {
 	ci, pi := m.locate(off)
 	m.mu.Lock()
 	c := &m.chunks[ci]
 	if c.huge {
 		phys := c.hugePhys + off%HugePage
+		gen := m.shootGen.Load()
 		m.mu.Unlock()
-		return phys, true, nil
+		return phys, true, gen, nil
 	}
 	if c.pages != nil && c.pages[pi] != 0 {
 		phys := c.pages[pi] - 1 + off%BasePage
+		gen := m.shootGen.Load()
 		m.mu.Unlock()
-		return phys, false, nil
+		return phys, false, gen, nil
 	}
 	m.mu.Unlock()
 
@@ -294,11 +309,12 @@ func (m *Mapping) ensureMapped(ctx *sim.Ctx, off int64) (phys int64, huge bool, 
 	res, ferr := m.handler.Fault(ctx, pageOff)
 	if ferr != nil {
 		ctx.EndSpan(sp)
-		return 0, false, ferr
+		return 0, false, 0, ferr
 	}
 	defer ctx.EndSpan(sp)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	gen = m.shootGen.Load()
 	c = &m.chunks[ci]
 	if res.Huge {
 		if !c.huge {
@@ -309,7 +325,7 @@ func (m *Mapping) ensureMapped(ctx *sim.Ctx, off int64) (phys int64, huge bool, 
 			ctx.Counters.FaultNS += m.model.HugeFaultNS
 			ctx.Advance(m.model.HugeFaultNS)
 		}
-		return c.hugePhys + off%HugePage, true, nil
+		return c.hugePhys + off%HugePage, true, gen, nil
 	}
 	if c.pages == nil {
 		c.pages = make([]int64, PagesPerHuge)
@@ -320,7 +336,27 @@ func (m *Mapping) ensureMapped(ctx *sim.Ctx, off int64) (phys int64, huge bool, 
 		ctx.Counters.FaultNS += m.model.BaseFaultNS
 		ctx.Advance(m.model.BaseFaultNS)
 	}
-	return c.pages[pi] - 1 + off%BasePage, false, nil
+	return c.pages[pi] - 1 + off%BasePage, false, gen, nil
+}
+
+// devAccess moves bytes against a translation resolved by ensureMapped,
+// holding the shootdown read-lock for the duration. Returns false without
+// touching the device when the translation went stale (an Invalidate ran
+// since resolution) — the caller re-resolves and retries. The accounting
+// for the granule is charged only after the access succeeds, so a retry
+// never double-charges.
+func (m *Mapping) devAccess(p []byte, phys int64, gen uint64, write bool) bool {
+	m.shootMu.RLock()
+	defer m.shootMu.RUnlock()
+	if m.shootGen.Load() != gen {
+		return false
+	}
+	if write {
+		m.dev.WriteAt(p, phys)
+	} else {
+		m.dev.ReadAt(p, phys)
+	}
+	return true
 }
 
 // translate charges TLB/page-walk costs for accessing the page containing
@@ -456,11 +492,10 @@ func (m *Mapping) accessFine(ctx *sim.Ctx, p []byte, off int64, write bool) erro
 	pos := off
 	rem := p
 	for len(rem) > 0 {
-		phys, huge, err := m.ensureMapped(ctx, pos)
+		phys, huge, gen, err := m.ensureMapped(ctx, pos)
 		if err != nil {
 			return err
 		}
-		m.translate(ctx, pos, huge)
 		granule := int64(BasePage)
 		if huge {
 			granule = HugePage
@@ -470,6 +505,10 @@ func (m *Mapping) accessFine(ctx *sim.Ctx, p []byte, off int64, write bool) erro
 		if k > int64(len(rem)) {
 			k = int64(len(rem))
 		}
+		if !m.devAccess(rem[:k], phys, gen, write) {
+			continue // shot down since resolution: re-fault this granule
+		}
+		m.translate(ctx, pos, huge)
 		firstLine := phys / pmem.CacheLine
 		nLines := (phys+k-1)/pmem.CacheLine - firstLine + 1
 		ctx.Counters.TLBHits += nLines - 1
@@ -477,14 +516,12 @@ func (m *Mapping) accessFine(ctx *sim.Ctx, p []byte, off int64, write bool) erro
 		if write {
 			ctx.Counters.PMWriteBytes += nLines * pmem.CacheLine
 			ctx.Advance(nLines * m.model.WriteLat64)
-			m.dev.WriteAt(rem[:k], phys)
 		} else {
 			misses := nLines - hits
 			ctx.Counters.LLCHits += hits
 			ctx.Counters.LLCMisses += misses
 			ctx.Counters.PMReadBytes += misses * pmem.CacheLine
 			ctx.Advance(hits*m.model.LLCHitNS + misses*m.model.ReadLat64)
-			m.dev.ReadAt(rem[:k], phys)
 		}
 		rem = rem[k:]
 		pos += k
@@ -499,23 +536,21 @@ func (m *Mapping) accessFineExact(ctx *sim.Ctx, p []byte, off int64, write bool)
 	pos := off
 	rem := p
 	for len(rem) > 0 {
-		phys, huge, err := m.ensureMapped(ctx, pos)
+		phys, huge, gen, err := m.ensureMapped(ctx, pos)
 		if err != nil {
 			return err
 		}
-		m.translate(ctx, pos, huge)
 		// Bytes until end of this cache line.
 		lineEnd := (phys/pmem.CacheLine + 1) * pmem.CacheLine
 		k := lineEnd - phys
 		if k > int64(len(rem)) {
 			k = int64(len(rem))
 		}
-		m.dataLine(ctx, phys, write)
-		if write {
-			m.dev.WriteAt(rem[:k], phys)
-		} else {
-			m.dev.ReadAt(rem[:k], phys)
+		if !m.devAccess(rem[:k], phys, gen, write) {
+			continue // shot down since resolution: re-fault this line
 		}
+		m.translate(ctx, pos, huge)
+		m.dataLine(ctx, phys, write)
 		rem = rem[k:]
 		pos += k
 	}
@@ -528,11 +563,10 @@ func (m *Mapping) stream(ctx *sim.Ctx, p []byte, off int64, write bool) error {
 	pos := off
 	rem := p
 	for len(rem) > 0 {
-		phys, huge, err := m.ensureMapped(ctx, pos)
+		phys, huge, gen, err := m.ensureMapped(ctx, pos)
 		if err != nil {
 			return err
 		}
-		m.translate(ctx, pos, huge)
 		// Run to the end of the current translation granule.
 		granule := int64(BasePage)
 		if huge {
@@ -543,13 +577,11 @@ func (m *Mapping) stream(ctx *sim.Ctx, p []byte, off int64, write bool) error {
 		if k > int64(len(rem)) {
 			k = int64(len(rem))
 		}
-		if write {
-			m.dev.WriteAt(rem[:k], phys)
-			m.chargeStream(ctx, phys, k, true)
-		} else {
-			m.dev.ReadAt(rem[:k], phys)
-			m.chargeStream(ctx, phys, k, false)
+		if !m.devAccess(rem[:k], phys, gen, write) {
+			continue // shot down since resolution: re-fault this granule
 		}
+		m.translate(ctx, pos, huge)
+		m.chargeStream(ctx, phys, k, write)
 		rem = rem[k:]
 		pos += k
 	}
@@ -564,7 +596,7 @@ func (m *Mapping) Touch(ctx *sim.Ctx, off, n int64, write bool) error {
 	}
 	pos := off
 	for n > 0 {
-		phys, huge, err := m.ensureMapped(ctx, pos)
+		phys, huge, _, err := m.ensureMapped(ctx, pos)
 		if err != nil {
 			return err
 		}
@@ -621,7 +653,17 @@ func (m *Mapping) Invalidate() {
 	for i := range m.chunks {
 		m.chunks[i] = chunk{}
 	}
+	m.shootGen.Add(1)
 	m.mu.Unlock()
+	// Drain: an access that resolved a translation before the generation
+	// bump may still be moving bytes under the read side of shootMu. Do
+	// not return (and let the caller free the displaced blocks) until
+	// every such access has finished — the shootdown's IPI-acknowledgement
+	// wait. Accesses that resolve after the bump re-fault and never see
+	// the old physical blocks.
+	m.shootMu.Lock()
+	//lint:ignore SA2001 empty critical section is the drain barrier
+	m.shootMu.Unlock()
 	m.as.FlushTLB()
 }
 
@@ -629,7 +671,7 @@ func (m *Mapping) Invalidate() {
 // taking all faults up front — the paper's §2.4 pre-faulted configuration.
 func (m *Mapping) Prefault(ctx *sim.Ctx) error {
 	for off := int64(0); off < m.length; off += BasePage {
-		if _, _, err := m.ensureMapped(ctx, off); err != nil {
+		if _, _, _, err := m.ensureMapped(ctx, off); err != nil {
 			return err
 		}
 	}

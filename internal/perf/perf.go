@@ -73,6 +73,20 @@ type Counters struct {
 	DefragThrottleNS     int64 // idle virtual time injected by the bandwidth budget
 	DefragSkippedBusy    int64 // candidates abandoned because the layout changed underneath
 	DefragSkippedMeta    int64 // candidates skipped because metadata blocks pin the chunk
+
+	// Tiered storage (internal/tier + winefs tier hooks) events.
+	SlowReads           int64 // commands issued to the slow tier for reads
+	SlowWrites          int64 // commands issued to the slow tier for writes
+	SlowReadBytes       int64 // bytes transferred from the slow tier (page-rounded)
+	SlowWriteBytes      int64 // bytes transferred to the slow tier (page-rounded)
+	AllocSpillExtents   int64 // data allocations redirected from full/near-full PM to the slow tier
+	AllocSpillBlocks    int64 // blocks those spilled allocations covered
+	TierPasses          int64 // tier-migration passes completed
+	TierDemotions       int64 // extents migrated PM -> slow
+	TierDemotedBlocks   int64 // blocks those demotions moved
+	TierPromotions      int64 // extents migrated slow -> PM by the pass policy
+	TierPromotedBlocks  int64 // blocks those promotions moved
+	TierFaultPromotions int64 // slow extents pulled up synchronously by an mmap fault
 }
 
 // Reset zeroes every counter.
@@ -105,6 +119,19 @@ func (c *Counters) Add(o *Counters) {
 	for i := range counterFields {
 		f := cv.Field(i)
 		f.SetInt(f.Int() + ov.Field(i).Int())
+	}
+}
+
+// Sub removes o from c — the inverse of Add, used to isolate one phase's
+// counters from a shared context by subtracting the snapshot taken at the
+// phase boundary. Reflection-backed for the same can't-lag-the-struct
+// reason.
+func (c *Counters) Sub(o *Counters) {
+	cv := reflect.ValueOf(c).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := range counterFields {
+		f := cv.Field(i)
+		f.SetInt(f.Int() - ov.Field(i).Int())
 	}
 }
 

@@ -454,6 +454,15 @@ func (a *allocator) free(ctx *sim.Ctx, e alloc.Extent) {
 	if e.Len <= 0 {
 		return
 	}
+	// Slow-tier blocks go back to the tier pool, not the PM groups (this
+	// single routing point covers every free path: unlink, truncate, CoW
+	// displacement, replaceRange, rollbacks).
+	if t := a.fs.tier; t != nil && e.Start >= t.base {
+		t.pool.Free(e.Start, e.Len)
+		ctx.Advance(allocCost)
+		t.dev.DiscardRange((e.Start-t.base)*BlockSize, e.Len*BlockSize)
+		return
+	}
 	// An extent may span multiple CPU pools (cross-CPU steal then merge);
 	// split along pool boundaries.
 	for e.Len > 0 {
@@ -513,6 +522,11 @@ func (a *allocator) stats() (freeBlocks, alignedExtents int64) {
 // rebuild. The range must currently be free. Used-block reconstruction
 // feeds file extents back in via this.
 func (a *allocator) markUsed(start, length int64) {
+	// Slow-tier extents replay into the tier pool (crash-path rebuild).
+	if t := a.fs.tier; t != nil && start >= t.base {
+		t.pool.MarkUsed(start, length)
+		return
+	}
 	for length > 0 {
 		cpu := a.fs.g.cpuOfBlock(start)
 		_, poolEnd := a.fs.g.poolRange(cpu)

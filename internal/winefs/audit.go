@@ -164,14 +164,22 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 	// Phase 4: full tiling. Every pool block is either free or referenced by
 	// exactly one inode (file/dir extents plus indirect metadata blocks), so
 	// free + used must equal the pool size; a mismatch is a leak (lost
-	// blocks) or a double-accounting (negative leak).
-	var used int64
+	// blocks) or a double-accounting (negative leak). On tiered mounts the
+	// used sum splits by tier: PM extents tile the PM pools, slow extents
+	// tile the slow region against the tier pool.
+	var used, usedSlow int64
+	var slowUsed []alloc.Extent
 	for _, ino := range fs.snapshotInodes() {
 		ino.mu.RLock()
 		for _, e := range ino.extents {
-			used += e.length
+			if fs.isSlow(e.blk) {
+				usedSlow += e.length
+				slowUsed = append(slowUsed, alloc.Extent{Start: e.blk, Len: e.length})
+			} else {
+				used += e.length
+			}
 		}
-		used += int64(len(ino.indirect))
+		used += int64(len(ino.indirect)) // indirect blocks are PM-only
 		ino.mu.RUnlock()
 	}
 	total := fs.g.poolBlocks * int64(fs.g.cpus)
@@ -179,6 +187,35 @@ func (fs *FS) Audit(ctx *sim.Ctx) error {
 		addf("tiling: free=%d + held=%d + used=%d = %d, want %d (leak of %d blocks)",
 			freeBlocks, heldBlocks, used, freeBlocks+heldBlocks+used, total,
 			total-freeBlocks-heldBlocks-used)
+	}
+
+	// Phase 5 (tiered mounts): slow-region tiling and disjointness. Used
+	// slow extents must be pairwise disjoint, inside the region, and tile
+	// it exactly against the tier pool's free list.
+	if t := fs.tier; t != nil {
+		slowFree := t.pool.FreeBlocks()
+		if slowFree+usedSlow != t.blocks {
+			addf("slow tiling: free=%d + used=%d = %d, want %d (leak of %d blocks)",
+				slowFree, usedSlow, slowFree+usedSlow, t.blocks, t.blocks-slowFree-usedSlow)
+		}
+		for _, e := range t.pool.FreeExtents() {
+			if e.Start < t.base || e.End() > t.base+t.blocks {
+				addf("slow free extent [%d,+%d) outside region [%d,%d)", e.Start, e.Len, t.base, t.base+t.blocks)
+			}
+			slowUsed = append(slowUsed, e) // free joins used for the overlap scan
+		}
+		sort.Slice(slowUsed, func(i, j int) bool { return slowUsed[i].Start < slowUsed[j].Start })
+		for i := 1; i < len(slowUsed); i++ {
+			if slowUsed[i-1].End() > slowUsed[i].Start {
+				addf("slow extents overlap: [%d,+%d) and [%d,+%d)",
+					slowUsed[i-1].Start, slowUsed[i-1].Len, slowUsed[i].Start, slowUsed[i].Len)
+			}
+		}
+		for _, e := range slowUsed {
+			if e.Start < t.base || e.End() > t.base+t.blocks {
+				addf("slow used extent [%d,+%d) outside region [%d,%d)", e.Start, e.Len, t.base, t.base+t.blocks)
+			}
+		}
 	}
 
 	if len(violations) == 0 {

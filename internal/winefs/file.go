@@ -106,12 +106,13 @@ func (f *File) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 		}
 		// A corrupt extent record can point anywhere; a poisoned line fails
 		// the read. Either way the application gets EIO, never garbage.
-		if err := f.fs.dev.CheckRange(phys*BlockSize+in, n); err != nil {
+		if err := f.fs.dataCheckRange(phys*BlockSize+in, n); err != nil {
 			return read, mapDevErr(err)
 		}
-		if err := f.fs.dev.ReadChecked(ctx, p[read:read+int(n)], phys*BlockSize+in); err != nil {
+		if err := f.fs.dataReadChecked(ctx, p[read:read+int(n)], phys*BlockSize+in); err != nil {
 			return read, mapDevErr(err)
 		}
+		f.fs.touchExtent(ino, blk)
 		read += int(n)
 	}
 	return read, nil
@@ -204,7 +205,7 @@ func (f *File) allocRange(ctx *sim.Ctx, tx *mtx, startBlk, endBlk int64, wantAli
 		// alloc); round the tail up to a full aligned extent only for
 		// xattr-hinted files starting at an aligned file offset.
 		roundUp := wantAligned && b%BlocksPerHuge == 0
-		exts, err := fs.alloc.alloc(ctx, tx.cpu, need, roundUp)
+		exts, err := fs.allocData(ctx, tx.cpu, need, roundUp)
 		if err != nil {
 			return err
 		}
@@ -229,14 +230,14 @@ func (f *File) allocRange(ctx *sim.Ctx, tx *mtx, startBlk, endBlk int64, wantAli
 func (f *File) zeroEdges(ctx *sim.Ctx, e alloc.Extent, zs, ze, skipS, skipE int64) {
 	physBase := e.StartByte()
 	if skipE <= zs || skipS >= ze {
-		f.fs.dev.Zero(ctx, physBase, ze-zs)
+		f.fs.dataZero(ctx, physBase, ze-zs)
 		return
 	}
 	if skipS > zs {
-		f.fs.dev.Zero(ctx, physBase, skipS-zs)
+		f.fs.dataZero(ctx, physBase, skipS-zs)
 	}
 	if skipE < ze {
-		f.fs.dev.Zero(ctx, physBase+(skipE-zs), ze-skipE)
+		f.fs.dataZero(ctx, physBase+(skipE-zs), ze-skipE)
 	}
 }
 
@@ -346,7 +347,7 @@ func (f *File) write(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	if off > oldSize && oldSize%BlockSize != 0 {
 		if phys, _, ok := ino.findRun(oldSize / BlockSize); ok {
 			tail := min64(BlockSize-oldSize%BlockSize, off-oldSize)
-			fs.dev.Zero(ctx, phys*BlockSize+oldSize%BlockSize, tail)
+			fs.dataZero(ctx, phys*BlockSize+oldSize%BlockSize, tail)
 		}
 	}
 
@@ -424,10 +425,11 @@ func (f *File) writeRange(ctx *sim.Ctx, p []byte, off int64) (n int, ok bool, er
 			// copy-on-write, so the extent map is never touched here.
 			fs.chargeDataJournal(ctx, chunk)
 		}
-		fs.dev.Write(ctx, p[written:written+int(chunk)], phys*BlockSize+in)
+		fs.dataWrite(ctx, p[written:written+int(chunk)], phys*BlockSize+in)
 		if fs.mode == vfs.Strict {
-			fs.dev.Flush(ctx, phys*BlockSize+in, chunk)
+			fs.dataFlush(ctx, phys*BlockSize+in, chunk)
 		}
+		fs.touchExtent(ino, blk)
 		written += int(chunk)
 	}
 	if fs.mode == vfs.Strict {
@@ -480,10 +482,11 @@ func (f *File) writeData(ctx *sim.Ctx, getTx func() *mtx, p []byte, off, oldSize
 				continue
 			}
 		}
-		fs.dev.Write(ctx, p[written:written+int(chunk)], phys*BlockSize+in)
+		fs.dataWrite(ctx, p[written:written+int(chunk)], phys*BlockSize+in)
 		if fs.mode == vfs.Strict {
-			fs.dev.Flush(ctx, phys*BlockSize+in, chunk)
+			fs.dataFlush(ctx, phys*BlockSize+in, chunk)
 		}
+		fs.touchExtent(ino, blk)
 		written += int(chunk)
 	}
 	if fs.mode == vfs.Strict {
@@ -547,7 +550,7 @@ func (f *File) cowRange(ctx *sim.Ctx, tx *mtx, p []byte, off int64) error {
 	endBlk := (end + BlockSize - 1) / BlockSize
 	nBlks := endBlk - startBlk
 
-	newExts, ok := fs.alloc.allocSmall(ctx, tx.cpu, nBlks)
+	newExts, ok := fs.allocDataSmall(ctx, tx.cpu, nBlks)
 	if !ok {
 		return vfs.ErrNoSpace
 	}
@@ -575,13 +578,13 @@ func (f *File) cowRange(ctx *sim.Ctx, tx *mtx, p []byte, off int64) error {
 			we = be
 		}
 		if okOld && (ws > bs || we < be) {
-			if err := fs.dev.ReadChecked(ctx, buf, oldPhys*BlockSize); err != nil {
+			if err := fs.dataReadChecked(ctx, buf, oldPhys*BlockSize); err != nil {
 				return err
 			}
-			fs.dev.Write(ctx, buf, nb*BlockSize)
+			fs.dataWrite(ctx, buf, nb*BlockSize)
 		}
-		fs.dev.Write(ctx, p[ws-off:we-off], nb*BlockSize+(ws-bs))
-		fs.dev.Flush(ctx, nb*BlockSize, BlockSize)
+		fs.dataWrite(ctx, p[ws-off:we-off], nb*BlockSize+(ws-bs))
+		fs.dataFlush(ctx, nb*BlockSize, BlockSize)
 	}
 	fs.dev.Fence(ctx)
 
@@ -704,7 +707,7 @@ func (f *File) Truncate(ctx *sim.Ctx, size int64) error {
 		if size%BlockSize != 0 {
 			if phys, _, ok := ino.findRun(size / BlockSize); ok {
 				tail := BlockSize - size%BlockSize
-				fs.dev.Zero(ctx, phys*BlockSize+size%BlockSize, tail)
+				fs.dataZero(ctx, phys*BlockSize+size%BlockSize, tail)
 			}
 		}
 		keepBlks := (size + BlockSize - 1) / BlockSize
@@ -808,24 +811,47 @@ func (f *File) Fsync(ctx *sim.Ctx) error {
 func (f *File) Extents() []mmu.Extent {
 	f.ino.mu.RLock()
 	defer f.ino.mu.RUnlock()
-	return f.ino.mmuExtentsLocked()
+	return f.ino.mmuExtentsRLocked()
 }
 
 // mmuExtentsLocked converts (and caches) the extent list in mmu form.
+// Caller holds ino.mu EXCLUSIVELY — the cache fields are written here, and
+// concurrent shared-lock holders read them (mmuExtentsRLocked).
 func (ino *inode) mmuExtentsLocked() []mmu.Extent {
 	if ino.mmapGen == ino.gen && ino.mmapExt != nil {
 		return ino.mmapExt
 	}
+	out := ino.buildMMUExtents()
+	ino.mmapExt = out
+	ino.mmapGen = ino.gen
+	return out
+}
+
+// mmuExtentsRLocked is mmuExtentsLocked for shared-lock holders: it serves
+// a fresh cache but rebuilds WITHOUT storing on a miss (two concurrent
+// readers writing the cache fields would race).
+func (ino *inode) mmuExtentsRLocked() []mmu.Extent {
+	if ino.mmapGen == ino.gen && ino.mmapExt != nil {
+		return ino.mmapExt
+	}
+	return ino.buildMMUExtents()
+}
+
+func (ino *inode) buildMMUExtents() []mmu.Extent {
 	out := make([]mmu.Extent, 0, len(ino.extents))
 	for _, e := range ino.extents {
+		// Slow-tier extents are not byte-addressable and cannot be mapped:
+		// they are left out, so a DAX fault on their range misses and the
+		// fault path promotes them to PM first (Fault).
+		if ino.fs.isSlow(e.blk) {
+			continue
+		}
 		out = append(out, mmu.Extent{
 			FileOff: e.fileBlk * BlockSize,
 			Phys:    e.blk * BlockSize,
 			Len:     e.length * BlockSize,
 		})
 	}
-	ino.mmapExt = out
-	ino.mmapGen = ino.gen
 	return out
 }
 
@@ -930,7 +956,7 @@ func (f *File) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
 	chunkOff := pageOff / mmu.HugePage * mmu.HugePage
 
 	ino.mu.RLock()
-	exts := ino.mmuExtentsLocked()
+	exts := ino.mmuExtentsRLocked()
 	size := ino.size
 	ino.mu.RUnlock()
 
@@ -958,6 +984,27 @@ func (f *File) Fault(ctx *sim.Ctx, pageOff int64) (mmu.FaultResult, error) {
 	}
 	if phys, ok := mmu.PhysAt(exts, pageOff); ok {
 		return mmu.FaultResult{Phys: phys}, nil
+	}
+
+	// The page may be backed on the slow tier (mmuExtentsLocked skips those
+	// extents — they are not byte-addressable). Promote it to PM and serve
+	// the fault from the new location; falling through to demand allocation
+	// would double-back the page and orphan the slow copy.
+	if fblk := pageOff / BlockSize; fs.isSlow(blkAt(ino, fblk)) {
+		if err := fs.writable(); err != nil {
+			return mmu.FaultResult{}, err
+		}
+		if !fs.promoteRunLocked(ctx, ino, fblk) {
+			return mmu.FaultResult{}, vfs.ErrNoSpace
+		}
+		exts = ino.mmuExtentsLocked()
+		if phys, ok := mmu.HugeEligible(exts, chunkOff); ok {
+			return mmu.FaultResult{Huge: true, Phys: phys}, nil
+		}
+		if phys, ok := mmu.PhysAt(exts, pageOff); ok {
+			return mmu.FaultResult{Phys: phys}, nil
+		}
+		return mmu.FaultResult{}, fmt.Errorf("winefs: fault at %d not backed after promotion: %w", pageOff, vfs.ErrMapFault)
 	}
 
 	// SIGBUS rule: demand allocation only backs pages inside the current

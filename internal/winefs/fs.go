@@ -29,6 +29,13 @@ type Options struct {
 	// meaningful on devices with more than one node.
 	NUMAAware bool
 
+	// Tier attaches a slow (SSD-like) capacity tier behind the PM
+	// partition (tier.go). Nil mounts are pure-PM and behave exactly as
+	// before. The same TierOptions must be passed to Mkfs and every
+	// subsequent Mount of the image — the slow device holds data the
+	// extent records point at.
+	Tier *TierOptions
+
 	// Ablations, for the design-choice benchmarks:
 
 	// AblateAlignment disables the aligned-extent pool — every allocation
@@ -75,6 +82,11 @@ type FS struct {
 	rewriteMu     sync.Mutex
 	rewriteQ      []*inode
 	rewriteQueued map[*inode]bool
+
+	// Tiered storage (tier.go): nil on pure-PM mounts. tierMu serialises
+	// migration passes the way defragMu serialises defrag passes.
+	tier   *tierState
+	tierMu sync.Mutex
 
 	// Online defrag state (defrag.go): per-group scan cursors (DRAM-only —
 	// crash recovery restarts the scan; each migration is already crash-
@@ -242,6 +254,9 @@ func Mkfs(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 	}
 	if fs.g.poolBlocks <= 0 {
 		return nil, fmt.Errorf("winefs: device too small (%d blocks)", fs.g.totalBlocks)
+	}
+	if err := fs.initTier(opts.Tier); err != nil {
+		return nil, err
 	}
 	fs.shards = newShards(fs.g.cpus)
 	fs.alloc = newAllocator(fs)

@@ -39,6 +39,14 @@ func (r *CheckReport) OK() bool { return len(r.Errors) == 0 }
 //   - file sizes are consistent with the extent map (size covers at most
 //     the mapped range plus sparse holes).
 func Check(dev *pmem.Device) *CheckReport {
+	return CheckTiered(dev, 0)
+}
+
+// CheckTiered is Check for a tiered image: extent records may additionally
+// point into the slow region [slowBase, slowBase+slowBlocks), where
+// slowBase is totalBlocks rounded up to a hugepage boundary — the same
+// placement Mount computes. slowBlocks = 0 checks a pure-PM image.
+func CheckTiered(dev *pmem.Device, slowBlocks int64) *CheckReport {
 	r := &CheckReport{}
 	sbBuf := make([]byte, sbSize)
 	if err := dev.ReadAtChecked(sbBuf, 0); err != nil {
@@ -55,6 +63,10 @@ func Check(dev *pmem.Device) *CheckReport {
 		return r
 	}
 	g := makeGeometry(sb.totalBlocks, int(sb.cpus), sb.inodesPerCPU)
+	slowBase := (g.totalBlocks + BlocksPerHuge - 1) / BlocksPerHuge * BlocksPerHuge
+	inSlow := func(blk, length int64) bool {
+		return slowBlocks > 0 && blk >= slowBase && blk+length <= slowBase+slowBlocks
+	}
 
 	type inodeInfo struct {
 		ino     uint64
@@ -134,7 +146,7 @@ func Check(dev *pmem.Device) *CheckReport {
 					r.errf("ino %d: extent %d has non-positive length %d", ino, i, e.length)
 					continue
 				}
-				if e.blk < g.dataStart || e.blk+e.length > g.totalBlocks {
+				if (e.blk < g.dataStart || e.blk+e.length > g.totalBlocks) && !inSlow(e.blk, e.length) {
 					r.errf("ino %d: extent %d [%d,%d) outside data area", ino, i, e.blk, e.blk+e.length)
 					continue
 				}

@@ -232,6 +232,11 @@ type wextent struct {
 	fileBlk int64
 	blk     int64
 	length  int64
+
+	// heat counts recent accesses for tier placement (DRAM-only: not
+	// encoded in the 16-byte PM record, so it resets to cold at mount).
+	// Bumped atomically under a shared ino.mu, aged by TierPass.
+	heat int64
 }
 
 func encodeExtent(b []byte, e wextent) {

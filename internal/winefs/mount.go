@@ -38,6 +38,9 @@ func Mount(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 		numaOn: opts.NUMAAware && dev.Nodes() > 1,
 		homes:  make(map[int]int),
 	}
+	if err := fs.initTier(opts.Tier); err != nil {
+		return nil, err
+	}
 	fs.shards = newShards(fs.g.cpus)
 	fs.nextTxID = sb.nextTxID
 	fs.alloc = newAllocator(fs)
@@ -49,11 +52,13 @@ func Mount(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 		}
 	}
 
+	rebuiltFree := false
 	if !sb.clean {
 		// Crash path: roll back in-flight transactions first, then rebuild
 		// everything from the (now consistent) inode tables.
 		fs.recoverJournals(ctx)
 		fs.rebuildFromScan(ctx, true)
+		rebuiltFree = true
 	} else {
 		// Clean path: the DRAM structures are deserialised from the
 		// unmount area. (The host still walks the inode tables to build
@@ -61,9 +66,16 @@ func Mount(ctx *sim.Ctx, dev *pmem.Device, opts Options) (*FS, error) {
 		// the cheap freelist read — matching a real clean mount.)
 		if !fs.loadFreeState(ctx) {
 			fs.rebuildFromScan(ctx, true)
+			rebuiltFree = true
 		} else {
 			fs.rebuildFromScan(ctx, false)
 		}
+	}
+	// The slow-tier pool is DRAM-only: the free-rebuild path already
+	// replayed slow extents through the routed markUsed; a clean mount
+	// (PM freelist loaded, no free rebuild) replays them here.
+	if fs.tier != nil && !rebuiltFree {
+		fs.rebuildSlowPool()
 	}
 	// The mount is live: mark the superblock dirty so a crash triggers
 	// recovery. A degraded mount never writes — it serves reads only.
@@ -95,6 +107,9 @@ func (fs *FS) Unmount(ctx *sim.Ctx) error {
 	// its free blocks out of the saved allocator state.
 	fs.defragMu.Lock()
 	fs.defragMu.Unlock()
+	// Same for an in-flight tier migration pass.
+	fs.tierMu.Lock()
+	fs.tierMu.Unlock()
 	fs.saveFreeState(ctx)
 	fs.writeSuper(ctx, true)
 	return nil
@@ -243,7 +258,7 @@ func (fs *FS) loadExtents(ino *inode, di dinode) int64 {
 		e := decodeExtent(buf)
 		// Validate the decoded record before trusting it: a torn or stale
 		// record can point anywhere.
-		if e.length <= 0 || e.blk < 0 || fs.dev.CheckRange(e.blk*BlockSize, e.length*BlockSize) != nil {
+		if e.length <= 0 || e.blk < 0 || fs.dataCheckRange(e.blk*BlockSize, e.length*BlockSize) != nil {
 			fs.degrade("ino %d: extent record %d corrupt (blk=%d len=%d)", ino.ino, i, e.blk, e.length)
 			break
 		}

@@ -73,6 +73,17 @@ type rnode struct {
 // Repair fixes dev in place and reports what it did. See the package-level
 // policy comment above.
 func Repair(dev *pmem.Device) (*RepairReport, error) {
+	return RepairTiered(dev, 0)
+}
+
+// RepairTiered is Repair for a tiered image: file extents may also point
+// into the slow region [slowBase, slowBase+slowBlocks) — the same block
+// numbering CheckTiered accepts — and such records are kept rather than
+// truncated as out-of-range. The slow device itself is not touched (its
+// writes are durable and unpoisonable in this model); only the PM-side
+// metadata referencing it is mended. slowBlocks = 0 repairs a pure-PM
+// image.
+func RepairTiered(dev *pmem.Device, slowBlocks int64) (*RepairReport, error) {
 	rep := &RepairReport{}
 	sbBuf := make([]byte, sbSize)
 	if err := dev.ReadAtChecked(sbBuf, 0); err != nil {
@@ -86,6 +97,10 @@ func Repair(dev *pmem.Device) (*RepairReport, error) {
 		return nil, fmt.Errorf("winefs: superblock geometry invalid (blocks=%d cpus=%d)", sb.totalBlocks, sb.cpus)
 	}
 	g := makeGeometry(sb.totalBlocks, int(sb.cpus), sb.inodesPerCPU)
+	slowBase := (g.totalBlocks + BlocksPerHuge - 1) / BlocksPerHuge * BlocksPerHuge
+	inSlow := func(blk, length int64) bool {
+		return slowBlocks > 0 && blk >= slowBase && blk+length <= slowBase+slowBlocks
+	}
 
 	// Skeleton FS: just enough for the journal scan helpers. Never mounted,
 	// never charged virtual time.
@@ -194,7 +209,12 @@ func Repair(dev *pmem.Device) (*RepairReport, error) {
 					break
 				}
 				e := decodeExtent(buf)
-				if e.length <= 0 || e.blk < g.dataStart || e.blk+e.length > g.totalBlocks {
+				pmOK := e.blk >= g.dataStart && e.blk+e.length <= g.totalBlocks
+				// Slow-tier extents are legal for files only; directory and
+				// indirect blocks are PM by construction, so a dir record
+				// pointing past the device is corruption like any other.
+				slowOK := di.typ == typeFile && inSlow(e.blk, e.length)
+				if e.length <= 0 || (!pmOK && !slowOK) {
 					truncated = true
 					break
 				}
@@ -349,7 +369,7 @@ func Repair(dev *pmem.Device) (*RepairReport, error) {
 		}
 	}
 
-	post := Check(dev)
+	post := CheckTiered(dev, slowBlocks)
 	rep.PostErrors = post.Errors
 	rep.Clean = post.OK()
 	return rep, nil

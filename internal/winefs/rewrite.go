@@ -19,7 +19,7 @@ import (
 func (fs *FS) maybeQueueRewrite(ino *inode) {
 	ino.mu.RLock()
 	size := ino.size
-	exts := ino.mmuExtentsLocked()
+	exts := ino.mmuExtentsRLocked()
 	ino.mu.RUnlock()
 	if size < mmu.HugePage {
 		return
@@ -295,10 +295,10 @@ func (fs *FS) readRangeLocked(ctx *sim.Ctx, ino *inode, p []byte, off int64) err
 		if n > int64(len(p)-read) {
 			n = int64(len(p) - read)
 		}
-		if err := fs.dev.CheckRange(phys*BlockSize+in, n); err != nil {
+		if err := fs.dataCheckRange(phys*BlockSize+in, n); err != nil {
 			return err
 		}
-		if err := fs.dev.ReadChecked(ctx, p[read:read+int(n)], phys*BlockSize+in); err != nil {
+		if err := fs.dataReadChecked(ctx, p[read:read+int(n)], phys*BlockSize+in); err != nil {
 			return err
 		}
 		read += int(n)

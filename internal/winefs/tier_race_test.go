@@ -1,0 +1,114 @@
+package winefs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/tier"
+	"repro/internal/vfs"
+	"repro/internal/vmm"
+)
+
+// TestTierMigrationVsMmapRace is the `make tier-race` workload: threads
+// hammer a live DAX mapping while migration passes demote and promote the
+// extents underneath. The invalidate-before-free ordering in replaceRange
+// means every mapped access either resolves through a current PM
+// translation (refaulting promotes demoted extents back up) or fails with
+// the typed fault error — never reads freed or slow-tier memory. Run under
+// -race it also checks the heat counters and the tier pool locking.
+func TestTierMigrationVsMmapRace(t *testing.T) {
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(128 << 20)
+	slow := tier.NewSlow(tier.DefaultSlowConfig(64 << 20))
+	defer slow.Release()
+	fs, err := Mkfs(ctx, dev, Options{CPUs: 2, Mode: vfs.Strict, Tier: &TierOptions{Slow: slow}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 8 << 20
+	data := patternBuf(size, 0x42)
+	f, err := fs.Create(ctx, "/mapped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := vmm.Map(ctx, f, size, vmm.Config{Mode: vmm.ModeShared, MapFullFile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(ctx)
+	if err := m.Read(ctx, make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive migration from one thread while others read the mapping.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mctx := sim.NewCtx(50, 1)
+		for i := 0; i < 12; i++ {
+			if i%2 == 0 {
+				// Demote: drop the water marks so the pass sheds extents.
+				fs.tier.highWater = 0.001
+				fs.tier.lowWater = 0.0005
+			} else {
+				// Promote: raise them back so refaulted extents return.
+				fs.tier.highWater = 0.95
+				fs.tier.lowWater = 0.85
+			}
+			if _, err := fs.TierPass(mctx, TierPassOptions{MaxMigrateBlocks: 1024}); err != nil {
+				t.Errorf("tier pass %d: %v", i, err)
+			}
+		}
+	}()
+	for th := 0; th < 6; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			tctx := sim.NewCtx(100+th, th%2)
+			rng := sim.NewRand(uint64(th)*524287 + 1)
+			buf := make([]byte, 256)
+			for i := 0; i < 300; i++ {
+				off := rng.Int63n(size - int64(len(buf)))
+				err := m.Read(tctx, buf, off)
+				if err != nil {
+					if errors.Is(err, vfs.ErrMapFault) || errors.Is(err, vfs.ErrNoSpace) {
+						continue // invalidated mid-access or promotion raced an allocation; refault next round
+					}
+					t.Errorf("thread %d op %d: %v", th, i, err)
+					return
+				}
+				// A successful mapped read must return current bytes, never
+				// a freed block's recycled content.
+				want := data[off : off+int64(len(buf))]
+				if !bytes.Equal(buf, want) {
+					t.Errorf("thread %d op %d: mapped read at %d returned stale bytes", th, i, off)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+
+	// Quiesce: promote everything back and verify end-state integrity.
+	fs.tier.highWater = 0.95
+	fs.tier.lowWater = 0.85
+	rctx := sim.NewCtx(200, 0)
+	got := make([]byte, size)
+	if _, err := f.ReadAt(rctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("file content corrupted by concurrent migration")
+	}
+	if err := fs.Audit(rctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,391 @@
+package winefs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/sim"
+	"repro/internal/tier"
+	"repro/internal/vfs"
+)
+
+// mkTiered builds a tiered FS: pmSize of PM plus slowSize of simulated SSD.
+func mkTiered(t *testing.T, pmSize, slowSize int64) (*FS, *sim.Ctx, *pmem.Device, *tier.SlowDevice) {
+	t.Helper()
+	ctx := sim.NewCtx(1, 0)
+	dev := pmem.New(pmSize)
+	slow := tier.NewSlow(tier.DefaultSlowConfig(slowSize))
+	fs, err := Mkfs(ctx, dev, Options{CPUs: 1, InodesPerCPU: 512, Tier: &TierOptions{Slow: slow}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { slow.Release() })
+	return fs, ctx, dev, slow
+}
+
+func patternBuf(n int64, seed byte) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(int(seed) + i*7)
+	}
+	return buf
+}
+
+// inoOf resolves a path to its DRAM inode (test helper).
+func inoOf(t *testing.T, ctx *sim.Ctx, fs *FS, path string) *inode {
+	t.Helper()
+	fi, err := fs.Stat(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs.getInode(fi.Ino)
+}
+
+// slowBlocksOf counts how many of the file's blocks live on the slow tier.
+func slowBlocksOf(fs *FS, ino *inode) (slow, pm int64) {
+	ino.mu.RLock()
+	defer ino.mu.RUnlock()
+	for _, e := range ino.extents {
+		if fs.isSlow(e.blk) {
+			slow += e.length
+		} else {
+			pm += e.length
+		}
+	}
+	return
+}
+
+// TestTierSpillInsteadOfENOSPC is the PM-exhaustion satellite: filling PM
+// past its high-water mark must transparently spill new data to the slow
+// tier — never surface ErrNoSpace while the slow tier has headroom — and
+// the spill must be visible in the alloc_spill counters.
+func TestTierSpillInsteadOfENOSPC(t *testing.T) {
+	fs, ctx, _, _ := mkTiered(t, 64<<20, 64<<20)
+	st, ok := fs.TierStats()
+	if !ok {
+		t.Fatal("TierStats on tiered mount returned !ok")
+	}
+	// Write 1.5x the PM data capacity across a handful of files.
+	totalBlocks := st.PMTotalBlocks + st.SlowTotalBlocks/4
+	chunk := patternBuf(1<<20, 3)
+	var written int64
+	for i := 0; written < totalBlocks*BlockSize; i++ {
+		name := "/f" + string(rune('a'+i%8))
+		var f vfs.File
+		var err error
+		if i < 8 {
+			f, err = fs.Create(ctx, name)
+		} else {
+			f, err = fs.Open(ctx, name)
+		}
+		if err != nil {
+			t.Fatalf("open %s after %d bytes: %v", name, written, err)
+		}
+		if _, err := f.Append(ctx, chunk); err != nil {
+			t.Fatalf("append after %d of %d bytes: %v", written, totalBlocks*BlockSize, err)
+		}
+		written += int64(len(chunk))
+	}
+	if ctx.Counters.AllocSpillBlocks == 0 {
+		t.Fatal("no spill happened despite writing past PM capacity")
+	}
+	if ctx.Counters.AllocSpillExtents == 0 {
+		t.Fatal("spill blocks counted but no spill extents")
+	}
+	st, _ = fs.TierStats()
+	if st.SlowFreeBlocks == st.SlowTotalBlocks {
+		t.Fatal("slow tier still empty after spill")
+	}
+	// PM stayed at or under the high-water mark plus metadata growth: the
+	// spill left headroom instead of running PM to zero.
+	if st.PMFreeBlocks == 0 {
+		t.Fatal("spill policy ran PM completely dry (no metadata headroom)")
+	}
+	// Spilled data reads back correctly, and cold reads are charged
+	// slow-device costs.
+	rctx := sim.NewCtx(2, 0)
+	f, err := fs.Open(rctx, "/fa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(chunk))
+	if _, err := f.ReadAt(rctx, got, f.Size()-int64(len(chunk))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, chunk) {
+		t.Fatal("spilled tail reads back wrong data")
+	}
+	if err := fs.Audit(ctx); err != nil {
+		t.Fatalf("audit after spill: %v", err)
+	}
+	// At least one of the files has a slow extent whose read was charged.
+	var sawSlow bool
+	for _, name := range []string{"/fa", "/fb", "/fc", "/fd", "/fe", "/ff", "/fg", "/fh"} {
+		ino := inoOf(t, rctx, fs, name)
+		if s, _ := slowBlocksOf(fs, ino); s > 0 {
+			sawSlow = true
+			break
+		}
+	}
+	if !sawSlow {
+		t.Fatal("spill counters nonzero but no file has slow extents")
+	}
+	cctx := sim.NewCtx(3, 0)
+	for _, name := range []string{"/fa", "/fb", "/fc", "/fd"} {
+		f, err := fs.Open(cctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1<<20)
+		for off := int64(0); off < f.Size(); off += int64(len(buf)) {
+			if _, err := f.ReadAt(cctx, buf, off); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if cctx.Counters.SlowReads == 0 || cctx.Counters.SlowReadBytes == 0 {
+		t.Fatal("reads over spilled data were not charged slow-device costs")
+	}
+}
+
+// TestTierENOSPCWhenBothTiersFull: ErrNoSpace is still the answer once BOTH
+// tiers are exhausted.
+func TestTierENOSPCWhenBothTiersFull(t *testing.T) {
+	fs, ctx, _, _ := mkTiered(t, 32<<20, 8<<20)
+	chunk := patternBuf(1<<20, 9)
+	f, err := fs.Create(ctx, "/fill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNoSpace bool
+	for i := 0; i < 64; i++ {
+		if _, err := f.Append(ctx, chunk); err != nil {
+			if !errors.Is(err, vfs.ErrNoSpace) {
+				t.Fatalf("fill failed with %v, want ErrNoSpace", err)
+			}
+			sawNoSpace = true
+			break
+		}
+	}
+	if !sawNoSpace {
+		t.Fatal("filled 64MiB into 32+8MiB without ENOSPC")
+	}
+	st, _ := fs.TierStats()
+	if st.SlowFreeBlocks > st.SlowTotalBlocks/10 {
+		t.Fatalf("ENOSPC with %d of %d slow blocks still free", st.SlowFreeBlocks, st.SlowTotalBlocks)
+	}
+}
+
+// TestTierPassDemotesColdPromotesHot drives one full migration cycle: with
+// PM over the high-water mark the coldest file moves down; once its data is
+// re-read past the promotion threshold it moves back up. Content must
+// survive both trips and the audit must stay clean throughout.
+func TestTierPassDemotesColdPromotesHot(t *testing.T) {
+	fs, ctx, _, _ := mkTiered(t, 64<<20, 64<<20)
+	const fileBytes = 4 << 20
+	hotData := patternBuf(fileBytes, 0x10)
+	coldData := patternBuf(fileBytes, 0x60)
+	hot, err := fs.Create(ctx, "/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hot.WriteAt(ctx, hotData, 0); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := fs.Create(ctx, "/cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.WriteAt(ctx, coldData, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Heat up /hot.
+	buf := make([]byte, fileBytes)
+	for i := 0; i < 5; i++ {
+		if _, err := hot.ReadAt(ctx, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Force a demotion pass big enough for /cold only: coldest-first order
+	// must pick /cold and leave /hot on PM.
+	fs.tier.highWater = 0.01
+	fs.tier.lowWater = 0.005
+	st, err := fs.TierPass(ctx, TierPassOptions{MaxMigrateBlocks: fileBytes / BlockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Demotions == 0 || st.DemotedBlocks != fileBytes/BlockSize {
+		t.Fatalf("demotion pass: %+v, want %d blocks demoted", st, fileBytes/BlockSize)
+	}
+	coldIno := inoOf(t, ctx, fs, "/cold")
+	hotIno := inoOf(t, ctx, fs, "/hot")
+	if s, p := slowBlocksOf(fs, coldIno); s != fileBytes/BlockSize || p != 0 {
+		t.Fatalf("/cold after demotion: slow=%d pm=%d, want all slow", s, p)
+	}
+	if s, _ := slowBlocksOf(fs, hotIno); s != 0 {
+		t.Fatalf("/hot demoted (%d slow blocks) despite being hotter", s)
+	}
+	if err := fs.Audit(ctx); err != nil {
+		t.Fatalf("audit after demotion: %v", err)
+	}
+	if got := make([]byte, fileBytes); true {
+		if _, err := cold.ReadAt(ctx, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, coldData) {
+			t.Fatal("/cold content wrong after demotion")
+		}
+	}
+
+	// Re-reading /cold past the promotion threshold earns it back to PM.
+	// The bar is size-proportional (one touch per 16 blocks), so a 4MiB
+	// file needs a real re-read streak, not a token one.
+	fs.tier.highWater = 0.95
+	fs.tier.lowWater = 0.85
+	for i := 0; i < 80; i++ {
+		if _, err := cold.ReadAt(ctx, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err = fs.TierPass(ctx, TierPassOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Promotions == 0 || st.PromotedBlocks != fileBytes/BlockSize {
+		t.Fatalf("promotion pass: %+v, want %d blocks promoted", st, fileBytes/BlockSize)
+	}
+	if s, p := slowBlocksOf(fs, coldIno); s != 0 || p != fileBytes/BlockSize {
+		t.Fatalf("/cold after promotion: slow=%d pm=%d, want all PM", s, p)
+	}
+	got := make([]byte, fileBytes)
+	if _, err := cold.ReadAt(ctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, coldData) {
+		t.Fatal("/cold content wrong after promotion")
+	}
+	if err := fs.Audit(ctx); err != nil {
+		t.Fatalf("audit after promotion: %v", err)
+	}
+	if ctx.Counters.TierDemotions == 0 || ctx.Counters.TierPromotions == 0 || ctx.Counters.TierPasses < 2 {
+		t.Fatalf("tier counters not maintained: demote=%d promote=%d passes=%d",
+			ctx.Counters.TierDemotions, ctx.Counters.TierPromotions, ctx.Counters.TierPasses)
+	}
+}
+
+// TestTierRemountRebuildsSlowPool: the slow pool is DRAM-only, so both the
+// clean-unmount path and the crash path must rebuild it from the extent
+// scan — without double-allocating blocks that are already referenced.
+func TestTierRemountRebuildsSlowPool(t *testing.T) {
+	fs, ctx, dev, slow := mkTiered(t, 64<<20, 32<<20)
+	data := patternBuf(2<<20, 0x21)
+	f, err := fs.Create(ctx, "/spilled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Demote everything so /spilled definitely has slow extents.
+	fs.tier.highWater = 0.01
+	fs.tier.lowWater = 0.005
+	if _, err := fs.TierPass(ctx, TierPassOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ino := inoOf(t, ctx, fs, "/spilled")
+	slowUsed, _ := slowBlocksOf(fs, ino)
+	if slowUsed == 0 {
+		t.Fatal("setup: no slow extents to rebuild")
+	}
+
+	check := func(tag string, rfs *FS, rctx *sim.Ctx) {
+		st, ok := rfs.TierStats()
+		if !ok {
+			t.Fatalf("%s: remount lost the tier", tag)
+		}
+		if st.SlowTotalBlocks-st.SlowFreeBlocks != slowUsed {
+			t.Fatalf("%s: pool shows %d slow blocks used, want %d",
+				tag, st.SlowTotalBlocks-st.SlowFreeBlocks, slowUsed)
+		}
+		rf, err := rfs.Open(rctx, "/spilled")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if _, err := rf.ReadAt(rctx, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: content wrong after remount", tag)
+		}
+		if err := rfs.Audit(rctx); err != nil {
+			t.Fatalf("%s: audit: %v", tag, err)
+		}
+		// New writes must not land on the supposedly-used slow blocks: fill
+		// some more and re-audit (the audit's overlap scan would catch it).
+		g, err := rfs.Create(rctx, "/more-"+tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Append(rctx, data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rfs.TierPass(rctx, TierPassOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rfs.Audit(rctx); err != nil {
+			t.Fatalf("%s: audit after new writes: %v", tag, err)
+		}
+	}
+
+	// Crash path first (snapshot the dirty image before the clean unmount).
+	crashImg := dev.Snapshot()
+	scratch := pmem.New(64 << 20)
+	scratch.Restore(crashImg)
+	cctx := sim.NewCtx(2, 0)
+	cfs, err := Mount(cctx, scratch, Options{CPUs: 1, InodesPerCPU: 512, Tier: &TierOptions{Slow: slow, HighWater: 0.01, LowWater: 0.005}})
+	if err != nil {
+		t.Fatalf("crash-path mount: %v", err)
+	}
+	check("crash", cfs, cctx)
+
+	// Clean path.
+	if err := fs.Unmount(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rctx := sim.NewCtx(3, 0)
+	rfs, err := Mount(rctx, dev, Options{CPUs: 1, InodesPerCPU: 512, Tier: &TierOptions{Slow: slow, HighWater: 0.01, LowWater: 0.005}})
+	if err != nil {
+		t.Fatalf("clean-path mount: %v", err)
+	}
+	check("clean", rfs, rctx)
+}
+
+// TestTierUntieredUnchanged: a pure-PM mount must not notice the tier code
+// at all — no counters, no stats, identical behaviour.
+func TestTierUntieredUnchanged(t *testing.T) {
+	fs, ctx, _ := mk(t)
+	if _, ok := fs.TierStats(); ok {
+		t.Fatal("untired mount reports tier stats")
+	}
+	if fs.Tiered() {
+		t.Fatal("untired mount claims to be tiered")
+	}
+	st, err := fs.TierPass(ctx, TierPassOptions{})
+	if err != nil || st.Demotions != 0 || st.Promotions != 0 {
+		t.Fatalf("TierPass on untiered mount: %+v, %v", st, err)
+	}
+	f, err := fs.Create(ctx, "/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(ctx, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Counters.SlowReads != 0 || ctx.Counters.AllocSpillBlocks != 0 || ctx.Counters.TierPasses != 0 {
+		t.Fatalf("untiered mount touched tier counters: %+v", ctx.Counters)
+	}
+}
